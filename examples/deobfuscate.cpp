@@ -1,0 +1,34 @@
+// Deobfuscation demo (paper Sec. 4 / Fig. 8): resynthesize the two
+// obfuscated programs of the paper — the XOR-swap `interchangeObs` and the
+// flag-driven `multiply45Obs` — from I/O behaviour alone, then show the
+// obfuscated source next to the clean loop-free program.
+//
+// Build & run:   ./build/examples/deobfuscate
+#include <cstdio>
+
+#include "ogis/benchmarks.hpp"
+
+using namespace sciduction;
+using namespace sciduction::ogis;
+
+static void run(const deobfuscation_benchmark& bench) {
+    std::printf("==================================================================\n");
+    std::printf("benchmark %s (width %u)\n", bench.name.c_str(), bench.config.width);
+    std::printf("--- obfuscated source (the only available specification) ---%s\n",
+                bench.obfuscated_source.c_str());
+    auto outcome = run_benchmark(bench);
+    if (outcome.status != core::loop_status::success) {
+        std::printf("!! synthesis did not converge\n");
+        return;
+    }
+    std::printf("--- resynthesized in %.3f s, %d OGIS iteration(s), %llu oracle queries ---\n",
+                outcome.stats.elapsed_seconds, outcome.stats.iterations,
+                (unsigned long long)outcome.stats.oracle_queries);
+    std::printf("%s\n\n", outcome.program->to_string(bench.config.library).c_str());
+}
+
+int main() {
+    run(benchmark_p1_interchange());
+    run(benchmark_p2_multiply45());
+    return 0;
+}

@@ -1,0 +1,91 @@
+#include "aig/aig.hpp"
+
+#include <stdexcept>
+
+namespace sciduction::aig {
+
+literal aig::add_input() {
+    if (!latches_.empty() || !ands_.empty())
+        throw std::logic_error("aig: add all inputs before latches and ANDs");
+    ++num_inputs_;
+    return mk_literal(num_inputs_);
+}
+
+literal aig::add_latch(bool init) {
+    if (!ands_.empty()) throw std::logic_error("aig: add all latches before ANDs");
+    latches_.push_back({lit_false, init});
+    return mk_literal(num_inputs_ + static_cast<std::uint32_t>(latches_.size()));
+}
+
+void aig::set_latch_next(literal latch_lit, literal next) {
+    if (negated(latch_lit)) throw std::invalid_argument("set_latch_next: pass the positive literal");
+    std::uint32_t var = var_of(latch_lit);
+    if (var <= num_inputs_ || var > num_inputs_ + latches_.size())
+        throw std::invalid_argument("set_latch_next: not a latch literal");
+    latches_[var - num_inputs_ - 1].next = next;
+}
+
+literal aig::add_and(literal a, literal b) {
+    // Constant folding and trivial cases.
+    if (a == lit_false || b == lit_false) return lit_false;
+    if (a == lit_true) return b;
+    if (b == lit_true) return a;
+    if (a == b) return a;
+    if (a == negate(b)) return lit_false;
+    if (b < a) std::swap(a, b);
+    auto key = std::make_pair(a, b);
+    auto it = strash_.find(key);
+    if (it != strash_.end()) return it->second;
+    ands_.push_back({a, b});
+    literal out = mk_literal(and_var_base() + static_cast<std::uint32_t>(ands_.size()) - 1);
+    strash_.emplace(key, out);
+    return out;
+}
+
+std::vector<std::uint64_t> aig::simulate_step(const std::vector<std::uint64_t>& latch_state,
+                                              const std::vector<std::uint64_t>& input_patterns)
+    const {
+    if (latch_state.size() != latches_.size() || input_patterns.size() != num_inputs_)
+        throw std::invalid_argument("simulate_step: state/input size mismatch");
+    std::vector<std::uint64_t> values(num_vars());
+    values[0] = 0;  // constant false
+    for (std::size_t i = 0; i < num_inputs_; ++i) values[1 + i] = input_patterns[i];
+    for (std::size_t i = 0; i < latches_.size(); ++i)
+        values[1 + num_inputs_ + i] = latch_state[i];
+    for (std::size_t i = 0; i < ands_.size(); ++i) {
+        const and_node& n = ands_[i];
+        values[and_var_base() + i] = value_of(values, n.fan0) & value_of(values, n.fan1);
+    }
+    return values;
+}
+
+std::vector<std::uint64_t> aig::next_state(const std::vector<std::uint64_t>& values) const {
+    std::vector<std::uint64_t> next(latches_.size());
+    for (std::size_t i = 0; i < latches_.size(); ++i) next[i] = value_of(values, latches_[i].next);
+    return next;
+}
+
+std::vector<std::uint64_t> aig::initial_state() const {
+    std::vector<std::uint64_t> st(latches_.size());
+    for (std::size_t i = 0; i < latches_.size(); ++i) st[i] = latches_[i].init ? ~0ULL : 0;
+    return st;
+}
+
+std::vector<sat::lit> aig::instantiate(sat::gate_encoder& gates,
+                                       const std::vector<sat::lit>& latch_lits,
+                                       const std::vector<sat::lit>& input_lits) const {
+    if (latch_lits.size() != latches_.size() || input_lits.size() != num_inputs_)
+        throw std::invalid_argument("instantiate: frame size mismatch");
+    std::vector<sat::lit> frame(num_vars());
+    frame[0] = gates.constant(false);
+    for (std::size_t i = 0; i < num_inputs_; ++i) frame[1 + i] = input_lits[i];
+    for (std::size_t i = 0; i < latches_.size(); ++i) frame[1 + num_inputs_ + i] = latch_lits[i];
+    for (std::size_t i = 0; i < ands_.size(); ++i) {
+        const and_node& n = ands_[i];
+        frame[and_var_base() + i] =
+            gates.and_gate(sat_literal(frame, n.fan0), sat_literal(frame, n.fan1));
+    }
+    return frame;
+}
+
+}  // namespace sciduction::aig

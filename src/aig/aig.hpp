@@ -1,0 +1,128 @@
+// And-inverter graphs with latches: the sequential-circuit substrate for the
+// invariant-generation extension (paper Sec. 2.4.1 describes the ABC-style
+// simulation-prune-then-prove strategy as an instance of sciduction).
+//
+// Literal encoding follows the AIGER convention: literal = 2*var + negated;
+// variable 0 is the constant false. Structural hashing and constant folding
+// keep the graph canonical. 64 simulation patterns run in parallel per word.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sat/gates.hpp"
+
+namespace sciduction::aig {
+
+/// AIG literal: 2*var + (negated ? 1 : 0).
+using literal = std::uint32_t;
+
+inline constexpr literal lit_false = 0;
+inline constexpr literal lit_true = 1;
+
+inline literal mk_literal(std::uint32_t var, bool negated = false) {
+    return var * 2 + (negated ? 1 : 0);
+}
+inline std::uint32_t var_of(literal l) { return l >> 1; }
+inline bool negated(literal l) { return (l & 1) != 0; }
+inline literal negate(literal l) { return l ^ 1; }
+
+class aig {
+public:
+    aig() = default;
+
+    /// Adds a primary input; returns its literal.
+    literal add_input();
+
+    /// Adds a latch with the given initial value; next-state is set later.
+    literal add_latch(bool init = false);
+    void set_latch_next(literal latch_lit, literal next);
+
+    /// Adds an AND node (folds constants, hashes structurally).
+    literal add_and(literal a, literal b);
+    literal add_or(literal a, literal b) { return negate(add_and(negate(a), negate(b))); }
+    literal add_xor(literal a, literal b) {
+        return add_or(add_and(a, negate(b)), add_and(negate(a), b));
+    }
+    literal add_mux(literal sel, literal t, literal e) {
+        return add_or(add_and(sel, t), add_and(negate(sel), e));
+    }
+
+    void add_output(literal l) { outputs_.push_back(l); }
+
+    [[nodiscard]] std::size_t num_vars() const { return 1 + num_inputs_ + latches_.size() + ands_.size(); }
+    [[nodiscard]] std::size_t num_inputs() const { return num_inputs_; }
+    [[nodiscard]] std::size_t num_latches() const { return latches_.size(); }
+    [[nodiscard]] std::size_t num_ands() const { return ands_.size(); }
+    [[nodiscard]] const std::vector<literal>& outputs() const { return outputs_; }
+
+    [[nodiscard]] literal input_literal(std::size_t i) const { return mk_literal(1 + static_cast<std::uint32_t>(i)); }
+    [[nodiscard]] literal latch_literal(std::size_t i) const {
+        return mk_literal(1 + num_inputs_ + static_cast<std::uint32_t>(i));
+    }
+    [[nodiscard]] literal latch_next(std::size_t i) const { return latches_[i].next; }
+    [[nodiscard]] bool latch_init(std::size_t i) const { return latches_[i].init; }
+
+    // ---- 64-way parallel simulation ----
+    /// Evaluates all variables for one time step. `latch_state[i]` /
+    /// `input_patterns[i]` are 64-bit pattern words. Returns value words per
+    /// variable (indexed by var).
+    [[nodiscard]] std::vector<std::uint64_t> simulate_step(
+        const std::vector<std::uint64_t>& latch_state,
+        const std::vector<std::uint64_t>& input_patterns) const;
+
+    /// Value of a literal within a simulation result.
+    static std::uint64_t value_of(const std::vector<std::uint64_t>& values, literal l) {
+        std::uint64_t v = values[var_of(l)];
+        return negated(l) ? ~v : v;
+    }
+
+    /// Next latch state from a simulation result.
+    [[nodiscard]] std::vector<std::uint64_t> next_state(
+        const std::vector<std::uint64_t>& values) const;
+
+    /// All-zero/one initial latch patterns.
+    [[nodiscard]] std::vector<std::uint64_t> initial_state() const;
+
+    // ---- CNF export ----
+    /// Instantiates the combinational logic in a SAT solver: given SAT
+    /// literals for latches and inputs, returns one SAT literal per AIG
+    /// variable (the time-frame expansion primitive for (k-)induction).
+    [[nodiscard]] std::vector<sat::lit> instantiate(
+        sat::gate_encoder& gates, const std::vector<sat::lit>& latch_lits,
+        const std::vector<sat::lit>& input_lits) const;
+
+    static sat::lit sat_literal(const std::vector<sat::lit>& frame, literal l) {
+        sat::lit s = frame[var_of(l)];
+        return negated(l) ? ~s : s;
+    }
+
+private:
+    struct latch {
+        literal next = lit_false;
+        bool init = false;
+    };
+    struct and_node {
+        literal fan0;
+        literal fan1;
+    };
+    struct and_key_hash {
+        std::size_t operator()(const std::pair<literal, literal>& k) const {
+            return std::hash<std::uint64_t>()((static_cast<std::uint64_t>(k.first) << 32) |
+                                              k.second);
+        }
+    };
+
+    [[nodiscard]] std::uint32_t and_var_base() const {
+        return 1 + num_inputs_ + static_cast<std::uint32_t>(latches_.size());
+    }
+
+    std::uint32_t num_inputs_ = 0;
+    std::vector<latch> latches_;
+    std::vector<and_node> ands_;
+    std::vector<literal> outputs_;
+    std::unordered_map<std::pair<literal, literal>, literal, and_key_hash> strash_;
+};
+
+}  // namespace sciduction::aig

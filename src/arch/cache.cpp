@@ -1,0 +1,55 @@
+#include "arch/cache.hpp"
+
+namespace sciduction::arch {
+
+cache::cache(const cache_config& cfg) : cfg_(cfg), lines_(cfg.num_lines()) {}
+
+std::size_t cache::set_index(std::uint64_t address) const {
+    return static_cast<std::size_t>((address / cfg_.line_bytes) % cfg_.sets);
+}
+
+std::uint64_t cache::tag_of(std::uint64_t address) const {
+    return address / cfg_.line_bytes / cfg_.sets;
+}
+
+unsigned cache::access(std::uint64_t address) {
+    ++clock_;
+    const std::size_t base = set_index(address) * cfg_.ways;
+    const std::uint64_t tag = tag_of(address);
+    std::size_t victim = base;
+    for (std::size_t i = base; i < base + cfg_.ways; ++i) {
+        if (lines_[i].valid && lines_[i].tag == tag) {
+            lines_[i].lru = clock_;
+            ++hits_;
+            return cfg_.hit_cycles;
+        }
+        if (!lines_[victim].valid) continue;       // keep first invalid victim
+        if (!lines_[i].valid || lines_[i].lru < lines_[victim].lru) victim = i;
+    }
+    lines_[victim] = {true, tag, clock_};
+    ++misses_;
+    return cfg_.miss_cycles;
+}
+
+void cache::flush() {
+    for (auto& l : lines_) l = {};
+    clock_ = 0;
+}
+
+void cache::randomize(util::rng& rng, std::uint64_t address_space, double fill) {
+    clock_ = 0;
+    for (std::size_t set = 0; set < cfg_.sets; ++set) {
+        for (unsigned way = 0; way < cfg_.ways; ++way) {
+            line& l = lines_[set * cfg_.ways + way];
+            if (rng.next_double() < fill) {
+                // Draw an address mapping to this set so the tag is plausible.
+                std::uint64_t addr = rng.next_below(address_space);
+                l = {true, addr / cfg_.line_bytes / cfg_.sets, rng.next_below(1000)};
+            } else {
+                l = {};
+            }
+        }
+    }
+}
+
+}  // namespace sciduction::arch

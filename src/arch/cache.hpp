@@ -1,0 +1,63 @@
+// Set-associative cache model with true-LRU replacement.
+//
+// The cache contents are the *environment state* of the timing-analysis
+// problem (paper Sec. 3.1: "the state dimension, where one must find the
+// right starting environment state"). GameTime never inspects this state;
+// it only observes end-to-end cycle counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sciduction::arch {
+
+struct cache_config {
+    unsigned sets = 32;
+    unsigned ways = 2;
+    unsigned line_bytes = 16;
+    unsigned hit_cycles = 1;
+    unsigned miss_cycles = 12;  ///< total latency on miss (order of magnitude over hit)
+
+    [[nodiscard]] std::size_t num_lines() const {
+        return static_cast<std::size_t>(sets) * ways;
+    }
+};
+
+class cache {
+public:
+    explicit cache(const cache_config& cfg);
+
+    /// Performs an access; returns the cycle cost and updates LRU/contents.
+    unsigned access(std::uint64_t address);
+
+    /// Invalidates everything (cold start).
+    void flush();
+
+    /// Adversarial/random starting state: each line becomes valid with
+    /// probability `fill` holding a tag drawn from [0, address_space).
+    void randomize(util::rng& rng, std::uint64_t address_space, double fill = 0.5);
+
+    [[nodiscard]] const cache_config& config() const { return cfg_; }
+    [[nodiscard]] std::uint64_t hits() const { return hits_; }
+    [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+private:
+    struct line {
+        bool valid = false;
+        std::uint64_t tag = 0;
+        std::uint64_t lru = 0;  // larger == more recently used
+    };
+
+    [[nodiscard]] std::size_t set_index(std::uint64_t address) const;
+    [[nodiscard]] std::uint64_t tag_of(std::uint64_t address) const;
+
+    cache_config cfg_;
+    std::vector<line> lines_;  // sets * ways, row-major by set
+    std::uint64_t clock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+}  // namespace sciduction::arch

@@ -1,0 +1,298 @@
+#include "arch/codegen.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "ir/interp.hpp"
+
+namespace sciduction::arch {
+
+namespace {
+
+using ir::binop;
+using ir::expr;
+using ir::function;
+using ir::program;
+using ir::stmt;
+using ir::unop;
+
+class generator {
+public:
+    generator(const program& p, const function& f) : program_(p) {
+        out_.width = p.width;
+        out_.params = f.params;
+        std::uint64_t gaddr = compiled_function::global_base;
+        for (const auto& g : p.globals) {
+            out_.global_address[g.name] = gaddr;
+            for (std::size_t i = 0; i < g.size; ++i) {
+                out_.global_init.emplace_back(gaddr, g.init[i]);
+                gaddr += 4;
+            }
+        }
+        for (const auto& name : f.params) slot_of(name);
+        // Entry: spill incoming argument registers (r0..) to their slots.
+        for (std::size_t i = 0; i < f.params.size(); ++i) {
+            emit({opcode::st, alu_op::add, -1, static_cast<int>(i), -1,
+                  out_.slot_address.at(f.params[i]), -1});
+        }
+        next_reg_ = static_cast<int>(f.params.size());
+        gen_block(f.body);
+        // Fall-off-the-end: return 0.
+        int r = fresh();
+        emit({opcode::ldi, alu_op::add, r, -1, -1, 0, -1});
+        emit({opcode::ret, alu_op::add, -1, r, -1, 0, -1});
+        out_.num_registers = next_reg_;
+    }
+
+    compiled_function take() { return std::move(out_); }
+
+private:
+    int fresh() { return next_reg_++; }
+
+    int emit(instr i) {
+        out_.code.push_back(i);
+        return static_cast<int>(out_.code.size()) - 1;
+    }
+
+    std::uint64_t slot_of(const std::string& name) {
+        auto it = out_.slot_address.find(name);
+        if (it != out_.slot_address.end()) return it->second;
+        std::uint64_t addr = compiled_function::frame_base + 4 * out_.slot_address.size();
+        out_.slot_address.emplace(name, addr);
+        return addr;
+    }
+
+    static alu_op op_for(binop b) {
+        switch (b) {
+            case binop::add: return alu_op::add;
+            case binop::sub: return alu_op::sub;
+            case binop::mul: return alu_op::mul;
+            case binop::udiv: return alu_op::udiv;
+            case binop::urem: return alu_op::urem;
+            case binop::band: return alu_op::and_;
+            case binop::bor: return alu_op::orr;
+            case binop::bxor: return alu_op::eor;
+            case binop::shl: return alu_op::lsl;
+            case binop::lshr: return alu_op::lsr;
+            case binop::lt: return alu_op::slt;
+            case binop::le: return alu_op::sle;
+            case binop::eq: return alu_op::eq;
+            case binop::ne: return alu_op::ne;
+            default: throw std::logic_error("op_for: handled elsewhere");
+        }
+    }
+
+    /// Generates code computing e into a fresh register; returns it.
+    int gen_expr(const expr& e) {
+        switch (e.k) {
+            case expr::kind::num: {
+                int r = fresh();
+                emit({opcode::ldi, alu_op::add, r, -1, -1, e.value, -1});
+                return r;
+            }
+            case expr::kind::var: {
+                std::uint64_t addr;
+                if (out_.slot_address.count(e.name) != 0) {
+                    addr = out_.slot_address.at(e.name);
+                } else if (out_.global_address.count(e.name) != 0) {
+                    const auto* g = program_.find_global(e.name);
+                    if (g == nullptr || g->is_array)
+                        throw std::runtime_error("codegen: '" + e.name + "' is not a scalar");
+                    addr = out_.global_address.at(e.name);
+                } else {
+                    throw std::runtime_error("codegen: unknown variable '" + e.name + "'");
+                }
+                int r = fresh();
+                emit({opcode::ld, alu_op::add, r, -1, -1, addr, -1});
+                return r;
+            }
+            case expr::kind::binary: {
+                if (e.bop == binop::land || e.bop == binop::lor) {
+                    // Normalize both sides to 0/1 then combine; mini-C
+                    // expressions are side-effect free so this matches the
+                    // interpreter's short-circuit result.
+                    int a = gen_expr(e.args[0]);
+                    int an = fresh();
+                    emit({opcode::alu, alu_op::snez, an, a, -1, 0, -1});
+                    int b = gen_expr(e.args[1]);
+                    int bn = fresh();
+                    emit({opcode::alu, alu_op::snez, bn, b, -1, 0, -1});
+                    int r = fresh();
+                    emit({opcode::alu, e.bop == binop::land ? alu_op::and_ : alu_op::orr, r, an,
+                          bn, 0, -1});
+                    return r;
+                }
+                int a = gen_expr(e.args[0]);
+                int b = gen_expr(e.args[1]);
+                int r = fresh();
+                // > and >= are synthesized by swapping operands of < and <=.
+                if (e.bop == binop::gt) {
+                    emit({opcode::alu, alu_op::slt, r, b, a, 0, -1});
+                } else if (e.bop == binop::ge) {
+                    emit({opcode::alu, alu_op::sle, r, b, a, 0, -1});
+                } else {
+                    emit({opcode::alu, op_for(e.bop), r, a, b, 0, -1});
+                }
+                return r;
+            }
+            case expr::kind::unary: {
+                int v = gen_expr(e.args[0]);
+                int r = fresh();
+                switch (e.uop) {
+                    case unop::neg: {
+                        int z = fresh();
+                        emit({opcode::ldi, alu_op::add, z, -1, -1, 0, -1});
+                        emit({opcode::alu, alu_op::sub, r, z, v, 0, -1});
+                        break;
+                    }
+                    case unop::bnot: {
+                        int ones = fresh();
+                        emit({opcode::ldi, alu_op::add, ones, -1, -1,
+                              ir::value_mask(out_.width), -1});
+                        emit({opcode::alu, alu_op::eor, r, v, ones, 0, -1});
+                        break;
+                    }
+                    case unop::lnot: emit({opcode::alu, alu_op::seqz, r, v, -1, 0, -1}); break;
+                }
+                return r;
+            }
+            case expr::kind::ternary: {
+                int c = gen_expr(e.args[0]);
+                int r = fresh();
+                int br_else = emit({opcode::brz, alu_op::add, -1, c, -1, 0, -1});
+                int t = gen_expr(e.args[1]);
+                emit({opcode::mov, alu_op::add, r, t, -1, 0, -1});
+                int jmp_end = emit({opcode::jmp, alu_op::add, -1, -1, -1, 0, -1});
+                out_.code[static_cast<std::size_t>(br_else)].target =
+                    static_cast<int>(out_.code.size());
+                int f = gen_expr(e.args[2]);
+                emit({opcode::mov, alu_op::add, r, f, -1, 0, -1});
+                out_.code[static_cast<std::size_t>(jmp_end)].target =
+                    static_cast<int>(out_.code.size());
+                return r;
+            }
+            case expr::kind::index: {
+                const auto* g = program_.find_global(e.name);
+                if (g == nullptr || !g->is_array)
+                    throw std::runtime_error("codegen: unknown array '" + e.name + "'");
+                int i = gen_expr(e.args[0]);
+                int r = fresh();
+                emit({opcode::ldx, alu_op::add, r, i, -1, out_.global_address.at(e.name), -1});
+                return r;
+            }
+        }
+        throw std::logic_error("codegen: bad expr kind");
+    }
+
+    void gen_stmt(const stmt& s) {
+        switch (s.k) {
+            case stmt::kind::decl:
+            case stmt::kind::assign: {
+                int v = gen_expr(s.e);
+                std::uint64_t addr;
+                if (s.k == stmt::kind::decl || out_.slot_address.count(s.name) != 0) {
+                    addr = slot_of(s.name);
+                } else if (out_.global_address.count(s.name) != 0) {
+                    addr = out_.global_address.at(s.name);
+                } else {
+                    addr = slot_of(s.name);
+                }
+                emit({opcode::st, alu_op::add, -1, v, -1, addr, -1});
+                break;
+            }
+            case stmt::kind::store: {
+                const auto* g = program_.find_global(s.name);
+                if (g == nullptr || !g->is_array)
+                    throw std::runtime_error("codegen: unknown array '" + s.name + "'");
+                int i = gen_expr(s.idx);
+                int v = gen_expr(s.e);
+                emit({opcode::stx, alu_op::add, -1, v, i, out_.global_address.at(s.name), -1});
+                break;
+            }
+            case stmt::kind::if_stmt: {
+                int c = gen_expr(s.e);
+                int br_else = emit({opcode::brz, alu_op::add, -1, c, -1, 0, -1});
+                gen_block(s.body);
+                if (s.else_body.empty()) {
+                    out_.code[static_cast<std::size_t>(br_else)].target =
+                        static_cast<int>(out_.code.size());
+                } else {
+                    int jmp_end = emit({opcode::jmp, alu_op::add, -1, -1, -1, 0, -1});
+                    out_.code[static_cast<std::size_t>(br_else)].target =
+                        static_cast<int>(out_.code.size());
+                    gen_block(s.else_body);
+                    out_.code[static_cast<std::size_t>(jmp_end)].target =
+                        static_cast<int>(out_.code.size());
+                }
+                break;
+            }
+            case stmt::kind::while_stmt: {
+                int loop_top = static_cast<int>(out_.code.size());
+                int c = gen_expr(s.e);
+                int br_exit = emit({opcode::brz, alu_op::add, -1, c, -1, 0, -1});
+                break_targets_.push_back({});
+                gen_block(s.body);
+                emit({opcode::jmp, alu_op::add, -1, -1, -1, 0, loop_top});
+                int end = static_cast<int>(out_.code.size());
+                out_.code[static_cast<std::size_t>(br_exit)].target = end;
+                for (int b : break_targets_.back())
+                    out_.code[static_cast<std::size_t>(b)].target = end;
+                break_targets_.pop_back();
+                break;
+            }
+            case stmt::kind::break_stmt: {
+                if (break_targets_.empty())
+                    throw std::runtime_error("codegen: break outside loop");
+                break_targets_.back().push_back(
+                    emit({opcode::jmp, alu_op::add, -1, -1, -1, 0, -1}));
+                break;
+            }
+            case stmt::kind::return_stmt: {
+                int v = gen_expr(s.e);
+                emit({opcode::ret, alu_op::add, -1, v, -1, 0, -1});
+                break;
+            }
+            case stmt::kind::call_stmt:
+                throw std::runtime_error("codegen: calls must be inlined first");
+        }
+    }
+
+    void gen_block(const std::vector<stmt>& body) {
+        for (const stmt& s : body) gen_stmt(s);
+    }
+
+    const program& program_;
+    compiled_function out_;
+    int next_reg_ = 0;
+    std::vector<std::vector<int>> break_targets_;
+};
+
+}  // namespace
+
+compiled_function compile_function(const program& p, const function& f) {
+    generator g(p, f);
+    return g.take();
+}
+
+std::string to_string(const instr& i) {
+    std::ostringstream os;
+    switch (i.op) {
+        case opcode::ldi: os << "ldi r" << i.rd << ", #" << i.imm; break;
+        case opcode::mov: os << "mov r" << i.rd << ", r" << i.rs1; break;
+        case opcode::alu: os << "alu" << static_cast<int>(i.aop) << " r" << i.rd << ", r" << i.rs1
+                             << ", r" << i.rs2; break;
+        case opcode::alui: os << "alui" << static_cast<int>(i.aop) << " r" << i.rd << ", r"
+                              << i.rs1 << ", #" << i.imm; break;
+        case opcode::ld: os << "ld r" << i.rd << ", [" << i.imm << "]"; break;
+        case opcode::ldx: os << "ldx r" << i.rd << ", [" << i.imm << " + 4*r" << i.rs1 << "]"; break;
+        case opcode::st: os << "st r" << i.rs1 << ", [" << i.imm << "]"; break;
+        case opcode::stx: os << "stx r" << i.rs1 << ", [" << i.imm << " + 4*r" << i.rs2 << "]"; break;
+        case opcode::brz: os << "brz r" << i.rs1 << ", " << i.target; break;
+        case opcode::brnz: os << "brnz r" << i.rs1 << ", " << i.target; break;
+        case opcode::jmp: os << "jmp " << i.target; break;
+        case opcode::ret: os << "ret r" << i.rs1; break;
+    }
+    return os.str();
+}
+
+}  // namespace sciduction::arch

@@ -1,0 +1,40 @@
+// Mini-C -> SARM code generation.
+//
+// Layout (word = 4 bytes):
+//   code      : instruction i at byte address 4*i (drives the I-cache)
+//   globals   : from global_base upward, arrays contiguous
+//   stack     : locals and parameters in slots from frame_base upward
+//
+// Every local variable read/write goes through its stack slot, so ordinary
+// straight-line code produces the memory traffic that makes the platform's
+// timing environment-dependent — exactly the effect the paper's Fig. 4 toy
+// example illustrates.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "arch/isa.hpp"
+#include "ir/ast.hpp"
+
+namespace sciduction::arch {
+
+struct compiled_function {
+    std::vector<instr> code;
+    /// variable name -> absolute word-aligned byte address of its slot
+    std::unordered_map<std::string, std::uint64_t> slot_address;
+    /// global (scalar or array base) -> absolute byte address
+    std::unordered_map<std::string, std::uint64_t> global_address;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> global_init;  // (addr, value)
+    std::vector<std::string> params;  // argument order
+    unsigned width = 32;
+    int num_registers = 0;
+
+    static constexpr std::uint64_t global_base = 0x1000;
+    static constexpr std::uint64_t frame_base = 0x8000;
+};
+
+/// Compiles one function (loops allowed; calls must be inlined first).
+compiled_function compile_function(const ir::program& p, const ir::function& f);
+
+}  // namespace sciduction::arch

@@ -1,0 +1,55 @@
+// SARM: a small StrongARM-flavoured register machine.
+//
+// This is the *platform* of the timing-analysis application — the
+// environment E of paper Sec. 3, substituting for the SimIt-ARM
+// StrongARM-1100 simulator. It reproduces the microarchitectural phenomena
+// the paper leans on: an in-order pipeline whose instruction cost is
+// path-dependent through I/D caches (an order of magnitude between hit and
+// miss, cf. Fig. 4) and multi-cycle multiply/divide.
+//
+// Deliberately simple: unlimited virtual registers (register pressure is
+// not the phenomenon under study), locals held in stack slots so ordinary
+// code generates real memory traffic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sciduction::arch {
+
+enum class opcode : unsigned char {
+    ldi,    ///< rd <- imm
+    mov,    ///< rd <- rs1
+    alu,    ///< rd <- rs1 (alu_op) rs2
+    alui,   ///< rd <- rs1 (alu_op) imm
+    ld,     ///< rd <- mem[imm]                (direct: stack slot / global scalar)
+    ldx,    ///< rd <- mem[imm + 4*rs1]        (indexed: array element)
+    st,     ///< mem[imm] <- rs1
+    stx,    ///< mem[imm + 4*rs2] <- rs1
+    brz,    ///< if rs1 == 0 goto target
+    brnz,   ///< if rs1 != 0 goto target
+    jmp,    ///< goto target
+    ret     ///< return rs1
+};
+
+enum class alu_op : unsigned char {
+    add, sub, mul, udiv, urem,
+    and_, orr, eor, lsl, lsr,
+    slt, sle, eq, ne,      // signed compare / equality, result 0/1
+    snez, seqz             // normalize to boolean (rs2/imm ignored)
+};
+
+struct instr {
+    opcode op;
+    alu_op aop = alu_op::add;
+    int rd = -1;
+    int rs1 = -1;
+    int rs2 = -1;
+    std::uint64_t imm = 0;
+    int target = -1;  // branch destination (instruction index)
+};
+
+std::string to_string(const instr& i);
+
+}  // namespace sciduction::arch

@@ -1,0 +1,128 @@
+#include "arch/machine.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "ir/interp.hpp"
+
+namespace sciduction::arch {
+
+run_result machine::run(const std::vector<std::uint64_t>& args, machine_state& state,
+                        std::uint64_t max_instructions) const {
+    if (args.size() != prog_.params.size())
+        throw std::runtime_error("machine: arity mismatch");
+    const unsigned w = prog_.width;
+    const std::uint64_t m = ir::value_mask(w);
+
+    std::vector<std::uint64_t> regs(static_cast<std::size_t>(prog_.num_registers), 0);
+    for (std::size_t i = 0; i < args.size(); ++i) regs[i] = args[i] & m;
+    std::unordered_map<std::uint64_t, std::uint64_t> memory;
+    for (const auto& [addr, value] : prog_.global_init) memory[addr] = value & m;
+
+    auto load = [&](std::uint64_t addr) -> std::uint64_t {
+        auto it = memory.find(addr);
+        return it == memory.end() ? 0 : it->second;
+    };
+
+    run_result result;
+    std::size_t pc = 0;
+    for (;;) {
+        if (pc >= prog_.code.size()) throw std::runtime_error("machine: fell off code");
+        if (++result.instructions > max_instructions)
+            throw std::runtime_error("machine: instruction budget exceeded");
+        const instr& i = prog_.code[pc];
+        // Fetch through the I-cache.
+        result.cycles += cfg_.base_cycles;
+        result.cycles += state.icache.access(4 * static_cast<std::uint64_t>(pc)) -
+                         cfg_.icache.hit_cycles;  // hit folds into base cost
+
+        std::size_t next_pc = pc + 1;
+        switch (i.op) {
+            case opcode::ldi: regs[static_cast<std::size_t>(i.rd)] = i.imm & m; break;
+            case opcode::mov:
+                regs[static_cast<std::size_t>(i.rd)] = regs[static_cast<std::size_t>(i.rs1)];
+                break;
+            case opcode::alu:
+            case opcode::alui: {
+                std::uint64_t a = regs[static_cast<std::size_t>(i.rs1)];
+                std::uint64_t b = i.op == opcode::alu ? regs[static_cast<std::size_t>(i.rs2)]
+                                                      : (i.imm & m);
+                std::uint64_t r;
+                switch (i.aop) {
+                    case alu_op::add: r = ir::apply_binop(ir::binop::add, a, b, w); break;
+                    case alu_op::sub: r = ir::apply_binop(ir::binop::sub, a, b, w); break;
+                    case alu_op::mul:
+                        r = ir::apply_binop(ir::binop::mul, a, b, w);
+                        result.cycles += cfg_.mul_extra;
+                        break;
+                    case alu_op::udiv:
+                        r = ir::apply_binop(ir::binop::udiv, a, b, w);
+                        result.cycles += cfg_.div_extra;
+                        break;
+                    case alu_op::urem:
+                        r = ir::apply_binop(ir::binop::urem, a, b, w);
+                        result.cycles += cfg_.div_extra;
+                        break;
+                    case alu_op::and_: r = a & b; break;
+                    case alu_op::orr: r = a | b; break;
+                    case alu_op::eor: r = a ^ b; break;
+                    case alu_op::lsl: r = ir::apply_binop(ir::binop::shl, a, b, w); break;
+                    case alu_op::lsr: r = ir::apply_binop(ir::binop::lshr, a, b, w); break;
+                    case alu_op::slt: r = ir::apply_binop(ir::binop::lt, a, b, w); break;
+                    case alu_op::sle: r = ir::apply_binop(ir::binop::le, a, b, w); break;
+                    case alu_op::eq: r = a == b ? 1 : 0; break;
+                    case alu_op::ne: r = a != b ? 1 : 0; break;
+                    case alu_op::snez: r = a != 0 ? 1 : 0; break;
+                    case alu_op::seqz: r = a == 0 ? 1 : 0; break;
+                    default: throw std::logic_error("machine: bad alu op");
+                }
+                regs[static_cast<std::size_t>(i.rd)] = r;
+                break;
+            }
+            case opcode::ld: {
+                result.cycles += state.dcache.access(i.imm) - 1;
+                regs[static_cast<std::size_t>(i.rd)] = load(i.imm);
+                break;
+            }
+            case opcode::ldx: {
+                std::uint64_t addr = i.imm + 4 * regs[static_cast<std::size_t>(i.rs1)];
+                result.cycles += state.dcache.access(addr) - 1;
+                regs[static_cast<std::size_t>(i.rd)] = load(addr);
+                break;
+            }
+            case opcode::st: {
+                result.cycles += state.dcache.access(i.imm) - 1;
+                memory[i.imm] = regs[static_cast<std::size_t>(i.rs1)];
+                break;
+            }
+            case opcode::stx: {
+                std::uint64_t addr = i.imm + 4 * regs[static_cast<std::size_t>(i.rs2)];
+                result.cycles += state.dcache.access(addr) - 1;
+                memory[addr] = regs[static_cast<std::size_t>(i.rs1)];
+                break;
+            }
+            case opcode::brz:
+                if (regs[static_cast<std::size_t>(i.rs1)] == 0) {
+                    next_pc = static_cast<std::size_t>(i.target);
+                    result.cycles += cfg_.taken_branch_extra;
+                }
+                break;
+            case opcode::brnz:
+                if (regs[static_cast<std::size_t>(i.rs1)] != 0) {
+                    next_pc = static_cast<std::size_t>(i.target);
+                    result.cycles += cfg_.taken_branch_extra;
+                }
+                break;
+            case opcode::jmp:
+                next_pc = static_cast<std::size_t>(i.target);
+                result.cycles += cfg_.taken_branch_extra;
+                break;
+            case opcode::ret:
+                result.return_value = regs[static_cast<std::size_t>(i.rs1)];
+                return result;
+        }
+        pc = next_pc;
+    }
+}
+
+}  // namespace sciduction::arch

@@ -1,0 +1,81 @@
+// SARM execution with cycle-level timing.
+//
+// The machine is the *measurement oracle* of the GameTime application: run a
+// compiled program from a chosen environment state (cache contents) and
+// report the end-to-end cycle count. Functionally it matches the mini-C
+// interpreter bit-for-bit (differentially tested); its timing is where the
+// platform's path- and state-dependence lives:
+//
+//   * every instruction fetch goes through the I-cache,
+//   * ld/st go through the D-cache (an order of magnitude hit/miss gap),
+//   * mul and udiv/urem are multi-cycle,
+//   * taken branches pay a pipeline-refill penalty.
+#pragma once
+
+#include <optional>
+
+#include "arch/cache.hpp"
+#include "arch/codegen.hpp"
+
+namespace sciduction::arch {
+
+struct timing_config {
+    cache_config icache{64, 1, 16, 1, 10};
+    cache_config dcache{32, 2, 16, 1, 12};
+    unsigned base_cycles = 1;        ///< issue cost of any instruction
+    unsigned mul_extra = 2;          ///< extra cycles for mul
+    unsigned div_extra = 34;         ///< extra cycles for udiv/urem
+    unsigned taken_branch_extra = 2; ///< pipeline refill on taken branch
+};
+
+/// The environment state E: cache contents at the start of execution
+/// (paper Sec. 3.1 fixes "a fixed starting state of E" per problem <TA>).
+struct machine_state {
+    cache icache;
+    cache dcache;
+
+    explicit machine_state(const timing_config& cfg)
+        : icache(cfg.icache), dcache(cfg.dcache) {}
+
+    /// Cold caches.
+    static machine_state cold(const timing_config& cfg) { return machine_state(cfg); }
+
+    /// Adversarially perturbed state.
+    static machine_state random(const timing_config& cfg, util::rng& rng, double fill = 0.5) {
+        machine_state s(cfg);
+        s.icache.randomize(rng, 64 * 1024, fill);
+        s.dcache.randomize(rng, 64 * 1024, fill);
+        return s;
+    }
+};
+
+struct run_result {
+    std::uint64_t return_value = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+};
+
+class machine {
+public:
+    machine(const compiled_function& prog, const timing_config& cfg = {})
+        : prog_(prog), cfg_(cfg) {}
+
+    /// Executes from the given environment state (modified in place).
+    /// Throws on runaway execution (instruction budget).
+    run_result run(const std::vector<std::uint64_t>& args, machine_state& state,
+                   std::uint64_t max_instructions = 10'000'000) const;
+
+    /// Convenience: run from a cold state.
+    run_result run_cold(const std::vector<std::uint64_t>& args) const {
+        machine_state s = machine_state::cold(cfg_);
+        return run(args, s);
+    }
+
+    [[nodiscard]] const timing_config& config() const { return cfg_; }
+
+private:
+    const compiled_function& prog_;
+    timing_config cfg_;
+};
+
+}  // namespace sciduction::arch

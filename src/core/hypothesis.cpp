@@ -1,0 +1,27 @@
+#include "core/hypothesis.hpp"
+
+#include <ostream>
+
+namespace sciduction::core {
+
+std::string to_string(guarantee_kind g) {
+    switch (g) {
+        case guarantee_kind::sound: return "sound";
+        case guarantee_kind::sound_and_complete: return "sound and complete";
+        case guarantee_kind::probabilistically_sound: return "probabilistically sound";
+    }
+    return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const soundness_report& r) {
+    os << "structure hypothesis H: " << r.hypothesis.name << "\n"
+       << "  artifact class C_H:   " << r.hypothesis.artifact_class << "\n"
+       << "  valid(H) when:        " << r.hypothesis.validity_condition << "\n"
+       << "  C_H strictly in C_S:  " << (r.hypothesis.strictly_restrictive ? "yes" : "no") << "\n"
+       << "  guarantee:            valid(H) => " << to_string(r.guarantee);
+    if (r.guarantee == guarantee_kind::probabilistically_sound)
+        os << " (confidence >= " << r.confidence << ")";
+    return os;
+}
+
+}  // namespace sciduction::core

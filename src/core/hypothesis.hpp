@@ -1,0 +1,54 @@
+// First-class structure hypotheses and the conditional-soundness contract.
+//
+// Paper Sec. 2.2.1 and 2.3: a sciduction instance is a triple <H, I, D>. H
+// is a (possibly infinite) class of artifacts; its *validity* (Eq. 1) is the
+// assumption under which the procedure is sound (Eq. 2):
+//
+//     valid(H) := (exists c in CS. c |= Psi) => (exists c in CH. c |= Psi)
+//     valid(H) => sound(P)
+//
+// Every synthesis/verification result in this library carries a
+// soundness_report stating exactly which hypothesis was assumed and what
+// guarantee follows, so the paper's conditional-soundness story is visible
+// in the API rather than folklore.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace sciduction::core {
+
+/// Descriptor of a structure hypothesis H (paper Sec. 2.2.1).
+struct structure_hypothesis {
+    /// Short name, e.g. "weight-perturbation model" or "guards are hyperboxes".
+    std::string name;
+    /// The artifact class C_H it induces.
+    std::string artifact_class;
+    /// Circumstances under which valid(H) (Eq. 1) holds.
+    std::string validity_condition;
+    /// Whether C_H is a strict subset of C_S. The paper (Sec. 2.2.4) argues a
+    /// strict restriction is desirable: it is the inductive bias that lets
+    /// the learner generalize beyond the presented examples.
+    bool strictly_restrictive = true;
+};
+
+/// The guarantee attached to a result (paper Sec. 2.3.2).
+enum class guarantee_kind : unsigned char {
+    sound,                  ///< valid(H) => output correct
+    sound_and_complete,     ///< valid(H) => output correct, and exists => found
+    probabilistically_sound ///< valid(H) => correct with prob >= 1 - delta
+};
+
+/// Conditional-soundness report (Eq. 2): the guarantee holds *given* the
+/// hypothesis; the report never claims unconditional soundness.
+struct soundness_report {
+    structure_hypothesis hypothesis;
+    guarantee_kind guarantee = guarantee_kind::sound;
+    /// For probabilistic guarantees: the confidence parameter (1 - delta).
+    double confidence = 1.0;
+};
+
+std::string to_string(guarantee_kind g);
+std::ostream& operator<<(std::ostream& os, const soundness_report& r);
+
+}  // namespace sciduction::core

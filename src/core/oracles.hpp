@@ -1,0 +1,53 @@
+// Oracle interfaces connecting inductive engines I to deductive engines D
+// (paper Sec. 2.2.2 / 2.2.3).
+//
+// The paper lists the query shapes a lightweight deductive engine answers:
+//   - generating examples for the learner,
+//   - generating labels for learner-selected examples,
+//   - synthesizing candidate artifacts consistent with observations.
+// Each shape gets an interface here; concrete engines (the SMT solver, the
+// numerical simulator, the platform timing oracle) implement them via small
+// adapters in the application modules.
+#pragma once
+
+#include <optional>
+
+namespace sciduction::core {
+
+/// A specification available only as input/output behaviour (paper Sec. 4:
+/// "view the obfuscated program as an I/O oracle").
+template <typename Input, typename Output>
+class io_oracle {
+public:
+    virtual ~io_oracle() = default;
+    virtual Output query(const Input& input) = 0;
+};
+
+/// Labels learner-selected examples, e.g. "is this switching state safe?"
+/// (paper Sec. 5: the numerical simulator as reachability oracle).
+template <typename Example>
+class label_oracle {
+public:
+    virtual ~label_oracle() = default;
+    virtual bool label(const Example& example) = 0;
+};
+
+/// Answers "does there exist ...?" queries with a witness, e.g. SMT-based
+/// test generation for basis paths (paper Sec. 3).
+template <typename Query, typename Witness>
+class witness_oracle {
+public:
+    virtual ~witness_oracle() = default;
+    virtual std::optional<Witness> find_witness(const Query& query) = 0;
+};
+
+/// Measures a numeric quantity of a concrete execution, e.g. end-to-end
+/// cycle counts on the platform (paper Sec. 3's only interface to E).
+template <typename Input>
+class measurement_oracle {
+public:
+    virtual ~measurement_oracle() = default;
+    virtual std::uint64_t measure(const Input& input) = 0;
+};
+
+}  // namespace sciduction::core

@@ -1,0 +1,109 @@
+// Multi-modal dynamical systems and hybrid automata (paper Sec. 5).
+//
+// An MDS is a plant with several operating modes, each mode a system of
+// ODEs; the switching logic — guards on the transitions between modes — is
+// the artifact to be synthesized. Guards are axis-aligned hyperboxes with
+// vertices on a discrete grid: that is the structure hypothesis H, valid
+// when intra-mode dynamics are monotone and values are recorded at finite
+// precision (paper Sec. 5.2).
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace sciduction::hybrid {
+
+using state = std::vector<double>;
+
+/// Axis-aligned hyperbox; empty when any lo > hi.
+struct box {
+    std::vector<double> lo;
+    std::vector<double> hi;
+
+    static box whole(std::size_t dim, double bound = 1e18) {
+        box b;
+        b.lo.assign(dim, -bound);
+        b.hi.assign(dim, bound);
+        return b;
+    }
+    static box empty_box(std::size_t dim) {
+        box b;
+        b.lo.assign(dim, 1.0);
+        b.hi.assign(dim, 0.0);
+        return b;
+    }
+
+    [[nodiscard]] std::size_t dim() const { return lo.size(); }
+
+    [[nodiscard]] bool empty() const {
+        for (std::size_t d = 0; d < lo.size(); ++d)
+            if (lo[d] > hi[d]) return true;
+        return lo.empty();
+    }
+
+    [[nodiscard]] bool contains(const state& x) const {
+        for (std::size_t d = 0; d < lo.size(); ++d)
+            if (x[d] < lo[d] || x[d] > hi[d]) return false;
+        return !lo.empty();
+    }
+
+    [[nodiscard]] state center() const {
+        state c(lo.size());
+        for (std::size_t d = 0; d < lo.size(); ++d) c[d] = (lo[d] + hi[d]) / 2;
+        return c;
+    }
+
+    [[nodiscard]] bool operator==(const box& o) const { return lo == o.lo && hi == o.hi; }
+};
+
+/// Vector field dx/dt = f(x) of one mode.
+using vector_field = std::function<void(const state& x, state& dxdt)>;
+
+struct mode {
+    std::string name;
+    vector_field dynamics;
+};
+
+struct transition {
+    std::string name;
+    int from = -1;
+    int to = -1;
+    box guard;
+    /// Pinned guards (e.g. the paper's g1ND := phi_S and theta = theta_max
+    /// and omega = 0) are never shrunk by the synthesizer.
+    bool pinned = false;
+};
+
+/// Mode-indexed safety predicate: phi_S may mention mode-local quantities
+/// (the transmission's efficiency eta depends on the engaged gear).
+using safety_predicate = std::function<bool(int mode_index, const state& x)>;
+
+struct mds {
+    std::size_t dim = 0;
+    std::vector<mode> modes;
+    std::vector<transition> transitions;
+    safety_predicate safe;
+
+    [[nodiscard]] std::vector<int> exits_of(int mode_index) const {
+        std::vector<int> out;
+        for (std::size_t i = 0; i < transitions.size(); ++i)
+            if (transitions[i].from == mode_index) out.push_back(static_cast<int>(i));
+        return out;
+    }
+
+    [[nodiscard]] int find_transition(const std::string& name) const {
+        for (std::size_t i = 0; i < transitions.size(); ++i)
+            if (transitions[i].name == name) return static_cast<int>(i);
+        return -1;
+    }
+
+    [[nodiscard]] int find_mode(const std::string& name) const {
+        for (std::size_t i = 0; i < modes.size(); ++i)
+            if (modes[i].name == name) return static_cast<int>(i);
+        return -1;
+    }
+};
+
+}  // namespace sciduction::hybrid

@@ -1,0 +1,70 @@
+#include "hybrid/simulate.hpp"
+
+namespace sciduction::hybrid {
+
+void rk4_step(const vector_field& f, state& x, double dt) {
+    const std::size_t n = x.size();
+    state k1(n), k2(n), k3(n), k4(n), tmp(n);
+    f(x, k1);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = x[i] + dt / 2 * k1[i];
+    f(tmp, k2);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = x[i] + dt / 2 * k2[i];
+    f(tmp, k3);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = x[i] + dt * k3[i];
+    f(tmp, k4);
+    for (std::size_t i = 0; i < n; ++i)
+        x[i] += dt / 6 * (k1[i] + 2 * k2[i] + 2 * k3[i] + k4[i]);
+}
+
+sim_result simulate_in_mode(const mds& system, int mode_index, const state& x0,
+                            const sim_config& cfg) {
+    sim_result result;
+    result.final_state = x0;
+    const auto exits = system.exits_of(mode_index);
+    const auto& dynamics = system.modes[static_cast<std::size_t>(mode_index)].dynamics;
+
+    state x = x0;
+    double t = 0;
+    for (;;) {
+        if (!system.safe(mode_index, x)) {
+            result.outcome = sim_outcome::unsafe;
+            break;
+        }
+        if (t >= cfg.min_dwell) {
+            int fired = -1;
+            for (int e : exits) {
+                const transition& tr = system.transitions[static_cast<std::size_t>(e)];
+                if (!tr.guard.empty() && tr.guard.contains(x)) {
+                    fired = e;
+                    break;
+                }
+            }
+            if (fired >= 0) {
+                result.outcome = sim_outcome::reached_exit;
+                result.exit_transition = fired;
+                break;
+            }
+        }
+        if (t >= cfg.t_max) {
+            result.outcome = sim_outcome::safe_timeout;
+            break;
+        }
+        rk4_step(dynamics, x, cfg.dt);
+        t += cfg.dt;
+        ++result.steps;
+    }
+    result.time = t;
+    result.final_state = x;
+    return result;
+}
+
+bool label_entry_state(const mds& system, int mode_index, const state& x,
+                       const sim_config& cfg) {
+    sim_result r = simulate_in_mode(system, mode_index, x, cfg);
+    // safe_timeout counts as safe: the trajectory never leaves the safe set
+    // within the horizon (safety-only labelling; liveness is not part of
+    // phi_S — see paper Sec. 5.1).
+    return r.outcome != sim_outcome::unsafe;
+}
+
+}  // namespace sciduction::hybrid

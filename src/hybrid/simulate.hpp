@@ -1,0 +1,54 @@
+// Numerical simulation of intra-mode continuous dynamics — the *deductive
+// engine* of the switching-logic application (paper Sec. 5.2: "the
+// deductive engine in our sciductive approach is a numerical simulator that
+// can handle the dynamics in each mode", answering the reachability query
+// "if we enter m in state s and follow its dynamics, will the trajectory
+// visit only safe states until some exit guard becomes true?").
+//
+// Classic fixed-step RK4; on these smooth low-dimensional systems the
+// integration error is orders of magnitude below the guard grid, which is
+// what "ideal simulator" requires in practice.
+#pragma once
+
+#include "hybrid/mds.hpp"
+
+namespace sciduction::hybrid {
+
+struct sim_config {
+    double dt = 1e-3;
+    double t_max = 300.0;
+    /// Minimum dwell time: exit guards are only consulted at t >= min_dwell
+    /// (paper Sec. 5.4's "at least 5 seconds in each gear" variant; 0 for
+    /// the pure safety problem).
+    double min_dwell = 0.0;
+};
+
+/// One RK4 step of the mode's vector field.
+void rk4_step(const vector_field& f, state& x, double dt);
+
+enum class sim_outcome : unsigned char {
+    reached_exit,   ///< trajectory stayed safe until some exit guard held
+    unsafe,         ///< safety violated before any exit became available
+    safe_timeout    ///< stayed safe for the whole horizon without exiting
+};
+
+struct sim_result {
+    sim_outcome outcome = sim_outcome::safe_timeout;
+    double time = 0;      ///< when the run ended
+    state final_state;
+    int exit_transition = -1;  ///< which exit fired (reached_exit only)
+    std::uint64_t steps = 0;
+};
+
+/// Simulates within mode `mode_index` from x0. Exit guards are read from
+/// the MDS's *current* transition guards (the synthesis fixpoint mutates
+/// them between calls).
+sim_result simulate_in_mode(const mds& system, int mode_index, const state& x0,
+                            const sim_config& cfg);
+
+/// Label oracle for switching states (deductive engine D as a
+/// core::label_oracle): positive iff entering the mode at x is safe.
+bool label_entry_state(const mds& system, int mode_index, const state& x,
+                       const sim_config& cfg);
+
+}  // namespace sciduction::hybrid

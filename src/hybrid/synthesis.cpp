@@ -1,0 +1,80 @@
+#include "hybrid/synthesis.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace sciduction::hybrid {
+
+namespace {
+
+/// Grid-quantized box equality: corners are compared by grid index so that
+/// floating-point noise from re-learning an unchanged guard cannot keep the
+/// fixpoint loop spinning (or slowly erode the guards).
+bool boxes_equal_on_grid(const box& a, const box& b, const std::vector<double>& grid) {
+    if (a.empty() || b.empty()) return a.empty() == b.empty();
+    if (a.dim() != b.dim()) return false;
+    for (std::size_t d = 0; d < a.dim(); ++d) {
+        double g = d < grid.size() && grid[d] > 0 ? grid[d] : 1e-9;
+        for (auto [x, y] : {std::pair{a.lo[d], b.lo[d]}, std::pair{a.hi[d], b.hi[d]}}) {
+            if (!std::isfinite(x) || !std::isfinite(y)) {
+                if (x != y) return false;  // infinities compare exactly
+            } else if (std::llround(x / g) != std::llround(y / g)) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
+synthesis_result synthesize_switching_logic(mds& system, const synthesis_config& cfg) {
+    synthesis_result result;
+    result.report.hypothesis = hyperbox_guard_hypothesis(cfg.learner.grid.empty()
+                                                             ? 0.0
+                                                             : cfg.learner.grid.front());
+    result.report.guarantee = core::guarantee_kind::sound_and_complete;
+
+    learner_stats stats;
+    for (result.passes = 1; result.passes <= cfg.max_passes; ++result.passes) {
+        bool changed = false;
+        for (auto& tr : system.transitions) {
+            if (tr.pinned || tr.guard.empty()) continue;
+            // Label oracle: is entering the *target* mode at x safe, given
+            // the current guards everywhere else? (Gauss-Seidel: freshly
+            // shrunk guards are visible immediately.)
+            label_fn label = [&](const state& x) {
+                return label_entry_state(system, tr.to, x, cfg.sim);
+            };
+            box learned = learn_guard(tr.guard, label, cfg.learner, stats);
+            if (!boxes_equal_on_grid(learned, tr.guard, cfg.learner.grid)) {
+                tr.guard = learned;
+                changed = true;
+            }
+        }
+        if (!changed) {
+            result.converged = true;
+            break;
+        }
+    }
+    result.simulator_queries = stats.queries;
+    result.guards.reserve(system.transitions.size());
+    for (const auto& tr : system.transitions) result.guards.push_back(tr.guard);
+    return result;
+}
+
+core::structure_hypothesis hyperbox_guard_hypothesis(double grid) {
+    std::ostringstream grid_str;
+    grid_str << grid;
+    return {
+        .name = "guards are hyperboxes on a discrete grid",
+        .artifact_class = "hybrid automata whose transition guards are axis-aligned hyperboxes "
+                          "with vertices on a grid of resolution " + grid_str.str(),
+        .validity_condition = "intra-mode dynamics vary monotonically within a mode and state "
+                              "values are recorded at the grid's finite precision "
+                              "(paper Sec. 5.2); simulator assumed ideal",
+        .strictly_restrictive = true,
+    };
+}
+
+}  // namespace sciduction::hybrid

@@ -1,0 +1,46 @@
+// Switching-logic synthesis for safety (paper Sec. 5).
+//
+// Overall shape (Sec. 5.2): "a fixpoint computation loop that initializes
+// each guard with an overapproximate hyperbox, and then iteratively shrinks
+// entry guards using the hyperbox learning algorithm that selects states,
+// queries the simulator for labels, and then infers a smaller hyperbox from
+// the resulting labeled states."
+//
+// Conditional guarantee (Sec. 5.3): with a valid structure hypothesis
+// (guards are grid hyperboxes; monotone intra-mode dynamics) and an ideal
+// simulator, the procedure is sound and complete. With either assumption
+// broken it degrades to best-effort — the report says so.
+#pragma once
+
+#include "core/hypothesis.hpp"
+#include "hybrid/learner.hpp"
+#include "hybrid/simulate.hpp"
+
+namespace sciduction::hybrid {
+
+struct synthesis_config {
+    sim_config sim;
+    learner_config learner;
+    int max_passes = 16;
+};
+
+struct synthesis_result {
+    bool converged = false;
+    int passes = 0;
+    std::uint64_t simulator_queries = 0;  ///< deductive-engine workload
+    /// Guards indexed like mds::transitions (also written back into the mds).
+    std::vector<box> guards;
+    core::soundness_report report;
+};
+
+/// Runs the Gauss-Seidel fixpoint: each pass re-learns every non-pinned
+/// guard against the *current* guards of all other transitions; stops when
+/// a full pass changes nothing. Guards only shrink, so termination is
+/// guaranteed on a finite grid. The mds's transition guards are updated in
+/// place (they are both the artifact and the working state).
+synthesis_result synthesize_switching_logic(mds& system, const synthesis_config& cfg);
+
+/// The structure hypothesis H of this application, for reporting.
+core::structure_hypothesis hyperbox_guard_hypothesis(double grid);
+
+}  // namespace sciduction::hybrid

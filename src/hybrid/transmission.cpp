@@ -1,0 +1,222 @@
+#include "hybrid/transmission.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace sciduction::hybrid {
+
+namespace {
+
+constexpr double gear_centers[4] = {0, 10, 20, 30};
+
+int gear_of_mode(int mode_index) {
+    // 0: N, 1..3: G1U..G3U, 4..6: G1D..G3D
+    if (mode_index == 0) return 0;
+    return mode_index <= 3 ? mode_index : mode_index - 3;
+}
+
+bool is_up_mode(int mode_index) { return mode_index >= 1 && mode_index <= 3; }
+
+}  // namespace
+
+double transmission_efficiency(int gear, double omega) {
+    if (gear < 1 || gear > 3) return 0.0;
+    double delta = omega - gear_centers[gear];
+    return 0.99 * std::exp(-delta * delta / 64.0) + 0.01;
+}
+
+mds build_transmission(const transmission_params& params) {
+    mds system;
+    system.dim = 2;
+
+    auto gear_dynamics = [](int gear, double throttle) {
+        return [gear, throttle](const state& x, state& dx) {
+            dx[0] = x[1];  // theta_dot = omega
+            dx[1] = transmission_efficiency(gear, x[1]) * throttle;
+        };
+    };
+    system.modes.push_back({"N", [](const state&, state& dx) {
+                                dx[0] = 0;
+                                dx[1] = 0;
+                            }});
+    system.modes.push_back({"G1U", gear_dynamics(1, params.u)});
+    system.modes.push_back({"G2U", gear_dynamics(2, params.u)});
+    system.modes.push_back({"G3U", gear_dynamics(3, params.u)});
+    system.modes.push_back({"G1D", gear_dynamics(1, params.d)});
+    system.modes.push_back({"G2D", gear_dynamics(2, params.d)});
+    system.modes.push_back({"G3D", gear_dynamics(3, params.d)});
+
+    const double cap = params.omega_cap;
+    system.safe = [cap](int mode_index, const state& x) {
+        double omega = x[1];
+        if (omega < 0 || omega > cap) return false;
+        int gear = gear_of_mode(mode_index);
+        if (gear == 0) return true;  // neutral: only the speed envelope applies
+        if (omega >= 5.0 && transmission_efficiency(gear, omega) < 0.5) return false;
+        return true;
+    };
+
+    // Overapproximate initial guards: omega in [0, 60], theta unconstrained
+    // ("all the other guards are initialized to 0 <= omega <= 60" — guards
+    // are intervals over speed only).
+    box over;
+    over.lo = {-std::numeric_limits<double>::infinity(), 0.0};
+    over.hi = {std::numeric_limits<double>::infinity(), cap};
+
+    const int n = 0;
+    const int g1u = 1;
+    const int g2u = 2;
+    const int g3u = 3;
+    const int g1d = 4;
+    const int g2d = 5;
+    const int g3d = 6;
+    auto add = [&](const std::string& name, int from, int to) {
+        system.transitions.push_back({name, from, to, over, false});
+    };
+    add("gN1U", n, g1u);
+    add("g11U", g1d, g1u);
+    add("g12U", g1u, g2u);
+    add("g22U", g2d, g2u);
+    add("g23U", g2u, g3u);
+    add("g33U", g3d, g3u);
+    add("g33D", g3u, g3d);
+    add("g32D", g3d, g2d);
+    add("g22D", g2u, g2d);
+    add("g21D", g2d, g1d);
+    add("g11D", g1u, g1d);
+    // g1ND pinned to phi_S and theta = theta_max and omega = 0.
+    box goal;
+    goal.lo = {params.theta_max, 0.0};
+    goal.hi = {params.theta_max, 0.0};
+    system.transitions.push_back({"g1ND", g1d, n, goal, true});
+    return system;
+}
+
+fig10_result run_fig10_trace(const mds& system, const transmission_params& params,
+                             double min_dwell, double sample_every) {
+    // The supervisor resolves the remaining nondeterminism of the
+    // synthesized automaton: it follows the gear sequence of Fig. 10,
+    // taking a transition only when the synthesized guard holds (and after
+    // the dwell requirement). In G3 it cruises by oscillating between G3U
+    // and G3D until close enough to theta_max to begin the final descent.
+    fig10_result out;
+    auto guard_of = [&](const char* name) -> const box& {
+        int t = system.find_transition(name);
+        if (t < 0) throw std::logic_error("run_fig10_trace: missing transition");
+        return system.transitions[static_cast<std::size_t>(t)].guard;
+    };
+
+    // Estimate the distance of the final descent 36.7 -> 0 so the cruise
+    // knows when to stop: simulate G3D/G2D/G1D descent once.
+    auto descend_distance = [&](double omega0) {
+        state x{0.0, omega0};
+        double t = 0;
+        int mode = 6;  // G3D
+        const double dt = 1e-3;
+        double dwell = min_dwell;  // pretend dwell satisfied at entry of first mode
+        while (x[1] > 1e-3 && t < 500.0) {
+            if (dwell >= min_dwell) {
+                if (mode == 6 && guard_of("g32D").contains(x)) { mode = 5; dwell = 0; }
+                else if (mode == 5 && guard_of("g21D").contains(x)) { mode = 4; dwell = 0; }
+            }
+            rk4_step(system.modes[static_cast<std::size_t>(mode)].dynamics, x, dt);
+            t += dt;
+            dwell += dt;
+        }
+        return x[0];
+    };
+    const double descent = descend_distance(guard_of("g33D").hi[1]);
+
+    state x{0.0, 0.0};
+    int mode = 0;  // N
+    double t = 0;
+    double dwell_in_mode = 0;
+    double next_sample = 0;
+    const double dt = 1e-3;
+    double min_gear_dwell = 1e18;
+    bool descending = false;
+    out.mode_sequence.push_back("N");
+
+    auto switch_to = [&](int next_mode, const char* /*via*/) {
+        if (mode != 0) min_gear_dwell = std::min(min_gear_dwell, dwell_in_mode);
+        mode = next_mode;
+        dwell_in_mode = 0;
+        out.mode_sequence.push_back(system.modes[static_cast<std::size_t>(next_mode)].name);
+    };
+
+    const double horizon = 600.0;
+    while (t < horizon) {
+        if (!system.safe(mode, x)) {
+            out.safety_held = false;
+            break;
+        }
+        if (t >= next_sample) {
+            out.samples.push_back(
+                {t, mode, x[0], x[1], transmission_efficiency(gear_of_mode(mode), x[1])});
+            next_sample += sample_every;
+        }
+
+        bool dwell_ok = mode == 0 || dwell_in_mode >= min_dwell;
+        if (dwell_ok) {
+            // Begin the final descent when the remaining distance matches.
+            if (!descending && x[0] >= params.theta_max - descent) descending = true;
+            switch (mode) {
+                case 0:  // N
+                    if (guard_of("gN1U").contains(x)) switch_to(1, "gN1U");
+                    break;
+                case 1:  // G1U: upshift near the top of gear 1's efficient band
+                    if (x[1] >= guard_of("g11D").hi[1] - 0.05 && guard_of("g12U").contains(x))
+                        switch_to(2, "g12U");
+                    break;
+                case 2:  // G2U
+                    if (x[1] >= guard_of("g22D").hi[1] - 0.05 && guard_of("g23U").contains(x))
+                        switch_to(3, "g23U");
+                    break;
+                case 3:  // G3U: at the band top, drop to G3D (cruise or descend)
+                    if (x[1] >= guard_of("g33D").hi[1] - 0.05 && guard_of("g33D").contains(x))
+                        switch_to(6, "g33D");
+                    break;
+                case 6:  // G3D
+                    if (descending) {
+                        if (x[1] <= guard_of("g32D").hi[1] - 0.05 &&
+                            guard_of("g32D").contains(x))
+                            switch_to(5, "g32D");
+                    } else if (x[1] <= guard_of("g33U").hi[1] - 3.0 &&
+                               guard_of("g33U").contains(x)) {
+                        switch_to(3, "g33U");  // cruise: bounce back up
+                    }
+                    break;
+                case 5:  // G2D
+                    if (x[1] <= guard_of("g21D").hi[1] - 0.05 && guard_of("g21D").contains(x))
+                        switch_to(4, "g21D");
+                    break;
+                case 4:  // G1D: stop when speed reaches zero
+                    if (x[1] <= 1e-3) {
+                        min_gear_dwell = std::min(min_gear_dwell, dwell_in_mode);
+                        out.reached_goal = std::abs(x[0] - params.theta_max) <=
+                                           0.05 * params.theta_max;
+                        mode = 0;
+                        out.mode_sequence.push_back("N");
+                        t += dt;
+                        out.samples.push_back({t, 0, x[0], x[1], 0.0});
+                        out.final_theta = x[0];
+                        out.total_time = t;
+                        out.min_mode_dwell = min_gear_dwell;
+                        return out;
+                    }
+                    break;
+                default: break;
+            }
+        }
+        rk4_step(system.modes[static_cast<std::size_t>(mode)].dynamics, x, dt);
+        t += dt;
+        dwell_in_mode += dt;
+    }
+    out.final_theta = x[0];
+    out.total_time = t;
+    out.min_mode_dwell = min_gear_dwell == 1e18 ? 0 : min_gear_dwell;
+    return out;
+}
+
+}  // namespace sciduction::hybrid

@@ -1,0 +1,62 @@
+// The 3-gear automatic transmission of paper Fig. 9 and its Fig. 10
+// experiment.
+//
+// Seven modes: Neutral plus {G1,G2,G3} x {accelerating U, decelerating D}.
+// In gear i:   theta_dot = omega,  omega_dot = eta_i(omega) * u (U) or * d (D)
+// with transmission efficiency eta_i(omega) = 0.99 e^{-(omega-a_i)^2/64} + 0.01,
+// a = (10, 20, 30). Safety phi_S = (omega >= 5 => eta >= 0.5) and
+// 0 <= omega <= 60. The switching logic to synthesize: 12 guards
+// (gN1U, g11U, g12U, g22U, g23U, g33U, g33D, g32D, g22D, g21D, g11D, g1ND),
+// g1ND pinned to phi_S and theta = theta_max and omega = 0.
+#pragma once
+
+#include <vector>
+
+#include "hybrid/synthesis.hpp"
+
+namespace sciduction::hybrid {
+
+struct transmission_params {
+    double u = 1.0;    ///< throttle while accelerating
+    double d = -1.0;   ///< throttle while decelerating
+    double theta_max = 1700.0;
+    double theta_bound = 4000.0;  ///< overapproximation bound for guards' theta range
+    double omega_cap = 60.0;
+};
+
+/// Gear efficiency eta_i (i in 1..3).
+double transmission_efficiency(int gear, double omega);
+
+/// State layout: x[0] = theta (distance), x[1] = omega (speed).
+/// Builds the MDS with overapproximate initial guards (omega in [0, 60],
+/// theta unconstrained; g1ND pinned to the paper's initialization).
+mds build_transmission(const transmission_params& params = {});
+
+/// One sample of the Fig. 10 time series.
+struct trace_sample {
+    double t = 0;
+    int mode = 0;
+    double theta = 0;
+    double omega = 0;
+    double eta = 0;  ///< efficiency of the engaged gear (0 in Neutral)
+};
+
+struct fig10_result {
+    std::vector<trace_sample> samples;
+    bool safety_held = true;     ///< phi_S along the whole trace
+    bool reached_goal = false;   ///< theta ~= theta_max with omega ~= 0
+    double final_theta = 0;
+    double total_time = 0;
+    std::vector<std::string> mode_sequence;
+    double min_mode_dwell = 0;   ///< shortest stay in any gear mode (Eq. 4 check)
+};
+
+/// Drives the synthesized hybrid automaton through the gear sequence
+/// N -> G1U -> G2U -> G3U (cruise) -> G3D -> G2D -> G1D -> N, switching only
+/// when the corresponding synthesized guard holds, and records the
+/// efficiency/speed series of Fig. 10. `min_dwell` delays switches for the
+/// dwell-time variant.
+fig10_result run_fig10_trace(const mds& system, const transmission_params& params,
+                             double min_dwell = 0.0, double sample_every = 0.25);
+
+}  // namespace sciduction::hybrid

@@ -1,0 +1,136 @@
+// Abstract syntax for "mini-C", the small imperative language the paper's
+// software applications run on.
+//
+// Mini-C covers the shapes appearing in the paper: the modexp kernel of
+// Fig. 6, the toy cache example of Fig. 4, and the (de)obfuscation
+// benchmarks of Fig. 8 (while(1)/break loops, XOR tricks, shifts). All
+// values are fixed-width bit-vectors (program-wide width, default 32) with
+// wrap-around arithmetic; `/` and `%` are unsigned with SMT-LIB
+// division-by-zero semantics so the interpreter, the symbolic executor and
+// the SMT backend agree on every input.
+//
+// Nodes are value types (deep copies) so program transformations — loop
+// unrolling, function inlining — are plain tree rewrites.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sciduction::ir {
+
+enum class binop : unsigned char {
+    add, sub, mul, udiv, urem,
+    band, bor, bxor, shl, lshr,
+    lt, le, gt, ge, eq, ne,   // signed comparisons, boolean result (0/1)
+    land, lor                 // logical, short-circuit in the interpreter
+};
+
+enum class unop : unsigned char { neg, bnot, lnot };
+
+struct expr {
+    enum class kind : unsigned char { num, var, binary, unary, ternary, index } k = kind::num;
+
+    std::uint64_t value = 0;   // num
+    std::string name;          // var / index (array name)
+    binop bop = binop::add;    // binary
+    unop uop = unop::neg;      // unary
+    std::vector<expr> args;    // binary [lhs,rhs]; unary [operand];
+                               // ternary [cond,then,else]; index [subscript]
+
+    static expr number(std::uint64_t v) {
+        expr e;
+        e.k = kind::num;
+        e.value = v;
+        return e;
+    }
+    static expr variable(std::string n) {
+        expr e;
+        e.k = kind::var;
+        e.name = std::move(n);
+        return e;
+    }
+    static expr binary(binop op, expr lhs, expr rhs) {
+        expr e;
+        e.k = kind::binary;
+        e.bop = op;
+        e.args = {std::move(lhs), std::move(rhs)};
+        return e;
+    }
+    static expr unary(unop op, expr operand) {
+        expr e;
+        e.k = kind::unary;
+        e.uop = op;
+        e.args = {std::move(operand)};
+        return e;
+    }
+    static expr ternary(expr c, expr t, expr f) {
+        expr e;
+        e.k = kind::ternary;
+        e.args = {std::move(c), std::move(t), std::move(f)};
+        return e;
+    }
+    static expr index(std::string array, expr subscript) {
+        expr e;
+        e.k = kind::index;
+        e.name = std::move(array);
+        e.args = {std::move(subscript)};
+        return e;
+    }
+};
+
+struct stmt {
+    enum class kind : unsigned char {
+        decl,     ///< int x = e;
+        assign,   ///< x = e;
+        store,    ///< a[i] = e;
+        if_stmt,  ///< if (cond) body else else_body
+        while_stmt,  ///< while (cond) [bound N] body
+        return_stmt,
+        break_stmt,
+        call_stmt  ///< x = f(args);  (value-returning call, inlined before CFG)
+    } k = kind::assign;
+
+    std::string name;      // decl/assign target; store array; call result target
+    std::string callee;    // call_stmt
+    expr e;                // decl init / assign rhs / store value / return value / if & while cond
+    expr idx;              // store subscript
+    std::vector<expr> call_args;
+    std::vector<stmt> body;       // if-then / while body
+    std::vector<stmt> else_body;  // if-else
+    std::optional<unsigned> bound;  // while: static unroll bound annotation
+};
+
+struct function {
+    std::string name;
+    std::vector<std::string> params;
+    std::vector<stmt> body;
+};
+
+/// A global scalar or array with initial contents.
+struct global_decl {
+    std::string name;
+    bool is_array = false;
+    std::size_t size = 1;
+    std::vector<std::uint64_t> init;  // size() entries (scalars: 1)
+};
+
+struct program {
+    unsigned width = 32;  ///< bit-width of every value
+    std::vector<global_decl> globals;
+    std::vector<function> functions;
+
+    [[nodiscard]] const function* find_function(const std::string& name) const {
+        for (const auto& f : functions)
+            if (f.name == name) return &f;
+        return nullptr;
+    }
+    [[nodiscard]] const global_decl* find_global(const std::string& name) const {
+        for (const auto& g : globals)
+            if (g.name == name) return &g;
+        return nullptr;
+    }
+};
+
+}  // namespace sciduction::ir

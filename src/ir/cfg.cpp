@@ -1,0 +1,297 @@
+#include "ir/cfg.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace sciduction::ir {
+
+namespace {
+
+/// Mutable builder state; converted into the immutable cfg at the end.
+struct builder {
+    std::vector<basic_block> blocks;
+    std::vector<cfg_edge> edges;
+    int sink;
+
+    builder() {
+        blocks.emplace_back();  // 0: source/entry
+        blocks.emplace_back();  // 1: sink
+        sink = 1;
+    }
+
+    int new_block() {
+        blocks.emplace_back();
+        return static_cast<int>(blocks.size()) - 1;
+    }
+
+    void add_edge(int from, int to, const expr* cond = nullptr, bool polarity = true,
+                  const expr* ret = nullptr) {
+        edges.push_back({from, to, cond, polarity, ret});
+    }
+
+    /// Lays out `body` starting in block `entry`; returns the block holding
+    /// the fall-through end, or -1 if every path returned.
+    int build_seq(const std::vector<stmt>& body, int entry) {
+        int cur = entry;
+        for (const stmt& s : body) {
+            if (cur < 0) break;  // unreachable tail after return-on-all-paths
+            switch (s.k) {
+                case stmt::kind::decl:
+                case stmt::kind::assign:
+                case stmt::kind::store:
+                    blocks[static_cast<std::size_t>(cur)].stmts.push_back(&s);
+                    break;
+                case stmt::kind::if_stmt: {
+                    int then_entry = new_block();
+                    add_edge(cur, then_entry, &s.e, true);
+                    int then_exit = build_seq(s.body, then_entry);
+                    int else_entry = new_block();
+                    add_edge(cur, else_entry, &s.e, false);
+                    int else_exit = build_seq(s.else_body, else_entry);
+                    if (then_exit < 0 && else_exit < 0) {
+                        cur = -1;
+                        break;
+                    }
+                    int join = new_block();
+                    if (then_exit >= 0) add_edge(then_exit, join);
+                    if (else_exit >= 0) add_edge(else_exit, join);
+                    cur = join;
+                    break;
+                }
+                case stmt::kind::return_stmt:
+                    add_edge(cur, sink, nullptr, true, &s.e);
+                    cur = -1;
+                    break;
+                case stmt::kind::while_stmt:
+                    throw std::runtime_error("cfg: loops must be unrolled first");
+                case stmt::kind::call_stmt:
+                    throw std::runtime_error("cfg: calls must be inlined first");
+                case stmt::kind::break_stmt:
+                    throw std::runtime_error("cfg: stray break");
+            }
+        }
+        return cur;
+    }
+};
+
+}  // namespace
+
+cfg cfg::build(const program& p, const function& f) {
+    cfg g;
+    g.program_ = &p;
+    g.function_ = f;
+    // Guarantee a trailing return so no path falls off the end.
+    if (g.function_.body.empty() || g.function_.body.back().k != stmt::kind::return_stmt) {
+        stmt ret;
+        ret.k = stmt::kind::return_stmt;
+        ret.e = expr::number(0);
+        g.function_.body.push_back(ret);
+    }
+
+    builder b;
+    int exit = b.build_seq(g.function_.body, 0);
+    if (exit >= 0)
+        throw std::logic_error("cfg: trailing return missing after normalization");
+
+    // Prune unreachable blocks (e.g. joins after branches that both return)
+    // and renumber blocks/edges densely.
+    const std::size_t n = b.blocks.size();
+    std::vector<char> reachable(n, 0);
+    std::vector<int> work{0};
+    reachable[0] = 1;
+    std::vector<std::vector<int>> out(n);
+    for (std::size_t i = 0; i < b.edges.size(); ++i)
+        out[static_cast<std::size_t>(b.edges[i].from)].push_back(static_cast<int>(i));
+    while (!work.empty()) {
+        int blk = work.back();
+        work.pop_back();
+        for (int eid : out[static_cast<std::size_t>(blk)]) {
+            int to = b.edges[static_cast<std::size_t>(eid)].to;
+            if (reachable[static_cast<std::size_t>(to)] == 0) {
+                reachable[static_cast<std::size_t>(to)] = 1;
+                work.push_back(to);
+            }
+        }
+    }
+    std::vector<int> remap(n, -1);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (reachable[i] != 0) {
+            remap[i] = static_cast<int>(g.blocks_.size());
+            g.blocks_.push_back(std::move(b.blocks[i]));
+        }
+    }
+    for (const cfg_edge& e : b.edges) {
+        if (reachable[static_cast<std::size_t>(e.from)] == 0) continue;
+        cfg_edge ne = e;
+        ne.from = remap[static_cast<std::size_t>(e.from)];
+        ne.to = remap[static_cast<std::size_t>(e.to)];
+        g.edges_.push_back(ne);
+    }
+    g.source_ = 0;
+    g.sink_ = remap[static_cast<std::size_t>(b.sink)];
+    if (g.sink_ < 0) throw std::logic_error("cfg: sink unreachable");
+
+    g.out_edges_.assign(g.blocks_.size(), {});
+    for (std::size_t i = 0; i < g.edges_.size(); ++i)
+        g.out_edges_[static_cast<std::size_t>(g.edges_[i].from)].push_back(static_cast<int>(i));
+    return g;
+}
+
+std::uint64_t cfg::count_paths() const {
+    // DAG dynamic programming from the sink backwards, in reverse
+    // topological order obtained by DFS.
+    std::vector<int> order;
+    std::vector<char> state(blocks_.size(), 0);  // 0 new, 1 open, 2 done
+    std::vector<std::pair<int, std::size_t>> stack{{source_, 0}};
+    state[static_cast<std::size_t>(source_)] = 1;
+    while (!stack.empty()) {
+        auto& [blk, idx] = stack.back();
+        const auto& outs = out_edges_[static_cast<std::size_t>(blk)];
+        if (idx == outs.size()) {
+            state[static_cast<std::size_t>(blk)] = 2;
+            order.push_back(blk);
+            stack.pop_back();
+            continue;
+        }
+        int next = edges_[static_cast<std::size_t>(outs[idx])].to;
+        ++idx;
+        if (state[static_cast<std::size_t>(next)] == 1)
+            throw std::logic_error("cfg: cycle detected");
+        if (state[static_cast<std::size_t>(next)] == 0) {
+            state[static_cast<std::size_t>(next)] = 1;
+            stack.emplace_back(next, 0);
+        }
+    }
+    std::vector<std::uint64_t> ways(blocks_.size(), 0);
+    ways[static_cast<std::size_t>(sink_)] = 1;
+    for (int blk : order) {
+        if (blk == sink_) continue;
+        std::uint64_t total = 0;
+        for (int eid : out_edges_[static_cast<std::size_t>(blk)])
+            total += ways[static_cast<std::size_t>(edges_[static_cast<std::size_t>(eid)].to)];
+        ways[static_cast<std::size_t>(blk)] = total;
+    }
+    return ways[static_cast<std::size_t>(source_)];
+}
+
+std::vector<path> cfg::enumerate_paths(std::size_t limit) const {
+    std::vector<path> result;
+    path current;
+    // Iterative DFS over edge choices.
+    struct frame {
+        int block;
+        std::size_t next_choice;
+    };
+    std::vector<frame> stack{{source_, 0}};
+    while (!stack.empty()) {
+        frame& f = stack.back();
+        if (f.block == sink_) {
+            result.push_back(current);
+            if (result.size() > limit) throw std::runtime_error("enumerate_paths: limit exceeded");
+            stack.pop_back();
+            if (!current.empty()) current.pop_back();
+            continue;
+        }
+        const auto& outs = out_edges_[static_cast<std::size_t>(f.block)];
+        if (f.next_choice == outs.size()) {
+            stack.pop_back();
+            if (!current.empty()) current.pop_back();
+            continue;
+        }
+        int eid = outs[f.next_choice++];
+        current.push_back(eid);
+        stack.push_back({edges_[static_cast<std::size_t>(eid)].to, 0});
+    }
+    return result;
+}
+
+util::rvector cfg::edge_vector(const path& p) const {
+    util::rvector v(num_edges());
+    for (int eid : p) v[static_cast<std::size_t>(eid)] += util::rational(1);
+    return v;
+}
+
+std::vector<int> cfg::path_blocks(const path& p) const {
+    std::vector<int> blocks{source_};
+    for (int eid : p) blocks.push_back(edges_[static_cast<std::size_t>(eid)].to);
+    return blocks;
+}
+
+cfg::traced_run cfg::trace(const std::vector<std::uint64_t>& args) const {
+    const function& f = function_;
+    if (args.size() != f.params.size())
+        throw std::runtime_error("cfg::trace: arity mismatch");
+    exec_state state = initial_state(*program_);
+    std::unordered_map<std::string, std::uint64_t> locals;
+    const unsigned w = program_->width;
+    const std::uint64_t m = w >= 64 ? ~0ULL : (1ULL << w) - 1;
+    for (std::size_t i = 0; i < args.size(); ++i) locals[f.params[i]] = args[i] & m;
+
+    traced_run run;
+    int cur = source_;
+    std::size_t guard = 0;
+    while (cur != sink_) {
+        if (++guard > blocks_.size() + 1) throw std::logic_error("cfg::trace: not a DAG");
+        for (const stmt* s : blocks_[static_cast<std::size_t>(cur)].stmts) {
+            std::uint64_t v = eval_rvalue(s->e, w, locals, state);
+            if (s->k == stmt::kind::store) {
+                auto it = state.arrays.find(s->name);
+                if (it == state.arrays.end())
+                    throw std::runtime_error("cfg::trace: unknown array '" + s->name + "'");
+                std::uint64_t i = eval_rvalue(s->idx, w, locals, state);
+                if (i >= it->second.size())
+                    throw std::runtime_error("cfg::trace: store out of bounds");
+                it->second[i] = v;
+            } else if (s->k == stmt::kind::decl) {
+                locals[s->name] = v;
+            } else {
+                auto it = locals.find(s->name);
+                if (it != locals.end()) {
+                    it->second = v;
+                } else {
+                    auto git = state.scalars.find(s->name);
+                    if (git == state.scalars.end())
+                        throw std::runtime_error("cfg::trace: unknown variable '" + s->name + "'");
+                    git->second = v;
+                }
+            }
+        }
+        // Choose the outgoing edge whose condition holds.
+        int chosen = -1;
+        for (int eid : out_edges_[static_cast<std::size_t>(cur)]) {
+            const cfg_edge& e = edges_[static_cast<std::size_t>(eid)];
+            if (e.cond == nullptr) {
+                chosen = eid;
+                break;
+            }
+            bool holds = eval_rvalue(*e.cond, w, locals, state) != 0;
+            if (holds == e.polarity) {
+                chosen = eid;
+                break;
+            }
+        }
+        if (chosen < 0) throw std::logic_error("cfg::trace: no viable outgoing edge");
+        const cfg_edge& e = edges_[static_cast<std::size_t>(chosen)];
+        if (e.ret_value != nullptr) run.return_value = eval_rvalue(*e.ret_value, w, locals, state);
+        run.taken.push_back(chosen);
+        cur = e.to;
+    }
+    return run;
+}
+
+std::string cfg::to_string() const {
+    std::ostringstream os;
+    os << "cfg: " << num_blocks() << " blocks, " << num_edges() << " edges, source " << source_
+       << ", sink " << sink_ << "\n";
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+        const cfg_edge& e = edges_[i];
+        os << "  e" << i << ": b" << e.from << " -> b" << e.to;
+        if (e.cond != nullptr) os << (e.polarity ? "  [cond true]" : "  [cond false]");
+        if (e.ret_value != nullptr) os << "  [return]";
+        os << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace sciduction::ir

@@ -1,0 +1,113 @@
+// Control-flow graphs over loop-free mini-C functions, plus the path
+// algebra GameTime is built on (paper Sec. 3.2 and Fig. 5).
+//
+// After unrolling/inlining, the CFG is a DAG with a unique source and sink.
+// Program paths are edge sequences; each path induces a 0/1 indicator
+// vector in R^m (m = #edges), and the set of such vectors spans a space of
+// dimension m - n + 2 — the number of *basis paths*.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/ast.hpp"
+#include "ir/interp.hpp"
+#include "util/matrix.hpp"
+
+namespace sciduction::ir {
+
+struct basic_block {
+    /// Straight-line statements (decl / assign / store), pointers into the
+    /// owning function's AST.
+    std::vector<const stmt*> stmts;
+};
+
+struct cfg_edge {
+    int from = -1;
+    int to = -1;
+    /// Branch condition this edge asserts, if any: taken iff
+    /// (cond != 0) == polarity. Null for unconditional edges.
+    const expr* cond = nullptr;
+    bool polarity = true;
+    /// For edges into the sink produced by a return statement: the value.
+    const expr* ret_value = nullptr;
+};
+
+/// A program path: the sequence of edge ids from source to sink.
+using path = std::vector<int>;
+
+class cfg {
+public:
+    /// Builds the CFG of a loop-free function whose calls are inlined.
+    /// An implicit `return 0` is appended if the function can fall off the
+    /// end. Throws on loops or remaining calls. The program must outlive the
+    /// cfg (the function is copied; the program is referenced).
+    static cfg build(const program& p, const function& f);
+
+    cfg(cfg&&) = default;
+    cfg& operator=(cfg&&) = default;
+    cfg(const cfg&) = delete;  // blocks hold pointers into function_
+    cfg& operator=(const cfg&) = delete;
+
+    [[nodiscard]] const program& owning_program() const { return *program_; }
+    [[nodiscard]] const function& owning_function() const { return function_; }
+
+    [[nodiscard]] std::size_t num_blocks() const { return blocks_.size(); }
+    [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+    [[nodiscard]] int source() const { return source_; }
+    [[nodiscard]] int sink() const { return sink_; }
+    [[nodiscard]] const basic_block& block(int id) const {
+        return blocks_[static_cast<std::size_t>(id)];
+    }
+    [[nodiscard]] const cfg_edge& edge(int id) const {
+        return edges_[static_cast<std::size_t>(id)];
+    }
+    [[nodiscard]] const std::vector<int>& out_edges(int block_id) const {
+        return out_edges_[static_cast<std::size_t>(block_id)];
+    }
+
+    /// Expected number of basis paths: m - n + 2 for a connected DAG with
+    /// unique source and sink (McCabe's cyclomatic number).
+    [[nodiscard]] std::size_t basis_dimension() const {
+        return num_edges() - num_blocks() + 2;
+    }
+
+    /// Number of source-to-sink paths (may be exponential; exact count).
+    [[nodiscard]] std::uint64_t count_paths() const;
+
+    /// Enumerates all paths (throws if more than `limit`).
+    [[nodiscard]] std::vector<path> enumerate_paths(std::size_t limit = 1u << 20) const;
+
+    /// 0/1 indicator vector of a path in R^m.
+    [[nodiscard]] util::rvector edge_vector(const path& p) const;
+
+    /// The block sequence a path visits (source ... sink).
+    [[nodiscard]] std::vector<int> path_blocks(const path& p) const;
+
+    /// Executes the function concretely on `args` and returns the path
+    /// taken plus the return value. This is the link between test cases and
+    /// paths that GameTime's measurement step relies on.
+    struct traced_run {
+        path taken;
+        std::uint64_t return_value = 0;
+    };
+    [[nodiscard]] traced_run trace(const std::vector<std::uint64_t>& args) const;
+
+    /// Human-readable dump for debugging.
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    cfg() = default;
+
+    const program* program_ = nullptr;
+    function function_;  // owned copy (stmt pointers point into it)
+    std::vector<basic_block> blocks_;
+    std::vector<cfg_edge> edges_;
+    std::vector<std::vector<int>> out_edges_;
+    int source_ = 0;
+    int sink_ = 0;
+};
+
+}  // namespace sciduction::ir

@@ -1,0 +1,266 @@
+#include "ir/interp.hpp"
+
+#include <stdexcept>
+
+namespace sciduction::ir {
+
+namespace {
+
+std::uint64_t mask_of(unsigned width) { return width >= 64 ? ~0ULL : (1ULL << width) - 1; }
+
+std::int64_t to_signed(std::uint64_t v, unsigned width) {
+    if (width < 64 && ((v >> (width - 1)) & 1) != 0) return static_cast<std::int64_t>(v | ~mask_of(width));
+    return static_cast<std::int64_t>(v);
+}
+
+}  // namespace
+
+std::uint64_t value_mask(unsigned width) { return mask_of(width); }
+
+/// Pure binary-operator semantics (no short-circuit pair).
+std::uint64_t apply_binop(binop op, std::uint64_t a, std::uint64_t b, unsigned w) {
+    const std::uint64_t m = mask_of(w);
+    switch (op) {
+        case binop::add: return (a + b) & m;
+        case binop::sub: return (a - b) & m;
+        case binop::mul: return (a * b) & m;
+        case binop::udiv: return b == 0 ? m : (a / b) & m;
+        case binop::urem: return b == 0 ? a : (a % b) & m;
+        case binop::band: return a & b;
+        case binop::bor: return a | b;
+        case binop::bxor: return a ^ b;
+        case binop::shl: return b >= w ? 0 : (a << b) & m;
+        case binop::lshr: return b >= w ? 0 : a >> b;
+        case binop::lt: return to_signed(a, w) < to_signed(b, w) ? 1 : 0;
+        case binop::le: return to_signed(a, w) <= to_signed(b, w) ? 1 : 0;
+        case binop::gt: return to_signed(a, w) > to_signed(b, w) ? 1 : 0;
+        case binop::ge: return to_signed(a, w) >= to_signed(b, w) ? 1 : 0;
+        case binop::eq: return a == b ? 1 : 0;
+        case binop::ne: return a != b ? 1 : 0;
+        case binop::land: return (a != 0 && b != 0) ? 1 : 0;
+        case binop::lor: return (a != 0 || b != 0) ? 1 : 0;
+    }
+    throw std::logic_error("apply_binop: bad op");
+}
+
+std::uint64_t apply_unop(unop op, std::uint64_t v, unsigned width) {
+    switch (op) {
+        case unop::neg: return (0 - v) & mask_of(width);
+        case unop::bnot: return ~v & mask_of(width);
+        case unop::lnot: return v == 0 ? 1 : 0;
+    }
+    throw std::logic_error("apply_unop: bad op");
+}
+
+namespace {
+
+enum class flow : unsigned char { normal, broke, returned };
+
+class interpreter {
+public:
+    interpreter(const program& p, exec_state& state, std::uint64_t max_steps)
+        : program_(p), state_(state), max_steps_(max_steps) {}
+
+    std::uint64_t call(const std::string& name, const std::vector<std::uint64_t>& args) {
+        const function* f = program_.find_function(name);
+        if (f == nullptr) throw std::runtime_error("interpret: no function '" + name + "'");
+        if (args.size() != f->params.size())
+            throw std::runtime_error("interpret: arity mismatch calling '" + name + "'");
+        std::unordered_map<std::string, std::uint64_t> locals;
+        const std::uint64_t m = mask_of(program_.width);
+        for (std::size_t i = 0; i < args.size(); ++i) locals[f->params[i]] = args[i] & m;
+        std::uint64_t ret = 0;
+        flow fl = exec_block(f->body, locals, ret);
+        if (fl != flow::returned)
+            throw std::runtime_error("interpret: function '" + name + "' fell off the end");
+        return ret;
+    }
+
+    [[nodiscard]] std::uint64_t steps() const { return steps_; }
+
+private:
+    using locals_map = std::unordered_map<std::string, std::uint64_t>;
+
+    void tick() {
+        if (++steps_ > max_steps_) throw std::runtime_error("interpret: step budget exceeded");
+    }
+
+    std::uint64_t eval(const expr& e, const locals_map& locals) {
+        return eval_rvalue(e, program_.width, locals, state_);
+    }
+
+    void write_var(const std::string& name, std::uint64_t v, locals_map& locals) {
+        auto it = locals.find(name);
+        if (it != locals.end()) {
+            it->second = v;
+            return;
+        }
+        auto git = state_.scalars.find(name);
+        if (git != state_.scalars.end()) {
+            git->second = v;
+            return;
+        }
+        throw std::runtime_error("interpret: assignment to undeclared variable '" + name + "'");
+    }
+
+    flow exec_stmt(const stmt& s, locals_map& locals, std::uint64_t& ret) {
+        tick();
+        switch (s.k) {
+            case stmt::kind::decl:
+                locals[s.name] = eval(s.e, locals);
+                return flow::normal;
+            case stmt::kind::assign:
+                write_var(s.name, eval(s.e, locals), locals);
+                return flow::normal;
+            case stmt::kind::store: {
+                auto it = state_.arrays.find(s.name);
+                if (it == state_.arrays.end())
+                    throw std::runtime_error("interpret: unknown array '" + s.name + "'");
+                std::uint64_t i = eval(s.idx, locals);
+                if (i >= it->second.size())
+                    throw std::runtime_error("interpret: array '" + s.name + "' store out of bounds");
+                it->second[i] = eval(s.e, locals);
+                return flow::normal;
+            }
+            case stmt::kind::if_stmt:
+                return eval(s.e, locals) != 0 ? exec_block(s.body, locals, ret)
+                                              : exec_block(s.else_body, locals, ret);
+            case stmt::kind::while_stmt:
+                while (eval(s.e, locals) != 0) {
+                    tick();
+                    flow fl = exec_block(s.body, locals, ret);
+                    if (fl == flow::returned) return fl;
+                    if (fl == flow::broke) break;
+                }
+                return flow::normal;
+            case stmt::kind::return_stmt:
+                ret = eval(s.e, locals);
+                return flow::returned;
+            case stmt::kind::break_stmt: return flow::broke;
+            case stmt::kind::call_stmt: {
+                std::vector<std::uint64_t> args;
+                args.reserve(s.call_args.size());
+                for (const expr& a : s.call_args) args.push_back(eval(a, locals));
+                std::uint64_t r = call(s.callee, args);
+                write_var(s.name, r, locals);
+                return flow::normal;
+            }
+        }
+        throw std::logic_error("bad stmt kind");
+    }
+
+    flow exec_block(const std::vector<stmt>& body, locals_map& locals, std::uint64_t& ret) {
+        for (const stmt& s : body) {
+            flow fl = exec_stmt(s, locals, ret);
+            if (fl != flow::normal) return fl;
+        }
+        return flow::normal;
+    }
+
+    const program& program_;
+    exec_state& state_;
+    std::uint64_t max_steps_;
+    std::uint64_t steps_ = 0;
+};
+
+}  // namespace
+
+std::uint64_t eval_rvalue(const expr& e, unsigned width,
+                          const std::unordered_map<std::string, std::uint64_t>& locals,
+                          const exec_state& globals) {
+    const unsigned w = width;
+    switch (e.k) {
+        case expr::kind::num: return e.value & mask_of(w);
+        case expr::kind::var: {
+            auto it = locals.find(e.name);
+            if (it != locals.end()) return it->second;
+            auto git = globals.scalars.find(e.name);
+            if (git != globals.scalars.end()) return git->second;
+            throw std::runtime_error("eval: unknown variable '" + e.name + "'");
+        }
+        case expr::kind::binary: {
+            if (e.bop == binop::land) {
+                if (eval_rvalue(e.args[0], w, locals, globals) == 0) return 0;
+                return eval_rvalue(e.args[1], w, locals, globals) != 0 ? 1 : 0;
+            }
+            if (e.bop == binop::lor) {
+                if (eval_rvalue(e.args[0], w, locals, globals) != 0) return 1;
+                return eval_rvalue(e.args[1], w, locals, globals) != 0 ? 1 : 0;
+            }
+            std::uint64_t a = eval_rvalue(e.args[0], w, locals, globals);
+            std::uint64_t b = eval_rvalue(e.args[1], w, locals, globals);
+            return apply_binop(e.bop, a, b, w);
+        }
+        case expr::kind::unary: {
+            std::uint64_t v = eval_rvalue(e.args[0], w, locals, globals);
+            switch (e.uop) {
+                case unop::neg: return (0 - v) & mask_of(w);
+                case unop::bnot: return ~v & mask_of(w);
+                case unop::lnot: return v == 0 ? 1 : 0;
+            }
+            throw std::logic_error("bad unop");
+        }
+        case expr::kind::ternary:
+            return eval_rvalue(e.args[0], w, locals, globals) != 0
+                       ? eval_rvalue(e.args[1], w, locals, globals)
+                       : eval_rvalue(e.args[2], w, locals, globals);
+        case expr::kind::index: {
+            auto it = globals.arrays.find(e.name);
+            if (it == globals.arrays.end())
+                throw std::runtime_error("eval: unknown array '" + e.name + "'");
+            std::uint64_t i = eval_rvalue(e.args[0], w, locals, globals);
+            if (i >= it->second.size())
+                throw std::runtime_error("eval: array '" + e.name + "' index out of bounds");
+            return it->second[i];
+        }
+    }
+    throw std::logic_error("bad expr kind");
+}
+
+exec_state initial_state(const program& p) {
+    exec_state st;
+    const std::uint64_t m = mask_of(p.width);
+    for (const auto& g : p.globals) {
+        if (g.is_array) {
+            auto& a = st.arrays[g.name];
+            a.resize(g.size);
+            for (std::size_t i = 0; i < g.size; ++i) a[i] = g.init[i] & m;
+        } else {
+            st.scalars[g.name] = g.init[0] & m;
+        }
+    }
+    return st;
+}
+
+interp_result interpret(const program& p, const std::string& function_name,
+                        const std::vector<std::uint64_t>& args, exec_state state,
+                        std::uint64_t max_steps) {
+    interpreter it(p, state, max_steps);
+    interp_result r;
+    r.return_value = it.call(function_name, args);
+    r.steps = it.steps();
+    r.state = std::move(state);
+    return r;
+}
+
+std::uint64_t eval_expr(const expr& e, unsigned width,
+                        const std::unordered_map<std::string, std::uint64_t>& env) {
+    program p;
+    p.width = width;
+    for (const auto& [name, value] : env) {
+        global_decl g;
+        g.name = name;
+        g.init = {value};
+        p.globals.push_back(g);
+    }
+    function f;
+    f.name = "__eval";
+    stmt ret;
+    ret.k = stmt::kind::return_stmt;
+    ret.e = e;
+    f.body.push_back(ret);
+    p.functions.push_back(f);
+    return interpret(p, "__eval", {}).return_value;
+}
+
+}  // namespace sciduction::ir

@@ -1,0 +1,74 @@
+// Concrete interpreter for mini-C.
+//
+// This is the reference semantics of the language. It serves as:
+//  * the I/O oracle of the program-synthesis application (paper Sec. 4: the
+//    obfuscated program is executed, not analyzed),
+//  * the functional oracle the arch simulator is validated against, and
+//  * the differential-testing partner of the symbolic executor.
+//
+// Semantics are aligned bit-for-bit with smt::term_manager::evaluate:
+// wrap-around arithmetic at the program width, unsigned / and % with
+// SMT-LIB division-by-zero results, shifts saturating to zero past the
+// width, signed <, <=, >, >=.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/ast.hpp"
+
+namespace sciduction::ir {
+
+/// All-ones mask for a value width.
+std::uint64_t value_mask(unsigned width);
+
+/// Reference semantics of a (non-short-circuit) binary operator at the given
+/// width. Exposed so constant folding and code generation share one truth.
+std::uint64_t apply_binop(binop op, std::uint64_t a, std::uint64_t b, unsigned width);
+
+/// Reference semantics of a unary operator.
+std::uint64_t apply_unop(unop op, std::uint64_t v, unsigned width);
+
+/// Mutable program state: global scalars and arrays.
+struct exec_state {
+    std::unordered_map<std::string, std::uint64_t> scalars;
+    std::unordered_map<std::string, std::vector<std::uint64_t>> arrays;
+};
+
+/// The globals' declared initial values.
+exec_state initial_state(const program& p);
+
+struct interp_result {
+    std::uint64_t return_value = 0;
+    std::uint64_t steps = 0;  ///< statements executed (loop-budget accounting)
+    exec_state state;         ///< global state after the call
+};
+
+/// Runs `function_name` on `args`. Throws std::runtime_error on unknown
+/// names, out-of-bounds array access, missing return, or exceeding
+/// max_steps (runaway loop guard).
+interp_result interpret(const program& p, const std::string& function_name,
+                        const std::vector<std::uint64_t>& args,
+                        exec_state state, std::uint64_t max_steps = 1'000'000);
+
+inline interp_result interpret(const program& p, const std::string& function_name,
+                               const std::vector<std::uint64_t>& args,
+                               std::uint64_t max_steps = 1'000'000) {
+    return interpret(p, function_name, args, initial_state(p), max_steps);
+}
+
+/// Evaluates an rvalue expression against a local environment plus global
+/// state, with exactly the interpreter's semantics. Shared by the CFG path
+/// tracer and the arch simulator's oracle checks.
+std::uint64_t eval_rvalue(const expr& e, unsigned width,
+                          const std::unordered_map<std::string, std::uint64_t>& locals,
+                          const exec_state& globals);
+
+/// Evaluates a single expression over the given environment (no arrays),
+/// mainly for tests. Width applies mini-C masking rules.
+std::uint64_t eval_expr(const expr& e, unsigned width,
+                        const std::unordered_map<std::string, std::uint64_t>& env);
+
+}  // namespace sciduction::ir

@@ -1,0 +1,158 @@
+#include "ir/lexer.hpp"
+
+#include <cctype>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace sciduction::ir {
+
+namespace {
+
+const std::unordered_map<std::string, token_kind> keywords = {
+    {"int", token_kind::kw_int},       {"if", token_kind::kw_if},
+    {"else", token_kind::kw_else},     {"while", token_kind::kw_while},
+    {"return", token_kind::kw_return}, {"break", token_kind::kw_break},
+    {"bound", token_kind::kw_bound},
+};
+
+}  // namespace
+
+std::vector<token> tokenize(const std::string& source) {
+    std::vector<token> tokens;
+    std::size_t i = 0;
+    int line = 1;
+    int col = 1;
+
+    auto advance = [&](std::size_t n = 1) {
+        for (std::size_t k = 0; k < n; ++k) {
+            if (i < source.size() && source[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+            ++i;
+        }
+    };
+    auto peek = [&](std::size_t off = 0) -> char {
+        return i + off < source.size() ? source[i + off] : '\0';
+    };
+    auto push = [&](token_kind k, std::string text, std::uint64_t v = 0) {
+        tokens.push_back({k, std::move(text), v, line, col});
+    };
+
+    while (i < source.size()) {
+        char c = peek();
+        if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+            advance();
+            continue;
+        }
+        if (c == '/' && peek(1) == '/') {
+            while (i < source.size() && peek() != '\n') advance();
+            continue;
+        }
+        if (c == '/' && peek(1) == '*') {
+            advance(2);
+            while (i < source.size() && !(peek() == '*' && peek(1) == '/')) advance();
+            if (i >= source.size()) throw parse_error("unterminated comment", line, col);
+            advance(2);
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+            int start_col = col;
+            std::uint64_t v = 0;
+            std::string text;
+            if (c == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+                text = "0x";
+                advance(2);
+                if (std::isxdigit(static_cast<unsigned char>(peek())) == 0)
+                    throw parse_error("malformed hex literal", line, col);
+                while (std::isxdigit(static_cast<unsigned char>(peek())) != 0) {
+                    char d = peek();
+                    v = v * 16 + static_cast<std::uint64_t>(
+                                     std::isdigit(static_cast<unsigned char>(d)) != 0
+                                         ? d - '0'
+                                         : std::tolower(d) - 'a' + 10);
+                    text.push_back(d);
+                    advance();
+                }
+            } else {
+                while (std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+                    v = v * 10 + static_cast<std::uint64_t>(peek() - '0');
+                    text.push_back(peek());
+                    advance();
+                }
+            }
+            tokens.push_back({token_kind::number, text, v, line, start_col});
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+            int start_col = col;
+            std::string text;
+            while (std::isalnum(static_cast<unsigned char>(peek())) != 0 || peek() == '_') {
+                text.push_back(peek());
+                advance();
+            }
+            auto it = keywords.find(text);
+            tokens.push_back({it != keywords.end() ? it->second : token_kind::identifier, text, 0,
+                              line, start_col});
+            continue;
+        }
+
+        auto two = [&](char second) { return peek(1) == second; };
+        token_kind k;
+        std::size_t len = 1;
+        switch (c) {
+            case '(': k = token_kind::lparen; break;
+            case ')': k = token_kind::rparen; break;
+            case '{': k = token_kind::lbrace; break;
+            case '}': k = token_kind::rbrace; break;
+            case '[': k = token_kind::lbracket; break;
+            case ']': k = token_kind::rbracket; break;
+            case ',': k = token_kind::comma; break;
+            case ';': k = token_kind::semicolon; break;
+            case '?': k = token_kind::question; break;
+            case ':': k = token_kind::colon; break;
+            case '~': k = token_kind::tilde; break;
+            case '+': k = two('=') ? (len = 2, token_kind::plus_assign) : token_kind::plus; break;
+            case '-': k = two('=') ? (len = 2, token_kind::minus_assign) : token_kind::minus; break;
+            case '*': k = two('=') ? (len = 2, token_kind::star_assign) : token_kind::star; break;
+            case '/': k = token_kind::slash; break;
+            case '%': k = token_kind::percent; break;
+            case '^': k = two('=') ? (len = 2, token_kind::caret_assign) : token_kind::caret; break;
+            case '!': k = two('=') ? (len = 2, token_kind::bang_eq) : token_kind::bang; break;
+            case '=': k = two('=') ? (len = 2, token_kind::eq_eq) : token_kind::assign; break;
+            case '&':
+                if (two('&')) { k = token_kind::amp_amp; len = 2; }
+                else if (two('=')) { k = token_kind::amp_assign; len = 2; }
+                else k = token_kind::amp;
+                break;
+            case '|':
+                if (two('|')) { k = token_kind::pipe_pipe; len = 2; }
+                else if (two('=')) { k = token_kind::pipe_assign; len = 2; }
+                else k = token_kind::pipe;
+                break;
+            case '<':
+                if (two('<')) {
+                    if (peek(2) == '=') { k = token_kind::shl_assign; len = 3; }
+                    else { k = token_kind::shl; len = 2; }
+                } else if (two('=')) { k = token_kind::le; len = 2; }
+                else k = token_kind::lt;
+                break;
+            case '>':
+                if (two('>')) {
+                    if (peek(2) == '=') { k = token_kind::shr_assign; len = 3; }
+                    else { k = token_kind::shr; len = 2; }
+                } else if (two('=')) { k = token_kind::ge; len = 2; }
+                else k = token_kind::gt;
+                break;
+            default: throw parse_error(std::string("unexpected character '") + c + "'", line, col);
+        }
+        push(k, source.substr(i, len));
+        advance(len);
+    }
+    tokens.push_back({token_kind::end_of_input, "", 0, line, col});
+    return tokens;
+}
+
+}  // namespace sciduction::ir

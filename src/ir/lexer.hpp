@@ -1,0 +1,46 @@
+// Lexer for mini-C.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sciduction::ir {
+
+enum class token_kind : unsigned char {
+    kw_int, kw_if, kw_else, kw_while, kw_return, kw_break, kw_bound,
+    identifier, number,
+    lparen, rparen, lbrace, rbrace, lbracket, rbracket,
+    comma, semicolon, question, colon,
+    plus, minus, star, slash, percent,
+    amp, pipe, caret, tilde, bang,
+    shl, shr,
+    lt, le, gt, ge, eq_eq, bang_eq,
+    amp_amp, pipe_pipe,
+    assign,
+    plus_assign, minus_assign, star_assign, amp_assign, pipe_assign,
+    caret_assign, shl_assign, shr_assign,
+    end_of_input
+};
+
+struct token {
+    token_kind kind;
+    std::string text;
+    std::uint64_t value = 0;  // number
+    int line = 0;
+    int column = 0;
+};
+
+/// Thrown on any lexical or syntax error, with line/column context.
+class parse_error : public std::runtime_error {
+public:
+    parse_error(const std::string& message, int line, int column)
+        : std::runtime_error(message + " at line " + std::to_string(line) + ", column " +
+                             std::to_string(column)) {}
+};
+
+/// Tokenizes the whole source; the final token is end_of_input.
+std::vector<token> tokenize(const std::string& source);
+
+}  // namespace sciduction::ir

@@ -1,0 +1,313 @@
+#include "ir/parser.hpp"
+
+namespace sciduction::ir {
+
+namespace {
+
+class parser {
+public:
+    explicit parser(std::vector<token> tokens) : tokens_(std::move(tokens)) {}
+
+    program parse(unsigned width) {
+        program p;
+        p.width = width;
+        while (!at(token_kind::end_of_input)) {
+            expect(token_kind::kw_int, "expected 'int' at top level");
+            std::string name = expect(token_kind::identifier, "expected name").text;
+            if (at(token_kind::lparen)) {
+                p.functions.push_back(parse_function_rest(name));
+            } else {
+                p.globals.push_back(parse_global_rest(name));
+            }
+        }
+        return p;
+    }
+
+    expr parse_expr_only() {
+        expr e = parse_expr();
+        expect(token_kind::end_of_input, "trailing tokens after expression");
+        return e;
+    }
+
+private:
+    // ---- token helpers ----
+    [[nodiscard]] const token& cur() const { return tokens_[pos_]; }
+    [[nodiscard]] bool at(token_kind k) const { return cur().kind == k; }
+    bool accept(token_kind k) {
+        if (!at(k)) return false;
+        ++pos_;
+        return true;
+    }
+    const token& expect(token_kind k, const std::string& message) {
+        if (!at(k)) throw parse_error(message + " (got '" + cur().text + "')", cur().line, cur().column);
+        return tokens_[pos_++];
+    }
+
+    // ---- declarations ----
+    global_decl parse_global_rest(std::string name) {
+        global_decl g;
+        g.name = std::move(name);
+        if (accept(token_kind::lbracket)) {
+            g.is_array = true;
+            g.size = expect(token_kind::number, "expected array size").value;
+            if (g.size == 0) throw parse_error("zero-sized array", cur().line, cur().column);
+            expect(token_kind::rbracket, "expected ']'");
+        }
+        g.init.assign(g.size, 0);
+        if (accept(token_kind::assign)) {
+            if (accept(token_kind::lbrace)) {
+                std::size_t i = 0;
+                do {
+                    if (i >= g.size)
+                        throw parse_error("too many initializers", cur().line, cur().column);
+                    g.init[i++] = expect(token_kind::number, "expected number").value;
+                } while (accept(token_kind::comma));
+                expect(token_kind::rbrace, "expected '}'");
+            } else {
+                g.init[0] = expect(token_kind::number, "expected number").value;
+            }
+        }
+        expect(token_kind::semicolon, "expected ';'");
+        return g;
+    }
+
+    function parse_function_rest(std::string name) {
+        function f;
+        f.name = std::move(name);
+        expect(token_kind::lparen, "expected '('");
+        if (!at(token_kind::rparen)) {
+            do {
+                expect(token_kind::kw_int, "expected parameter type");
+                f.params.push_back(expect(token_kind::identifier, "expected parameter name").text);
+            } while (accept(token_kind::comma));
+        }
+        expect(token_kind::rparen, "expected ')'");
+        expect(token_kind::lbrace, "expected '{'");
+        f.body = parse_block_rest();
+        return f;
+    }
+
+    // ---- statements ----
+    std::vector<stmt> parse_block_rest() {
+        std::vector<stmt> stmts;
+        while (!accept(token_kind::rbrace)) stmts.push_back(parse_stmt());
+        return stmts;
+    }
+
+    std::vector<stmt> parse_stmt_or_block() {
+        if (accept(token_kind::lbrace)) return parse_block_rest();
+        return {parse_stmt()};
+    }
+
+    stmt parse_stmt() {
+        if (accept(token_kind::kw_int)) {
+            stmt s;
+            s.k = stmt::kind::decl;
+            s.name = expect(token_kind::identifier, "expected variable name").text;
+            s.e = accept(token_kind::assign) ? parse_expr() : expr::number(0);
+            expect(token_kind::semicolon, "expected ';'");
+            return s;
+        }
+        if (accept(token_kind::kw_if)) {
+            stmt s;
+            s.k = stmt::kind::if_stmt;
+            expect(token_kind::lparen, "expected '('");
+            s.e = parse_expr();
+            expect(token_kind::rparen, "expected ')'");
+            s.body = parse_stmt_or_block();
+            if (accept(token_kind::kw_else)) s.else_body = parse_stmt_or_block();
+            return s;
+        }
+        if (accept(token_kind::kw_while)) {
+            stmt s;
+            s.k = stmt::kind::while_stmt;
+            expect(token_kind::lparen, "expected '('");
+            s.e = parse_expr();
+            expect(token_kind::rparen, "expected ')'");
+            if (accept(token_kind::kw_bound))
+                s.bound = static_cast<unsigned>(expect(token_kind::number, "expected bound").value);
+            s.body = parse_stmt_or_block();
+            return s;
+        }
+        if (accept(token_kind::kw_return)) {
+            stmt s;
+            s.k = stmt::kind::return_stmt;
+            s.e = parse_expr();
+            expect(token_kind::semicolon, "expected ';'");
+            return s;
+        }
+        if (accept(token_kind::kw_break)) {
+            stmt s;
+            s.k = stmt::kind::break_stmt;
+            expect(token_kind::semicolon, "expected ';'");
+            return s;
+        }
+        if (at(token_kind::lbrace)) {
+            // Anonymous block: flatten into an if(1) for simplicity.
+            ++pos_;
+            stmt s;
+            s.k = stmt::kind::if_stmt;
+            s.e = expr::number(1);
+            s.body = parse_block_rest();
+            return s;
+        }
+
+        // assignment / store / call
+        std::string name = expect(token_kind::identifier, "expected statement").text;
+        if (accept(token_kind::lbracket)) {
+            stmt s;
+            s.k = stmt::kind::store;
+            s.name = name;
+            s.idx = parse_expr();
+            expect(token_kind::rbracket, "expected ']'");
+            binop op{};
+            bool compound = parse_assign_op(op);
+            s.e = parse_expr();
+            if (compound) s.e = expr::binary(op, expr::index(name, s.idx), std::move(s.e));
+            expect(token_kind::semicolon, "expected ';'");
+            return s;
+        }
+        binop op{};
+        bool compound = parse_assign_op(op);
+        // Call statement: x = f(...);  (only with plain '=')
+        if (!compound && at(token_kind::identifier) &&
+            tokens_[pos_ + 1].kind == token_kind::lparen) {
+            stmt s;
+            s.k = stmt::kind::call_stmt;
+            s.name = name;
+            s.callee = tokens_[pos_].text;
+            pos_ += 2;
+            if (!at(token_kind::rparen)) {
+                do {
+                    s.call_args.push_back(parse_expr());
+                } while (accept(token_kind::comma));
+            }
+            expect(token_kind::rparen, "expected ')'");
+            expect(token_kind::semicolon, "expected ';'");
+            return s;
+        }
+        stmt s;
+        s.k = stmt::kind::assign;
+        s.name = name;
+        s.e = parse_expr();
+        if (compound) s.e = expr::binary(op, expr::variable(name), std::move(s.e));
+        expect(token_kind::semicolon, "expected ';'");
+        return s;
+    }
+
+    /// Consumes an assignment operator; returns true (and the op) if compound.
+    bool parse_assign_op(binop& op) {
+        switch (cur().kind) {
+            case token_kind::assign: ++pos_; return false;
+            case token_kind::plus_assign: op = binop::add; break;
+            case token_kind::minus_assign: op = binop::sub; break;
+            case token_kind::star_assign: op = binop::mul; break;
+            case token_kind::amp_assign: op = binop::band; break;
+            case token_kind::pipe_assign: op = binop::bor; break;
+            case token_kind::caret_assign: op = binop::bxor; break;
+            case token_kind::shl_assign: op = binop::shl; break;
+            case token_kind::shr_assign: op = binop::lshr; break;
+            default:
+                throw parse_error("expected assignment operator", cur().line, cur().column);
+        }
+        ++pos_;
+        return true;
+    }
+
+    // ---- expressions (precedence climbing) ----
+    expr parse_expr() { return parse_ternary(); }
+
+    expr parse_ternary() {
+        expr c = parse_binary(0);
+        if (!accept(token_kind::question)) return c;
+        expr t = parse_expr();
+        expect(token_kind::colon, "expected ':'");
+        expr f = parse_ternary();
+        return expr::ternary(std::move(c), std::move(t), std::move(f));
+    }
+
+    /// Binary operator precedence table; higher binds tighter.
+    static int precedence_of(token_kind k, binop& op) {
+        switch (k) {
+            case token_kind::pipe_pipe: op = binop::lor; return 1;
+            case token_kind::amp_amp: op = binop::land; return 2;
+            case token_kind::pipe: op = binop::bor; return 3;
+            case token_kind::caret: op = binop::bxor; return 4;
+            case token_kind::amp: op = binop::band; return 5;
+            case token_kind::eq_eq: op = binop::eq; return 6;
+            case token_kind::bang_eq: op = binop::ne; return 6;
+            case token_kind::lt: op = binop::lt; return 7;
+            case token_kind::le: op = binop::le; return 7;
+            case token_kind::gt: op = binop::gt; return 7;
+            case token_kind::ge: op = binop::ge; return 7;
+            case token_kind::shl: op = binop::shl; return 8;
+            case token_kind::shr: op = binop::lshr; return 8;
+            case token_kind::plus: op = binop::add; return 9;
+            case token_kind::minus: op = binop::sub; return 9;
+            case token_kind::star: op = binop::mul; return 10;
+            case token_kind::slash: op = binop::udiv; return 10;
+            case token_kind::percent: op = binop::urem; return 10;
+            default: return 0;
+        }
+    }
+
+    expr parse_binary(int min_prec) {
+        expr lhs = parse_unary();
+        for (;;) {
+            binop op{};
+            int prec = precedence_of(cur().kind, op);
+            if (prec == 0 || prec < min_prec) return lhs;
+            ++pos_;
+            expr rhs = parse_binary(prec + 1);  // left-associative
+            lhs = expr::binary(op, std::move(lhs), std::move(rhs));
+        }
+    }
+
+    expr parse_unary() {
+        if (accept(token_kind::minus)) return expr::unary(unop::neg, parse_unary());
+        if (accept(token_kind::tilde)) return expr::unary(unop::bnot, parse_unary());
+        if (accept(token_kind::bang)) return expr::unary(unop::lnot, parse_unary());
+        return parse_primary();
+    }
+
+    expr parse_primary() {
+        if (at(token_kind::number)) {
+            std::uint64_t v = cur().value;
+            ++pos_;
+            return expr::number(v);
+        }
+        if (accept(token_kind::lparen)) {
+            expr e = parse_expr();
+            expect(token_kind::rparen, "expected ')'");
+            return e;
+        }
+        if (at(token_kind::identifier)) {
+            std::string name = cur().text;
+            ++pos_;
+            if (accept(token_kind::lbracket)) {
+                expr sub = parse_expr();
+                expect(token_kind::rbracket, "expected ']'");
+                return expr::index(std::move(name), std::move(sub));
+            }
+            return expr::variable(std::move(name));
+        }
+        throw parse_error("expected expression", cur().line, cur().column);
+    }
+
+    std::vector<token> tokens_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+program parse_program(const std::string& source, unsigned width) {
+    parser p(tokenize(source));
+    return p.parse(width);
+}
+
+expr parse_expression(const std::string& source) {
+    parser p(tokenize(source));
+    return p.parse_expr_only();
+}
+
+}  // namespace sciduction::ir

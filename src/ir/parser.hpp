@@ -1,0 +1,33 @@
+// Recursive-descent parser for mini-C.
+//
+// Grammar sketch (see ast.hpp for semantics):
+//
+//   program    := (funcdef | globaldecl)*
+//   globaldecl := 'int' IDENT ('[' NUM ']')? ('=' (NUM | '{' NUM,* '}'))? ';'
+//   funcdef    := 'int' IDENT '(' ('int' IDENT),* ')' block
+//   stmt       := 'int' IDENT ('=' expr)? ';'
+//              |  IDENT assignop expr ';'
+//              |  IDENT '[' expr ']' assignop expr ';'
+//              |  IDENT '=' IDENT '(' expr,* ')' ';'        // call
+//              |  'if' '(' expr ')' stmt ('else' stmt)?
+//              |  'while' '(' expr ')' ('bound' NUM)? stmt  // bound: unroll limit
+//              |  'return' expr ';'  |  'break' ';'  |  block
+//   expr       := C-like precedence: ?: || && | ^ & ==,!= <,<=,>,>= <<,>> +,- *,/,% unary
+//
+// The optional `bound N` annotation on while-loops declares a static
+// iteration bound; GameTime's CFG construction (paper Fig. 5, "unroll
+// loops") uses it to unroll to a DAG.
+#pragma once
+
+#include "ir/ast.hpp"
+#include "ir/lexer.hpp"
+
+namespace sciduction::ir {
+
+/// Parses a whole program. Throws parse_error on malformed input.
+program parse_program(const std::string& source, unsigned width = 32);
+
+/// Parses a single expression (for tests and tools).
+expr parse_expression(const std::string& source);
+
+}  // namespace sciduction::ir

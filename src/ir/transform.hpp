@@ -1,0 +1,35 @@
+// Program transformations feeding GameTime's front end (paper Fig. 5:
+// "Generate Control-Flow Graph, Unroll Loops, Inline Functions").
+#pragma once
+
+#include "ir/ast.hpp"
+
+namespace sciduction::ir {
+
+/// Replaces every call statement in `top` by the inlined body of the callee
+/// (recursively). Requirements: callees exist, are not (mutually) recursive,
+/// and have exactly one return statement as their final top-level statement.
+/// Callee locals are freshened so inlining never captures.
+function inline_calls(const program& p, const std::string& top);
+
+/// Unrolls every while-loop to its declared static bound, yielding a
+/// loop-free function: `while (c) bound k body` becomes k nested
+/// `if (c) { body ... }`. Throws if a loop lacks a bound annotation or
+/// contains break (run the interpreter for such programs instead).
+function unroll_loops(const function& f);
+
+/// True iff the function contains no loops (post-unrolling check).
+bool is_loop_free(const function& f);
+
+/// Resolves branches whose conditions are statically decidable by
+/// flow-sensitive constant propagation: `if (c) A else B` where c folds to a
+/// constant is replaced by the taken branch. All other statements are left
+/// untouched (assignments are *not* rewritten), so the measured code keeps
+/// its real work while structurally-dead branches disappear.
+///
+/// This is what turns the unrolled modexp loop (guards `i < 8` on a concrete
+/// counter) into the paper's DAG with 2^k paths and k+1 basis paths
+/// (Sec. 3.3: 256 paths, 9 basis paths for the 8-bit exponent).
+function resolve_static_branches(const function& f, unsigned width);
+
+}  // namespace sciduction::ir

@@ -1,0 +1,65 @@
+#include "sat/dimacs.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sciduction::sat {
+
+std::size_t read_dimacs(std::istream& in, solver& s) {
+    std::string token;
+    std::size_t clauses_read = 0;
+    clause_lits current;
+    bool saw_header = false;
+    while (in >> token) {
+        if (token == "c") {
+            std::string rest;
+            std::getline(in, rest);
+            continue;
+        }
+        if (token == "p") {
+            std::string fmt;
+            long long nv = 0;
+            long long nc = 0;
+            if (!(in >> fmt >> nv >> nc) || fmt != "cnf" || nv < 0)
+                throw std::runtime_error("dimacs: malformed problem line");
+            while (s.num_vars() < nv) s.new_var();
+            saw_header = true;
+            continue;
+        }
+        long long v;
+        try {
+            v = std::stoll(token);
+        } catch (const std::exception&) {
+            throw std::runtime_error("dimacs: unexpected token '" + token + "'");
+        }
+        if (v == 0) {
+            s.add_clause(current);
+            current.clear();
+            ++clauses_read;
+            continue;
+        }
+        var x = static_cast<var>(v < 0 ? -v : v) - 1;
+        while (s.num_vars() <= x) s.new_var();
+        current.push_back(mk_lit(x, v < 0));
+    }
+    if (!current.empty()) throw std::runtime_error("dimacs: clause missing terminating 0");
+    if (!saw_header && clauses_read == 0)
+        throw std::runtime_error("dimacs: empty input");
+    return clauses_read;
+}
+
+std::size_t read_dimacs(const std::string& text, solver& s) {
+    std::istringstream is(text);
+    return read_dimacs(is, s);
+}
+
+void write_dimacs(std::ostream& out, int num_vars, const std::vector<clause_lits>& clauses) {
+    out << "p cnf " << num_vars << ' ' << clauses.size() << '\n';
+    for (const auto& c : clauses) {
+        for (lit l : c) out << (sign_of(l) ? -(var_of(l) + 1) : var_of(l) + 1) << ' ';
+        out << "0\n";
+    }
+}
+
+}  // namespace sciduction::sat

@@ -1,0 +1,28 @@
+// DIMACS CNF import/export for the SAT solver — the lingua franca of SAT
+// tooling, so instances can be exchanged with external solvers and the
+// solver can be exercised on standard benchmark files.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sat/solver.hpp"
+
+namespace sciduction::sat {
+
+/// Parses DIMACS CNF from a stream into the solver (creating variables as
+/// needed). Returns the number of clauses read. Throws std::runtime_error
+/// on malformed input. Comment lines ('c') and the problem line ('p cnf')
+/// are handled; variables beyond the declared count are tolerated.
+std::size_t read_dimacs(std::istream& in, solver& s);
+
+/// Convenience overload for a string.
+std::size_t read_dimacs(const std::string& text, solver& s);
+
+/// Writes a clause set in DIMACS format (for export to other solvers).
+/// Since the solver does not expose its clause database verbatim, this
+/// helper serializes caller-maintained clauses.
+void write_dimacs(std::ostream& out, int num_vars,
+                  const std::vector<clause_lits>& clauses);
+
+}  // namespace sciduction::sat

@@ -1,0 +1,106 @@
+// Tseitin gate encodings over a sat::solver.
+//
+// Shared by the QF_BV bit-blaster (src/smt) and the AIG CNF export
+// (src/aig). Each helper introduces the clauses that make an output literal
+// equivalent to a gate over input literals, returning the output literal.
+// Constant literals are threaded through a dedicated always-true variable so
+// callers can mix constants and variables freely.
+#pragma once
+
+#include "sat/solver.hpp"
+
+namespace sciduction::sat {
+
+class gate_encoder {
+public:
+    explicit gate_encoder(solver& s) : solver_(s) {
+        true_lit_ = mk_lit(solver_.new_var());
+        solver_.add_clause(true_lit_);
+    }
+
+    [[nodiscard]] solver& sat_solver() { return solver_; }
+
+    [[nodiscard]] lit constant(bool b) const { return b ? true_lit_ : ~true_lit_; }
+    [[nodiscard]] lit fresh() { return mk_lit(solver_.new_var()); }
+
+    /// o <-> a & b
+    lit and_gate(lit a, lit b) {
+        if (a == constant(false) || b == constant(false)) return constant(false);
+        if (a == constant(true)) return b;
+        if (b == constant(true)) return a;
+        if (a == b) return a;
+        if (a == ~b) return constant(false);
+        lit o = fresh();
+        solver_.add_clause(~o, a);
+        solver_.add_clause(~o, b);
+        solver_.add_clause(o, ~a, ~b);
+        return o;
+    }
+
+    /// o <-> a | b
+    lit or_gate(lit a, lit b) { return ~and_gate(~a, ~b); }
+
+    /// o <-> a ^ b
+    lit xor_gate(lit a, lit b) {
+        if (a == constant(false)) return b;
+        if (b == constant(false)) return a;
+        if (a == constant(true)) return ~b;
+        if (b == constant(true)) return ~a;
+        if (a == b) return constant(false);
+        if (a == ~b) return constant(true);
+        lit o = fresh();
+        solver_.add_clause(~o, a, b);
+        solver_.add_clause(~o, ~a, ~b);
+        solver_.add_clause(o, ~a, b);
+        solver_.add_clause(o, a, ~b);
+        return o;
+    }
+
+    /// o <-> (c ? t : e)
+    lit ite_gate(lit c, lit t, lit e) {
+        if (c == constant(true)) return t;
+        if (c == constant(false)) return e;
+        if (t == e) return t;
+        if (t == ~e) return xor_gate(c, e);
+        if (t == constant(true)) return or_gate(c, e);
+        if (t == constant(false)) return and_gate(~c, e);
+        if (e == constant(true)) return or_gate(~c, t);
+        if (e == constant(false)) return and_gate(c, t);
+        lit o = fresh();
+        solver_.add_clause(~c, ~t, o);
+        solver_.add_clause(~c, t, ~o);
+        solver_.add_clause(c, ~e, o);
+        solver_.add_clause(c, e, ~o);
+        return o;
+    }
+
+    /// o <-> (a <-> b)
+    lit iff_gate(lit a, lit b) { return ~xor_gate(a, b); }
+
+    /// Full adder: returns (sum, carry_out).
+    std::pair<lit, lit> full_adder(lit a, lit b, lit cin) {
+        lit sum = xor_gate(xor_gate(a, b), cin);
+        lit carry = or_gate(and_gate(a, b), and_gate(cin, xor_gate(a, b)));
+        return {sum, carry};
+    }
+
+    /// n-ary AND.
+    lit and_many(const std::vector<lit>& ls) {
+        lit acc = constant(true);
+        for (lit l : ls) acc = and_gate(acc, l);
+        return acc;
+    }
+
+    /// n-ary OR.
+    lit or_many(const std::vector<lit>& ls) {
+        lit acc = constant(false);
+        for (lit l : ls) acc = or_gate(acc, l);
+        return acc;
+    }
+
+private:
+    solver& solver_;
+    lit true_lit_;
+};
+
+}  // namespace sciduction::sat

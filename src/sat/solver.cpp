@@ -1,0 +1,569 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace sciduction::sat {
+
+solver::solver() = default;
+
+var solver::new_var() {
+    var v = static_cast<var>(assigns_.size());
+    assigns_.push_back(lbool::l_undef);
+    polarity_.push_back(1);  // default phase: false (MiniSat convention)
+    level_.push_back(0);
+    reason_.push_back(cref_undef);
+    activity_.push_back(0.0);
+    seen_.push_back(0);
+    heap_pos_.push_back(-1);
+    watches_.emplace_back();
+    watches_.emplace_back();
+    heap_insert(v);
+    return v;
+}
+
+// ---- clause arena ----------------------------------------------------------
+
+cref solver::alloc_clause(const clause_lits& lits, bool learnt) {
+    cref c = static_cast<cref>(arena_.size());
+    std::uint32_t has_extra = learnt ? 1U : 0U;
+    arena_.push_back((static_cast<std::uint32_t>(lits.size()) << 2) | (has_extra << 1) |
+                     (learnt ? 1U : 0U));
+    if (learnt) arena_.push_back(0);  // activity slot
+    for (lit l : lits) arena_.push_back(static_cast<std::uint32_t>(l.x));
+    return c;
+}
+
+float solver::clause_activity(cref c) const {
+    float a;
+    std::uint32_t bits = arena_[c + 1];
+    std::memcpy(&a, &bits, sizeof(a));
+    return a;
+}
+
+void solver::set_clause_activity(cref c, float a) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &a, sizeof(a));
+    arena_[c + 1] = bits;
+}
+
+void solver::shrink_clause(cref c, std::uint32_t new_size) {
+    std::uint32_t hdr = arena_[c];
+    arena_[c] = (new_size << 2) | (hdr & 3U);
+}
+
+// ---- watches ----------------------------------------------------------------
+
+void solver::attach_clause(cref c) {
+    lit l0 = clause_lit(c, 0);
+    lit l1 = clause_lit(c, 1);
+    watches_[lit_index(~l0)].push_back({c, l1});
+    watches_[lit_index(~l1)].push_back({c, l0});
+}
+
+void solver::detach_clause(cref c) {
+    lit l0 = clause_lit(c, 0);
+    lit l1 = clause_lit(c, 1);
+    for (lit w : {~l0, ~l1}) {
+        auto& ws = watches_[lit_index(w)];
+        for (std::size_t i = 0; i < ws.size(); ++i) {
+            if (ws[i].clause == c) {
+                ws[i] = ws.back();
+                ws.pop_back();
+                break;
+            }
+        }
+    }
+}
+
+// ---- adding clauses ----------------------------------------------------------
+
+bool solver::add_clause(clause_lits lits) {
+    if (!ok_) return false;
+    if (decision_level() != 0) throw std::logic_error("add_clause: only at decision level 0");
+
+    std::sort(lits.begin(), lits.end());
+    clause_lits out;
+    lit prev = lit_undef;
+    for (lit l : lits) {
+        if (value(l) == lbool::l_true || l == ~prev) return true;  // satisfied or tautology
+        if (value(l) == lbool::l_false || l == prev) continue;     // falsified or duplicate
+        out.push_back(l);
+        prev = l;
+    }
+
+    if (out.empty()) {
+        ok_ = false;
+        return false;
+    }
+    if (out.size() == 1) {
+        enqueue(out[0], cref_undef);
+        ok_ = propagate() == cref_undef;
+        return ok_;
+    }
+    cref c = alloc_clause(out, /*learnt=*/false);
+    clauses_.push_back(c);
+    attach_clause(c);
+    return true;
+}
+
+// ---- assignment / propagation -------------------------------------------------
+
+void solver::enqueue(lit l, cref from) {
+    var v = var_of(l);
+    assigns_[static_cast<std::size_t>(v)] = lbool_from(!sign_of(l));
+    level_[static_cast<std::size_t>(v)] = decision_level();
+    reason_[static_cast<std::size_t>(v)] = from;
+    trail_.push_back(l);
+}
+
+cref solver::propagate() {
+    cref confl = cref_undef;
+    while (qhead_ < trail_.size()) {
+        lit p = trail_[qhead_++];
+        ++stats_.propagations;
+        auto& ws = watches_[lit_index(p)];
+        std::size_t i = 0;
+        std::size_t j = 0;
+        while (i < ws.size()) {
+            watcher w = ws[i];
+            if (value(w.blocker) == lbool::l_true) {
+                ws[j++] = ws[i++];
+                continue;
+            }
+            cref c = w.clause;
+            // Ensure the false literal (~p) sits at position 1.
+            lit false_lit = ~p;
+            if (clause_lit(c, 0) == false_lit) {
+                set_clause_lit(c, 0, clause_lit(c, 1));
+                set_clause_lit(c, 1, false_lit);
+            }
+            ++i;
+            lit first = clause_lit(c, 0);
+            if (first != w.blocker && value(first) == lbool::l_true) {
+                ws[j++] = {c, first};
+                continue;
+            }
+            // Look for a new literal to watch.
+            std::uint32_t sz = clause_size(c);
+            bool found = false;
+            for (std::uint32_t k = 2; k < sz; ++k) {
+                lit lk = clause_lit(c, k);
+                if (value(lk) != lbool::l_false) {
+                    set_clause_lit(c, 1, lk);
+                    set_clause_lit(c, k, false_lit);
+                    watches_[lit_index(~lk)].push_back({c, first});
+                    found = true;
+                    break;
+                }
+            }
+            if (found) continue;
+            // Clause is unit or conflicting.
+            ws[j++] = {c, first};
+            if (value(first) == lbool::l_false) {
+                confl = c;
+                qhead_ = trail_.size();
+                while (i < ws.size()) ws[j++] = ws[i++];
+            } else {
+                enqueue(first, c);
+            }
+        }
+        ws.resize(j);
+        if (confl != cref_undef) break;
+    }
+    return confl;
+}
+
+void solver::backtrack_to(int lvl) {
+    if (decision_level() <= lvl) return;
+    std::size_t bound = static_cast<std::size_t>(trail_lim_[static_cast<std::size_t>(lvl)]);
+    for (std::size_t i = trail_.size(); i-- > bound;) {
+        var v = var_of(trail_[i]);
+        polarity_[static_cast<std::size_t>(v)] = sign_of(trail_[i]) ? 1 : 0;
+        assigns_[static_cast<std::size_t>(v)] = lbool::l_undef;
+        reason_[static_cast<std::size_t>(v)] = cref_undef;
+        if (!heap_contains(v)) heap_insert(v);
+    }
+    trail_.resize(bound);
+    trail_lim_.resize(static_cast<std::size_t>(lvl));
+    qhead_ = trail_.size();
+}
+
+// ---- conflict analysis ----------------------------------------------------------
+
+void solver::analyze(cref confl, clause_lits& out_learnt, int& out_btlevel) {
+    int path_count = 0;
+    lit p = lit_undef;
+    out_learnt.clear();
+    out_learnt.push_back(lit_undef);  // slot for the asserting literal
+    std::size_t index = trail_.size();
+
+    do {
+        cref c = confl;
+        if (clause_learnt(c)) cla_bump_activity(c);
+        std::uint32_t start = (p == lit_undef) ? 0U : 1U;
+        std::uint32_t sz = clause_size(c);
+        for (std::uint32_t k = start; k < sz; ++k) {
+            lit q = clause_lit(c, k);
+            var vq = var_of(q);
+            if (seen_[static_cast<std::size_t>(vq)] == 0 && level_of(vq) > 0) {
+                var_bump_activity(vq);
+                seen_[static_cast<std::size_t>(vq)] = 1;
+                if (level_of(vq) >= decision_level()) {
+                    ++path_count;
+                } else {
+                    out_learnt.push_back(q);
+                }
+            }
+        }
+        // Select next literal on the trail to expand.
+        while (seen_[static_cast<std::size_t>(var_of(trail_[index - 1]))] == 0) --index;
+        --index;
+        p = trail_[index];
+        confl = reason_[static_cast<std::size_t>(var_of(p))];
+        seen_[static_cast<std::size_t>(var_of(p))] = 0;
+        --path_count;
+    } while (path_count > 0);
+    out_learnt[0] = ~p;
+
+    // Clause minimization: drop implied literals.
+    analyze_toclear_.assign(out_learnt.begin(), out_learnt.end());
+    std::uint32_t abstract_levels = 0;
+    for (std::size_t k = 1; k < out_learnt.size(); ++k)
+        abstract_levels |= 1U << (static_cast<std::uint32_t>(level_of(var_of(out_learnt[k]))) & 31U);
+    std::size_t keep = 1;
+    for (std::size_t k = 1; k < out_learnt.size(); ++k) {
+        var v = var_of(out_learnt[k]);
+        if (reason_[static_cast<std::size_t>(v)] == cref_undef ||
+            !lit_redundant(out_learnt[k], abstract_levels)) {
+            out_learnt[keep++] = out_learnt[k];
+        }
+    }
+    stats_.minimized_literals += out_learnt.size() - keep;
+    out_learnt.resize(keep);
+    stats_.learnt_literals += out_learnt.size();
+
+    // Compute backtrack level: the second-highest level in the clause.
+    if (out_learnt.size() == 1) {
+        out_btlevel = 0;
+    } else {
+        std::size_t max_i = 1;
+        for (std::size_t k = 2; k < out_learnt.size(); ++k)
+            if (level_of(var_of(out_learnt[k])) > level_of(var_of(out_learnt[max_i]))) max_i = k;
+        std::swap(out_learnt[1], out_learnt[max_i]);
+        out_btlevel = level_of(var_of(out_learnt[1]));
+    }
+
+    for (lit l : analyze_toclear_) seen_[static_cast<std::size_t>(var_of(l))] = 0;
+}
+
+bool solver::lit_redundant(lit l, std::uint32_t abstract_levels) {
+    analyze_stack_.clear();
+    analyze_stack_.push_back(l);
+    std::size_t top = analyze_toclear_.size();
+    while (!analyze_stack_.empty()) {
+        lit cur = analyze_stack_.back();
+        analyze_stack_.pop_back();
+        cref c = reason_[static_cast<std::size_t>(var_of(cur))];
+        std::uint32_t sz = clause_size(c);
+        for (std::uint32_t k = 1; k < sz; ++k) {
+            lit q = clause_lit(c, k);
+            var vq = var_of(q);
+            if (seen_[static_cast<std::size_t>(vq)] != 0 || level_of(vq) == 0) continue;
+            if (reason_[static_cast<std::size_t>(vq)] != cref_undef &&
+                ((1U << (static_cast<std::uint32_t>(level_of(vq)) & 31U)) & abstract_levels) != 0) {
+                seen_[static_cast<std::size_t>(vq)] = 1;
+                analyze_stack_.push_back(q);
+                analyze_toclear_.push_back(q);
+            } else {
+                // Not removable: undo marks added during this check.
+                for (std::size_t j = top; j < analyze_toclear_.size(); ++j)
+                    seen_[static_cast<std::size_t>(var_of(analyze_toclear_[j]))] = 0;
+                analyze_toclear_.resize(top);
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+void solver::analyze_final(lit p) {
+    conflict_.clear();
+    conflict_.push_back(p);
+    if (decision_level() == 0) return;
+    seen_[static_cast<std::size_t>(var_of(p))] = 1;
+    for (std::size_t i = trail_.size();
+         i-- > static_cast<std::size_t>(trail_lim_[0]);) {
+        var x = var_of(trail_[i]);
+        if (seen_[static_cast<std::size_t>(x)] == 0) continue;
+        cref r = reason_[static_cast<std::size_t>(x)];
+        if (r == cref_undef) {
+            conflict_.push_back(~trail_[i]);
+        } else {
+            std::uint32_t sz = clause_size(r);
+            for (std::uint32_t k = 1; k < sz; ++k) {
+                var vq = var_of(clause_lit(r, k));
+                if (level_of(vq) > 0) seen_[static_cast<std::size_t>(vq)] = 1;
+            }
+        }
+        seen_[static_cast<std::size_t>(x)] = 0;
+    }
+    seen_[static_cast<std::size_t>(var_of(p))] = 0;
+}
+
+// ---- heuristics --------------------------------------------------------------
+
+void solver::var_bump_activity(var v) {
+    double& a = activity_[static_cast<std::size_t>(v)];
+    a += var_inc_;
+    if (a > 1e100) {
+        for (auto& x : activity_) x *= 1e-100;
+        var_inc_ *= 1e-100;
+    }
+    if (heap_contains(v)) heap_update(v);
+}
+
+void solver::cla_bump_activity(cref c) {
+    float a = clause_activity(c) + static_cast<float>(cla_inc_);
+    if (a > 1e20F) {
+        for (cref lc : learnts_) set_clause_activity(lc, clause_activity(lc) * 1e-20F);
+        cla_inc_ *= 1e-20;
+        a = clause_activity(c) + static_cast<float>(cla_inc_);
+    }
+    set_clause_activity(c, a);
+}
+
+lit solver::pick_branch_lit() {
+    var next = var_undef;
+    while (next == var_undef || value(next) != lbool::l_undef) {
+        if (heap_.empty()) return lit_undef;
+        next = heap_pop();
+    }
+    return mk_lit(next, polarity_[static_cast<std::size_t>(next)] != 0);
+}
+
+// indexed binary max-heap --------------------------------------------------------
+
+void solver::heap_insert(var v) {
+    heap_pos_[static_cast<std::size_t>(v)] = static_cast<int>(heap_.size());
+    heap_.push_back(v);
+    heap_sift_up(static_cast<int>(heap_.size()) - 1);
+}
+
+void solver::heap_update(var v) {
+    int i = heap_pos_[static_cast<std::size_t>(v)];
+    heap_sift_up(i);
+    heap_sift_down(heap_pos_[static_cast<std::size_t>(v)]);
+}
+
+var solver::heap_pop() {
+    var top = heap_[0];
+    heap_pos_[static_cast<std::size_t>(top)] = -1;
+    heap_[0] = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+        heap_pos_[static_cast<std::size_t>(heap_[0])] = 0;
+        heap_sift_down(0);
+    }
+    return top;
+}
+
+void solver::heap_sift_up(int i) {
+    var v = heap_[static_cast<std::size_t>(i)];
+    while (i > 0) {
+        int parent = (i - 1) / 2;
+        if (!heap_less(v, heap_[static_cast<std::size_t>(parent)])) break;
+        heap_[static_cast<std::size_t>(i)] = heap_[static_cast<std::size_t>(parent)];
+        heap_pos_[static_cast<std::size_t>(heap_[static_cast<std::size_t>(i)])] = i;
+        i = parent;
+    }
+    heap_[static_cast<std::size_t>(i)] = v;
+    heap_pos_[static_cast<std::size_t>(v)] = i;
+}
+
+void solver::heap_sift_down(int i) {
+    var v = heap_[static_cast<std::size_t>(i)];
+    int n = static_cast<int>(heap_.size());
+    for (;;) {
+        int child = 2 * i + 1;
+        if (child >= n) break;
+        if (child + 1 < n &&
+            heap_less(heap_[static_cast<std::size_t>(child + 1)],
+                      heap_[static_cast<std::size_t>(child)]))
+            ++child;
+        if (!heap_less(heap_[static_cast<std::size_t>(child)], v)) break;
+        heap_[static_cast<std::size_t>(i)] = heap_[static_cast<std::size_t>(child)];
+        heap_pos_[static_cast<std::size_t>(heap_[static_cast<std::size_t>(i)])] = i;
+        i = child;
+    }
+    heap_[static_cast<std::size_t>(i)] = v;
+    heap_pos_[static_cast<std::size_t>(v)] = i;
+}
+
+// ---- learnt DB management ------------------------------------------------------
+
+bool solver::clause_locked(cref c) const {
+    lit l0 = clause_lit(c, 0);
+    return value(l0) == lbool::l_true && reason_[static_cast<std::size_t>(var_of(l0))] == c;
+}
+
+void solver::reduce_db() {
+    // Sort by activity ascending and drop the lower half (except locked /
+    // binary clauses, which are cheap and valuable).
+    std::sort(learnts_.begin(), learnts_.end(), [this](cref a, cref b) {
+        bool bin_a = clause_size(a) == 2;
+        bool bin_b = clause_size(b) == 2;
+        if (bin_a != bin_b) return !bin_a;  // non-binary first (deleted first)
+        return clause_activity(a) < clause_activity(b);
+    });
+    std::size_t keep = 0;
+    double extra_lim = cla_inc_ / static_cast<double>(std::max<std::size_t>(learnts_.size(), 1));
+    for (std::size_t i = 0; i < learnts_.size(); ++i) {
+        cref c = learnts_[i];
+        bool removable = clause_size(c) > 2 && !clause_locked(c) &&
+                         (i < learnts_.size() / 2 || clause_activity(c) < extra_lim);
+        if (removable) {
+            detach_clause(c);
+            ++stats_.deleted_clauses;
+        } else {
+            learnts_[keep++] = c;
+        }
+    }
+    learnts_.resize(keep);
+}
+
+void solver::remove_satisfied(std::vector<cref>& clauses) {
+    std::size_t keep = 0;
+    for (cref c : clauses) {
+        bool satisfied = false;
+        std::uint32_t sz = clause_size(c);
+        for (std::uint32_t k = 0; k < sz && !satisfied; ++k)
+            satisfied = value(clause_lit(c, k)) == lbool::l_true;
+        if (satisfied) {
+            detach_clause(c);
+        } else {
+            clauses[keep++] = c;
+        }
+    }
+    clauses.resize(keep);
+}
+
+void solver::simplify() {
+    if (decision_level() != 0 || !ok_) return;
+    if (trail_.size() == simplify_assigns_) return;
+    remove_satisfied(learnts_);
+    remove_satisfied(clauses_);
+    simplify_assigns_ = trail_.size();
+}
+
+// ---- search ---------------------------------------------------------------------
+
+lbool solver::search(std::uint64_t conflicts_before_restart) {
+    std::uint64_t conflicts_here = 0;
+    clause_lits learnt;
+    for (;;) {
+        cref confl = propagate();
+        if (confl != cref_undef) {
+            ++stats_.conflicts;
+            ++conflicts_here;
+            if (conflict_budget_ != 0 && stats_.conflicts > conflict_budget_)
+                throw std::runtime_error("sat::solver: conflict budget exceeded");
+            if (decision_level() == 0) {
+                ok_ = false;
+                conflict_.clear();
+                return lbool::l_false;
+            }
+            int btlevel = 0;
+            analyze(confl, learnt, btlevel);
+            backtrack_to(btlevel);
+            if (learnt.size() == 1) {
+                enqueue(learnt[0], cref_undef);
+            } else {
+                cref c = alloc_clause(learnt, /*learnt=*/true);
+                learnts_.push_back(c);
+                attach_clause(c);
+                cla_bump_activity(c);
+                enqueue(learnt[0], c);
+            }
+            var_decay_activity();
+            cla_decay_activity();
+        } else {
+            if (conflicts_here >= conflicts_before_restart) {
+                backtrack_to(0);
+                ++stats_.restarts;
+                return lbool::l_undef;
+            }
+            if (decision_level() == 0) simplify();
+            if (static_cast<double>(learnts_.size()) >= max_learnts_ + trail_.size()) {
+                reduce_db();
+                max_learnts_ *= learntsize_inc_;
+            }
+
+            lit next = lit_undef;
+            while (decision_level() < static_cast<int>(assumptions_.size())) {
+                lit p = assumptions_[static_cast<std::size_t>(decision_level())];
+                if (value(p) == lbool::l_true) {
+                    new_decision_level();  // dummy level: assumption already holds
+                } else if (value(p) == lbool::l_false) {
+                    analyze_final(~p);
+                    return lbool::l_false;
+                } else {
+                    next = p;
+                    break;
+                }
+            }
+            if (next == lit_undef) {
+                next = pick_branch_lit();
+                if (next == lit_undef) return lbool::l_true;  // all variables assigned
+                ++stats_.decisions;
+            }
+            new_decision_level();
+            enqueue(next, cref_undef);
+        }
+    }
+}
+
+double solver::luby(double y, std::uint64_t i) {
+    // Finite subsequence sizes of the Luby restart sequence.
+    std::uint64_t size = 1;
+    std::uint64_t seq = 0;
+    while (size < i + 1) {
+        ++seq;
+        size = 2 * size + 1;
+    }
+    while (size - 1 != i) {
+        size = (size - 1) / 2;
+        --seq;
+        i = i % size;
+    }
+    return std::pow(y, static_cast<double>(seq));
+}
+
+solve_result solver::solve(const std::vector<lit>& assumptions) {
+    assumptions_ = assumptions;
+    conflict_.clear();
+    model_.clear();
+    if (!ok_) return solve_result::unsat;
+
+    max_learnts_ = std::max(static_cast<double>(clauses_.size()) * learntsize_factor_, 1000.0);
+
+    lbool status = lbool::l_undef;
+    std::uint64_t restarts = 0;
+    while (status == lbool::l_undef) {
+        double budget = 100.0 * luby(2.0, restarts++);
+        status = search(static_cast<std::uint64_t>(budget));
+    }
+
+    if (status == lbool::l_true) {
+        model_.assign(assigns_.begin(), assigns_.end());
+        // Unassigned vars (eliminated from the heap race) default to false.
+        for (auto& v : model_)
+            if (v == lbool::l_undef) v = lbool::l_false;
+    }
+    backtrack_to(0);
+    return status == lbool::l_true ? solve_result::sat : solve_result::unsat;
+}
+
+}  // namespace sciduction::sat

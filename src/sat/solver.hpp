@@ -1,0 +1,201 @@
+// CDCL SAT solver.
+//
+// A MiniSat-lineage conflict-driven clause-learning solver: two-watched
+// literals, VSIDS decision heuristic with phase saving, Luby restarts,
+// first-UIP learning with clause minimization, activity-driven learnt-clause
+// deletion, and solving under assumptions (the hook that makes the SMT layer
+// incremental).
+//
+// The paper (Sec. 2.4.2) discusses CDCL itself as a *deductive* engine whose
+// clause learning is resolution-based generalization; here it is the bottom
+// deductive layer for the QF_BV solver (Secs. 3-4) and the invariant-
+// generation extension (Sec. 2.4.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/types.hpp"
+
+namespace sciduction::sat {
+
+/// Reference to a clause in the arena.
+using cref = std::uint32_t;
+inline constexpr cref cref_undef = 0xffffffffU;
+
+/// Solver statistics, exposed for benches and tests.
+struct solver_stats {
+    std::uint64_t decisions = 0;
+    std::uint64_t propagations = 0;
+    std::uint64_t conflicts = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t learnt_literals = 0;
+    std::uint64_t minimized_literals = 0;
+    std::uint64_t deleted_clauses = 0;
+};
+
+enum class solve_result : std::uint8_t { sat, unsat };
+
+class solver {
+public:
+    solver();
+
+    /// Creates a fresh variable and returns its index.
+    var new_var();
+    [[nodiscard]] int num_vars() const { return static_cast<int>(assigns_.size()); }
+
+    /// Adds a clause (top-level). Returns false if the solver became
+    /// trivially unsatisfiable (empty clause / conflicting units).
+    bool add_clause(clause_lits lits);
+    bool add_clause(lit a) { return add_clause(clause_lits{a}); }
+    bool add_clause(lit a, lit b) { return add_clause(clause_lits{a, b}); }
+    bool add_clause(lit a, lit b, lit c) { return add_clause(clause_lits{a, b, c}); }
+
+    [[nodiscard]] bool okay() const { return ok_; }
+    [[nodiscard]] std::size_t num_clauses() const { return clauses_.size(); }
+    [[nodiscard]] std::size_t num_learnts() const { return learnts_.size(); }
+
+    /// Solves under the given assumptions.
+    solve_result solve(const std::vector<lit>& assumptions = {});
+
+    /// Model access after a sat answer.
+    [[nodiscard]] lbool model_value(var v) const { return model_[static_cast<std::size_t>(v)]; }
+    [[nodiscard]] bool model_bool(var v) const { return model_value(v) == lbool::l_true; }
+    [[nodiscard]] bool model_lit(lit l) const {
+        lbool v = model_value(var_of(l));
+        return sign_of(l) ? v == lbool::l_false : v == lbool::l_true;
+    }
+
+    /// After an unsat answer under assumptions: the subset of assumptions
+    /// (negated) that formed the final conflict.
+    [[nodiscard]] const std::vector<lit>& conflict_core() const { return conflict_; }
+
+    [[nodiscard]] const solver_stats& stats() const { return stats_; }
+
+    /// Hard limit on conflicts per solve() call; 0 means unlimited.
+    /// Exceeding the budget returns unsat-free "unknown" mapped to an
+    /// exception to keep the result type binary; callers set generous limits.
+    void set_conflict_budget(std::uint64_t budget) { conflict_budget_ = budget; }
+
+private:
+    // ---- clause arena ----------------------------------------------------
+    // Layout per clause: [header][act (learnt only)][lit0][lit1]...
+    // header = (size << 2) | (has_extra << 1) | learnt
+    struct clause_ref {
+        cref offset;
+    };
+
+    [[nodiscard]] std::uint32_t clause_size(cref c) const { return arena_[c] >> 2; }
+    [[nodiscard]] bool clause_learnt(cref c) const { return (arena_[c] & 1U) != 0; }
+    [[nodiscard]] lit clause_lit(cref c, std::uint32_t i) const {
+        return lit{static_cast<std::int32_t>(arena_[c + lit_offset(c) + i])};
+    }
+    void set_clause_lit(cref c, std::uint32_t i, lit l) {
+        arena_[c + lit_offset(c) + i] = static_cast<std::uint32_t>(l.x);
+    }
+    [[nodiscard]] std::uint32_t lit_offset(cref c) const { return 1U + ((arena_[c] >> 1) & 1U); }
+    [[nodiscard]] float clause_activity(cref c) const;
+    void set_clause_activity(cref c, float a);
+    void shrink_clause(cref c, std::uint32_t new_size);
+
+    cref alloc_clause(const clause_lits& lits, bool learnt);
+
+    // ---- watched literals ------------------------------------------------
+    struct watcher {
+        cref clause;
+        lit blocker;
+    };
+
+    void attach_clause(cref c);
+    void detach_clause(cref c);
+
+    // ---- assignment / trail ----------------------------------------------
+    [[nodiscard]] lbool value(var v) const { return assigns_[static_cast<std::size_t>(v)]; }
+    [[nodiscard]] lbool value(lit l) const {
+        lbool v = value(var_of(l));
+        return sign_of(l) ? negate(v) : v;
+    }
+    [[nodiscard]] int decision_level() const { return static_cast<int>(trail_lim_.size()); }
+    [[nodiscard]] int level_of(var v) const { return level_[static_cast<std::size_t>(v)]; }
+
+    void enqueue(lit l, cref from);
+    cref propagate();
+    void new_decision_level() { trail_lim_.push_back(static_cast<int>(trail_.size())); }
+    void backtrack_to(int level);
+
+    // ---- conflict analysis -----------------------------------------------
+    void analyze(cref confl, clause_lits& out_learnt, int& out_btlevel);
+    [[nodiscard]] bool lit_redundant(lit l, std::uint32_t abstract_levels);
+    void analyze_final(lit p);
+
+    // ---- heuristics -------------------------------------------------------
+    void var_bump_activity(var v);
+    void var_decay_activity() { var_inc_ /= var_decay_; }
+    void cla_bump_activity(cref c);
+    void cla_decay_activity() { cla_inc_ /= cla_decay_; }
+    lit pick_branch_lit();
+
+    // order heap (max-heap on activity, indexed for decrease/increase key)
+    void heap_insert(var v);
+    void heap_update(var v);
+    var heap_pop();
+    [[nodiscard]] bool heap_contains(var v) const {
+        return heap_pos_[static_cast<std::size_t>(v)] >= 0;
+    }
+    void heap_sift_up(int i);
+    void heap_sift_down(int i);
+    [[nodiscard]] bool heap_less(var a, var b) const {
+        return activity_[static_cast<std::size_t>(a)] > activity_[static_cast<std::size_t>(b)];
+    }
+
+    // ---- top-level simplification & learnt DB management ------------------
+    void remove_satisfied(std::vector<cref>& clauses);
+    void reduce_db();
+    [[nodiscard]] bool clause_locked(cref c) const;
+    void simplify();
+
+    // ---- search -----------------------------------------------------------
+    lbool search(std::uint64_t conflicts_before_restart);
+    static double luby(double y, std::uint64_t i);
+
+    // ---- state ------------------------------------------------------------
+    bool ok_ = true;
+    std::vector<std::uint32_t> arena_;
+    std::vector<cref> clauses_;
+    std::vector<cref> learnts_;
+    std::vector<std::vector<watcher>> watches_;  // indexed by lit_index
+    std::vector<lbool> assigns_;
+    std::vector<char> polarity_;  // saved phase, 1 = last assigned false
+    std::vector<int> level_;
+    std::vector<cref> reason_;
+    std::vector<lit> trail_;
+    std::vector<int> trail_lim_;
+    std::size_t qhead_ = 0;
+
+    std::vector<double> activity_;
+    double var_inc_ = 1.0;
+    double var_decay_ = 0.95;
+    double cla_inc_ = 1.0;
+    double cla_decay_ = 0.999;
+    std::vector<var> heap_;
+    std::vector<int> heap_pos_;
+
+    std::vector<char> seen_;
+    std::vector<lit> analyze_stack_;
+    std::vector<lit> analyze_toclear_;
+
+    std::vector<lit> assumptions_;
+    std::vector<lit> conflict_;
+    std::vector<lbool> model_;
+
+    double max_learnts_ = 0.0;
+    double learntsize_factor_ = 1.0 / 3.0;
+    double learntsize_inc_ = 1.1;
+
+    std::uint64_t conflict_budget_ = 0;
+    std::uint64_t simplify_assigns_ = 0;  // #top-level assigns at last simplify
+
+    solver_stats stats_;
+};
+
+}  // namespace sciduction::sat

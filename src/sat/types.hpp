@@ -1,0 +1,43 @@
+// Core SAT types: variables, literals, the lifted boolean.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sciduction::sat {
+
+/// Variable index, 0-based.
+using var = std::int32_t;
+inline constexpr var var_undef = -1;
+
+/// A literal is a variable with a polarity, packed as 2*var + sign
+/// (sign == 1 means negated). Packing keeps watch lists index-friendly.
+struct lit {
+    std::int32_t x = -2;
+
+    friend bool operator==(lit a, lit b) { return a.x == b.x; }
+    friend bool operator!=(lit a, lit b) { return a.x != b.x; }
+    friend bool operator<(lit a, lit b) { return a.x < b.x; }
+};
+
+inline constexpr lit lit_undef{-2};
+
+inline lit mk_lit(var v, bool negated = false) { return lit{v * 2 + (negated ? 1 : 0)}; }
+inline lit operator~(lit l) { return lit{l.x ^ 1}; }
+inline var var_of(lit l) { return l.x >> 1; }
+inline bool sign_of(lit l) { return (l.x & 1) != 0; }
+/// Dense index for watch lists and the like.
+inline std::size_t lit_index(lit l) { return static_cast<std::size_t>(l.x); }
+
+/// Lifted boolean: true / false / undefined.
+enum class lbool : std::uint8_t { l_false = 0, l_true = 1, l_undef = 2 };
+
+inline lbool lbool_from(bool b) { return b ? lbool::l_true : lbool::l_false; }
+inline lbool negate(lbool v) {
+    if (v == lbool::l_undef) return v;
+    return v == lbool::l_true ? lbool::l_false : lbool::l_true;
+}
+
+using clause_lits = std::vector<lit>;
+
+}  // namespace sciduction::sat

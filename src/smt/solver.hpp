@@ -1,0 +1,69 @@
+// QF_BV satisfiability via bit-blasting onto the CDCL SAT core.
+//
+// This is the deductive engine "D" of the paper's first two applications:
+// GameTime uses it to decide basis-path feasibility and to extract test
+// cases (Sec. 3); oracle-guided synthesis uses it to find candidate programs
+// and distinguishing inputs (Sec. 4). The solver is monotone-incremental:
+// assert as many formulas as you like, call check() repeatedly (optionally
+// under assumptions), and read back models.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "sat/gates.hpp"
+#include "sat/solver.hpp"
+#include "smt/term.hpp"
+
+namespace sciduction::smt {
+
+enum class check_result : std::uint8_t { sat, unsat };
+
+class smt_solver {
+public:
+    explicit smt_solver(term_manager& tm) : tm_(tm), gates_(sat_) {}
+
+    term_manager& manager() { return tm_; }
+
+    /// Asserts a boolean term (conjoined with previous assertions).
+    void assert_term(term t);
+
+    /// Decides the conjunction of all assertions, optionally under extra
+    /// boolean assumption terms (not persisted).
+    check_result check(const std::vector<term>& assumptions = {});
+
+    /// After a sat answer: concrete value of any term (variables that never
+    /// reached the solver evaluate as 0).
+    [[nodiscard]] std::uint64_t model_value(term t) const;
+    [[nodiscard]] bool model_bool(term t) const { return model_value(t) != 0; }
+
+    /// After a sat answer: the environment of all blasted variables, ready
+    /// for term_manager::evaluate.
+    [[nodiscard]] env model_env() const;
+
+    [[nodiscard]] const sat::solver_stats& stats() const { return sat_.stats(); }
+    [[nodiscard]] std::size_t num_clauses() const { return sat_.num_clauses(); }
+
+private:
+    std::vector<sat::lit> blast(term t);
+    sat::lit blast_bool(term t);
+
+    // circuit builders over bit vectors (LSB first)
+    using bits = std::vector<sat::lit>;
+    bits adder(const bits& a, const bits& b, sat::lit carry_in);
+    bits negate_bits(const bits& a);
+    bits multiplier(const bits& a, const bits& b);
+    /// Returns {quotient, remainder} with SMT-LIB division-by-zero semantics.
+    std::pair<bits, bits> divider(const bits& a, const bits& b);
+    bits shifter(const bits& a, const bits& amount, kind k);
+    sat::lit ult_chain(const bits& a, const bits& b);
+    sat::lit equality(const bits& a, const bits& b);
+
+    term_manager& tm_;
+    sat::solver sat_;
+    sat::gate_encoder gates_;
+    std::unordered_map<std::uint32_t, bits> cache_;
+    std::vector<term> blasted_vars_;
+};
+
+}  // namespace sciduction::smt

@@ -1,0 +1,21 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sciduction::util {
+
+std::string histogram::to_ascii(int max_bar) const {
+    std::ostringstream os;
+    std::int64_t peak = 1;
+    for (const auto& [lo, n] : bins_) peak = std::max(peak, n);
+    for (const auto& [lo, n] : bins_) {
+        int bar = static_cast<int>((n * max_bar) / peak);
+        os << lo << ".." << (lo + bin_width_ - 1) << " | ";
+        for (int i = 0; i < bar; ++i) os << '#';
+        os << ' ' << n << '\n';
+    }
+    return os.str();
+}
+
+}  // namespace sciduction::util

@@ -1,0 +1,68 @@
+// Fixed-width binned histogram used to compare predicted vs. measured
+// execution-time distributions (paper Fig. 6).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sciduction::util {
+
+class histogram {
+public:
+    /// bin_width > 0; samples are binned as floor(x / bin_width) * bin_width.
+    explicit histogram(std::int64_t bin_width) : bin_width_(bin_width) {}
+
+    void add(std::int64_t sample, std::int64_t count = 1) {
+        std::int64_t lo = sample >= 0 ? (sample / bin_width_) * bin_width_
+                                      : ((sample - bin_width_ + 1) / bin_width_) * bin_width_;
+        bins_[lo] += count;
+        total_ += count;
+    }
+
+    [[nodiscard]] std::int64_t bin_width() const { return bin_width_; }
+    [[nodiscard]] std::int64_t total() const { return total_; }
+    [[nodiscard]] const std::map<std::int64_t, std::int64_t>& bins() const { return bins_; }
+
+    [[nodiscard]] std::int64_t count_at(std::int64_t bin_lo) const {
+        auto it = bins_.find(bin_lo);
+        return it == bins_.end() ? 0 : it->second;
+    }
+
+    /// Total variation distance in [0,1] between two histograms interpreted
+    /// as probability distributions over bins. Both must be non-empty.
+    [[nodiscard]] double total_variation_distance(const histogram& other) const {
+        double tv = 0.0;
+        auto a = bins_.begin();
+        auto b = other.bins_.begin();
+        while (a != bins_.end() || b != other.bins_.end()) {
+            double pa = 0.0;
+            double pb = 0.0;
+            if (b == other.bins_.end() || (a != bins_.end() && a->first < b->first)) {
+                pa = static_cast<double>(a->second) / static_cast<double>(total_);
+                ++a;
+            } else if (a == bins_.end() || b->first < a->first) {
+                pb = static_cast<double>(b->second) / static_cast<double>(other.total_);
+                ++b;
+            } else {
+                pa = static_cast<double>(a->second) / static_cast<double>(total_);
+                pb = static_cast<double>(b->second) / static_cast<double>(other.total_);
+                ++a;
+                ++b;
+            }
+            tv += pa > pb ? pa - pb : pb - pa;
+        }
+        return tv / 2.0;
+    }
+
+    /// Renders an ASCII bar chart (one row per bin), for bench/report output.
+    [[nodiscard]] std::string to_ascii(int max_bar = 50) const;
+
+private:
+    std::int64_t bin_width_;
+    std::int64_t total_ = 0;
+    std::map<std::int64_t, std::int64_t> bins_;
+};
+
+}  // namespace sciduction::util

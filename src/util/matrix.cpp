@@ -1,0 +1,135 @@
+#include "util/matrix.hpp"
+
+#include <stdexcept>
+
+namespace sciduction::util {
+
+rmatrix rmatrix::from_rows(const std::vector<rvector>& rows) {
+    if (rows.empty()) return {};
+    rmatrix m(rows.size(), rows.front().size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        if (rows[r].size() != m.cols()) throw std::invalid_argument("from_rows: ragged rows");
+        for (std::size_t c = 0; c < m.cols(); ++c) m.at(r, c) = rows[r][c];
+    }
+    return m;
+}
+
+rmatrix rmatrix::transpose() const {
+    rmatrix t(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+    return t;
+}
+
+rmatrix rmatrix::multiply(const rmatrix& o) const {
+    if (cols_ != o.rows_) throw std::invalid_argument("multiply: dimension mismatch");
+    rmatrix p(rows_, o.cols_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t k = 0; k < cols_; ++k) {
+            if (at(r, k).is_zero()) continue;
+            for (std::size_t c = 0; c < o.cols_; ++c)
+                p.at(r, c) += at(r, k) * o.at(k, c);
+        }
+    return p;
+}
+
+rvector rmatrix::multiply(const rvector& v) const {
+    if (cols_ != v.size()) throw std::invalid_argument("multiply: dimension mismatch");
+    rvector out(rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            if (!at(r, c).is_zero()) out[r] += at(r, c) * v[c];
+    return out;
+}
+
+std::size_t rmatrix::rank() const {
+    echelon_basis eb(cols_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        rvector row(cols_);
+        for (std::size_t c = 0; c < cols_; ++c) row[c] = at(r, c);
+        eb.insert(row);
+    }
+    return eb.rank();
+}
+
+std::optional<rvector> solve_square(const rmatrix& a, const rvector& b) {
+    const std::size_t n = a.rows();
+    if (a.cols() != n || b.size() != n) throw std::invalid_argument("solve_square: not square");
+    // Gauss-Jordan on the augmented matrix [A | b].
+    std::vector<rvector> m(n, rvector(n + 1));
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) m[r][c] = a.at(r, c);
+        m[r][n] = b[r];
+    }
+    for (std::size_t col = 0; col < n; ++col) {
+        std::size_t piv = col;
+        while (piv < n && m[piv][col].is_zero()) ++piv;
+        if (piv == n) return std::nullopt;  // singular
+        std::swap(m[piv], m[col]);
+        rational inv = m[col][col].inverse();
+        for (std::size_t c = col; c <= n; ++c) m[col][c] *= inv;
+        for (std::size_t r = 0; r < n; ++r) {
+            if (r == col || m[r][col].is_zero()) continue;
+            rational f = m[r][col];
+            for (std::size_t c = col; c <= n; ++c) m[r][c] -= f * m[col][c];
+        }
+    }
+    rvector x(n);
+    for (std::size_t r = 0; r < n; ++r) x[r] = m[r][n];
+    return x;
+}
+
+std::optional<rvector> min_norm_solution(const rmatrix& b_mat, const rvector& b) {
+    // w = B^T (B B^T)^-1 b
+    rmatrix bt = b_mat.transpose();
+    rmatrix gram = b_mat.multiply(bt);
+    auto y = solve_square(gram, b);
+    if (!y) return std::nullopt;
+    return bt.multiply(*y);
+}
+
+std::optional<rvector> basis_coordinates(const rmatrix& b_mat, const rvector& x) {
+    // Solve c B = x  <=>  B B^T c^T = B x^T (valid when x is in the row span).
+    rmatrix bt = b_mat.transpose();
+    rmatrix gram = b_mat.multiply(bt);
+    auto c = solve_square(gram, b_mat.multiply(x));
+    if (!c) return std::nullopt;
+    // Verify membership in the row span: c B must equal x exactly.
+    rvector recon = bt.multiply(*c);
+    if (recon != x) return std::nullopt;
+    return c;
+}
+
+rvector echelon_basis::reduce(rvector v) const {
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+        const std::size_t p = pivots_[i];
+        if (v[p].is_zero()) continue;
+        rational f = v[p];  // rows_ are normalized so rows_[i][p] == 1
+        for (std::size_t c = 0; c < dim_; ++c)
+            if (!rows_[i][c].is_zero()) v[c] -= f * rows_[i][c];
+    }
+    return v;
+}
+
+bool echelon_basis::is_independent(const rvector& v) const {
+    if (v.size() != dim_) throw std::invalid_argument("echelon_basis: bad dimension");
+    rvector r = reduce(v);
+    for (const auto& x : r)
+        if (!x.is_zero()) return true;
+    return false;
+}
+
+bool echelon_basis::insert(const rvector& v) {
+    if (v.size() != dim_) throw std::invalid_argument("echelon_basis: bad dimension");
+    rvector r = reduce(v);
+    std::size_t p = 0;
+    while (p < dim_ && r[p].is_zero()) ++p;
+    if (p == dim_) return false;
+    rational inv = r[p].inverse();
+    for (auto& x : r) x *= inv;
+    rows_.push_back(std::move(r));
+    pivots_.push_back(p);
+    return true;
+}
+
+}  // namespace sciduction::util

@@ -1,0 +1,86 @@
+// Exact linear algebra over util::rational.
+//
+// Used by GameTime (Sec. 3 of the paper) for basis-path extraction and for
+// solving the change-of-basis / minimum-norm weight systems. Everything here
+// is exact: rank decisions and solve results are never subject to floating
+// point noise.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "util/rational.hpp"
+
+namespace sciduction::util {
+
+using rvector = std::vector<rational>;
+
+/// Dense matrix of exact rationals (row-major).
+class rmatrix {
+public:
+    rmatrix() = default;
+    rmatrix(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+    /// Builds a matrix from a list of equally-sized rows.
+    static rmatrix from_rows(const std::vector<rvector>& rows);
+
+    [[nodiscard]] std::size_t rows() const { return rows_; }
+    [[nodiscard]] std::size_t cols() const { return cols_; }
+
+    rational& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+    [[nodiscard]] const rational& at(std::size_t r, std::size_t c) const {
+        return data_[r * cols_ + c];
+    }
+
+    [[nodiscard]] rmatrix transpose() const;
+    [[nodiscard]] rmatrix multiply(const rmatrix& o) const;
+    [[nodiscard]] rvector multiply(const rvector& v) const;
+
+    /// Rank via exact Gaussian elimination (does not modify *this).
+    [[nodiscard]] std::size_t rank() const;
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<rational> data_;
+};
+
+/// Solves the square system A x = b exactly. Returns nullopt if A is singular.
+std::optional<rvector> solve_square(const rmatrix& a, const rvector& b);
+
+/// Minimum-norm solution of the (typically underdetermined, full row rank)
+/// system B w = b, i.e. w = Bt (B Bt)^-1 b. Returns nullopt if B B^T is
+/// singular (rows of B dependent).
+std::optional<rvector> min_norm_solution(const rmatrix& b_mat, const rvector& b);
+
+/// Solves c B = x for c given that the rows of B are independent and x lies
+/// in their span; i.e. expresses x in basis coordinates. Returns nullopt if x
+/// is not in the row span.
+std::optional<rvector> basis_coordinates(const rmatrix& b_mat, const rvector& x);
+
+/// Incremental echelon form: feeds vectors one at a time, tracking the rank
+/// of the set seen so far. Used to grow a set of linearly independent
+/// (feasible) basis paths.
+class echelon_basis {
+public:
+    explicit echelon_basis(std::size_t dim) : dim_(dim) {}
+
+    [[nodiscard]] std::size_t dim() const { return dim_; }
+    [[nodiscard]] std::size_t rank() const { return rows_.size(); }
+
+    /// True iff v is independent of everything inserted so far.
+    [[nodiscard]] bool is_independent(const rvector& v) const;
+
+    /// Inserts v if independent; returns true on rank increase.
+    bool insert(const rvector& v);
+
+private:
+    /// Reduces v against the stored echelon rows; returns the residual.
+    [[nodiscard]] rvector reduce(rvector v) const;
+
+    std::size_t dim_;
+    std::vector<rvector> rows_;   // echelon rows, each with a unique pivot column
+    std::vector<std::size_t> pivots_;
+};
+
+}  // namespace sciduction::util

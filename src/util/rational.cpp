@@ -1,0 +1,147 @@
+#include "util/rational.hpp"
+
+#include <ostream>
+
+namespace sciduction::util {
+
+namespace {
+
+using int128 = __int128;
+
+int128 abs128(int128 v) { return v < 0 ? -v : v; }
+
+int128 gcd128(int128 a, int128 b) {
+    a = abs128(a);
+    b = abs128(b);
+    while (b != 0) {
+        int128 t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+
+int128 checked_mul(int128 a, int128 b) {
+    // Pre-check with unsigned magnitudes: signed overflow is UB, so the
+    // test must happen before the multiplication.
+    if (a == 0 || b == 0) return 0;
+    using u128 = unsigned __int128;
+    const u128 max_mag = (~(u128)0) >> 1;  // |int128 min| - 1; magnitudes stay below this
+    u128 ua = a < 0 ? (u128)(-(a + 1)) + 1 : (u128)a;
+    u128 ub = b < 0 ? (u128)(-(b + 1)) + 1 : (u128)b;
+    if (ua > max_mag / ub) throw rational_overflow_error{};
+    return a * b;
+}
+
+int128 checked_add(int128 a, int128 b) {
+    const int128 max128 = static_cast<int128>((~(unsigned __int128)0) >> 1);
+    const int128 min128 = -max128 - 1;
+    if (b > 0 && a > max128 - b) throw rational_overflow_error{};
+    if (b < 0 && a < min128 - b) throw rational_overflow_error{};
+    return a + b;
+}
+
+std::string int128_to_string(int128 v) {
+    if (v == 0) return "0";
+    bool neg = v < 0;
+    std::string digits;
+    // Careful with INT128_MIN: negate via unsigned.
+    unsigned __int128 u = neg ? (unsigned __int128)(-(v + 1)) + 1 : (unsigned __int128)v;
+    while (u != 0) {
+        digits.push_back(static_cast<char>('0' + static_cast<int>(u % 10)));
+        u /= 10;
+    }
+    if (neg) digits.push_back('-');
+    return {digits.rbegin(), digits.rend()};
+}
+
+}  // namespace
+
+rational::rational(std::int64_t n, std::int64_t d) : num_(n), den_(d) {
+    if (d == 0) throw std::domain_error("rational: zero denominator");
+    normalize();
+}
+
+rational::rational(int128 n, int128 d, bool /*raw*/) : num_(n), den_(d) {
+    if (d == 0) throw std::domain_error("rational: zero denominator");
+    normalize();
+}
+
+void rational::normalize() {
+    if (den_ < 0) {
+        num_ = -num_;
+        den_ = -den_;
+    }
+    if (num_ == 0) {
+        den_ = 1;
+        return;
+    }
+    int128 g = gcd128(num_, den_);
+    num_ /= g;
+    den_ /= g;
+}
+
+std::int64_t rational::to_int64() const {
+    if (den_ != 1) throw std::domain_error("rational: not an integer");
+    if (num_ > INT64_MAX || num_ < INT64_MIN) throw std::domain_error("rational: out of int64 range");
+    return static_cast<std::int64_t>(num_);
+}
+
+double rational::to_double() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+std::string rational::to_string() const {
+    std::string s = int128_to_string(num_);
+    if (den_ != 1) {
+        s += '/';
+        s += int128_to_string(den_);
+    }
+    return s;
+}
+
+rational rational::operator-() const {
+    rational r = *this;
+    r.num_ = -r.num_;
+    return r;
+}
+
+rational& rational::operator+=(const rational& o) {
+    // a/b + c/d = (a*d + c*b) / (b*d), with gcd pre-reduction on denominators
+    // to keep intermediates small.
+    int128 g = gcd128(den_, o.den_);
+    int128 lhs = checked_mul(num_, o.den_ / g);
+    int128 rhs = checked_mul(o.num_, den_ / g);
+    int128 n = checked_add(lhs, rhs);
+    int128 d = checked_mul(den_, o.den_ / g);
+    *this = rational(n, d, true);
+    return *this;
+}
+
+rational& rational::operator-=(const rational& o) { return *this += -o; }
+
+rational& rational::operator*=(const rational& o) {
+    // Cross-reduce before multiplying to limit growth.
+    int128 g1 = gcd128(num_, o.den_);
+    int128 g2 = gcd128(o.num_, den_);
+    int128 n = checked_mul(num_ / g1, o.num_ / g2);
+    int128 d = checked_mul(den_ / g2, o.den_ / g1);
+    *this = rational(n, d, true);
+    return *this;
+}
+
+rational& rational::operator/=(const rational& o) { return *this *= o.inverse(); }
+
+rational rational::inverse() const {
+    if (num_ == 0) throw std::domain_error("rational: divide by zero");
+    return {den_, num_, true};
+}
+
+bool operator<(const rational& a, const rational& b) {
+    // a.num/a.den < b.num/b.den  <=>  a.num*b.den < b.num*a.den  (dens > 0)
+    return checked_mul(a.num_, b.den_) < checked_mul(b.num_, a.den_);
+}
+
+std::ostream& operator<<(std::ostream& os, const rational& r) { return os << r.to_string(); }
+
+}  // namespace sciduction::util

@@ -1,0 +1,81 @@
+// Exact rational arithmetic over __int128 with overflow detection.
+//
+// GameTime's basis-path computations (rank tests, change-of-basis solves)
+// must be exact: a near-singular floating-point solve would silently yield
+// wrong predicted execution times. All entries appearing in practice are
+// small (path vectors are 0/1, elimination multipliers stay modest), so a
+// 128-bit numerator/denominator pair with overflow checks is both fast and
+// sound: on overflow we throw instead of returning a wrong answer.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+namespace sciduction::util {
+
+/// Thrown when a rational operation would overflow the 128-bit representation.
+class rational_overflow_error : public std::runtime_error {
+public:
+    rational_overflow_error() : std::runtime_error("rational: 128-bit overflow") {}
+};
+
+/// An exact rational number num/den with den > 0 and gcd(num, den) == 1.
+class rational {
+public:
+    using int128 = __int128;
+
+    constexpr rational() = default;
+    rational(std::int64_t n) : num_(n), den_(1) {}  // NOLINT: implicit by design
+    rational(std::int64_t n, std::int64_t d);
+
+    [[nodiscard]] int128 num() const { return num_; }
+    [[nodiscard]] int128 den() const { return den_; }
+
+    [[nodiscard]] bool is_zero() const { return num_ == 0; }
+    [[nodiscard]] bool is_integer() const { return den_ == 1; }
+    [[nodiscard]] int sign() const { return num_ > 0 ? 1 : (num_ < 0 ? -1 : 0); }
+
+    /// Exact integer value; throws std::domain_error if not an integer or out of int64 range.
+    [[nodiscard]] std::int64_t to_int64() const;
+    [[nodiscard]] double to_double() const;
+    [[nodiscard]] std::string to_string() const;
+
+    rational operator-() const;
+    rational& operator+=(const rational& o);
+    rational& operator-=(const rational& o);
+    rational& operator*=(const rational& o);
+    rational& operator/=(const rational& o);
+
+    friend rational operator+(rational a, const rational& b) { return a += b; }
+    friend rational operator-(rational a, const rational& b) { return a -= b; }
+    friend rational operator*(rational a, const rational& b) { return a *= b; }
+    friend rational operator/(rational a, const rational& b) { return a /= b; }
+
+    friend bool operator==(const rational& a, const rational& b) {
+        return a.num_ == b.num_ && a.den_ == b.den_;
+    }
+    friend bool operator!=(const rational& a, const rational& b) { return !(a == b); }
+    friend bool operator<(const rational& a, const rational& b);
+    friend bool operator<=(const rational& a, const rational& b) { return a < b || a == b; }
+    friend bool operator>(const rational& a, const rational& b) { return b < a; }
+    friend bool operator>=(const rational& a, const rational& b) { return b <= a; }
+
+    /// Absolute value.
+    [[nodiscard]] rational abs() const { return num_ < 0 ? -*this : *this; }
+
+    /// Multiplicative inverse; throws std::domain_error on zero.
+    [[nodiscard]] rational inverse() const;
+
+private:
+    rational(int128 n, int128 d, bool raw);
+    void normalize();
+
+    int128 num_ = 0;
+    int128 den_ = 1;
+};
+
+std::ostream& operator<<(std::ostream& os, const rational& r);
+
+}  // namespace sciduction::util

@@ -1,0 +1,70 @@
+// xoshiro256** pseudo-random generator.
+//
+// A single, seedable, fast PRNG shared by every stochastic component
+// (measurement randomization, random I/O examples, simulation patterns) so
+// that all experiments in this repository are reproducible bit-for-bit from
+// a seed.
+#pragma once
+
+#include <cstdint>
+
+namespace sciduction::util {
+
+class rng {
+public:
+    explicit rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    void reseed(std::uint64_t seed) {
+        // splitmix64 expansion of the seed into the 256-bit state.
+        std::uint64_t x = seed;
+        for (auto& word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    std::uint64_t next_u64() {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform in [0, bound). bound must be > 0.
+    std::uint64_t next_below(std::uint64_t bound) {
+        // Rejection sampling to avoid modulo bias.
+        const std::uint64_t threshold = -bound % bound;
+        for (;;) {
+            std::uint64_t r = next_u64();
+            if (r >= threshold) return r % bound;
+        }
+    }
+
+    std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+    /// Uniform double in [0, 1).
+    double next_double() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+    bool next_bool() { return (next_u64() >> 63) != 0; }
+
+    // UniformRandomBitGenerator interface for <algorithm> interop.
+    using result_type = std::uint64_t;
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+    result_type operator()() { return next_u64(); }
+
+private:
+    static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+    std::uint64_t state_[4] = {};
+};
+
+}  // namespace sciduction::util

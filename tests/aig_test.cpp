@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "aig/aig.hpp"
+#include "util/rng.hpp"
+
+namespace sciduction::aig {
+namespace {
+
+TEST(literals, encoding) {
+    EXPECT_EQ(var_of(mk_literal(3)), 3u);
+    EXPECT_FALSE(negated(mk_literal(3)));
+    EXPECT_TRUE(negated(negate(mk_literal(3))));
+    EXPECT_EQ(negate(negate(mk_literal(5, true))), mk_literal(5, true));
+    EXPECT_EQ(lit_true, negate(lit_false));
+}
+
+TEST(aig_graph, folding_and_strash) {
+    aig g;
+    literal a = g.add_input();
+    literal b = g.add_input();
+    EXPECT_EQ(g.add_and(a, lit_false), lit_false);
+    EXPECT_EQ(g.add_and(a, lit_true), a);
+    EXPECT_EQ(g.add_and(a, a), a);
+    EXPECT_EQ(g.add_and(a, negate(a)), lit_false);
+    literal ab1 = g.add_and(a, b);
+    literal ab2 = g.add_and(b, a);  // commuted: structurally hashed
+    EXPECT_EQ(ab1, ab2);
+    EXPECT_EQ(g.num_ands(), 1u);
+}
+
+TEST(aig_graph, ordering_constraints) {
+    aig g;
+    g.add_input();
+    g.add_latch();
+    EXPECT_THROW(g.add_input(), std::logic_error);  // inputs before latches
+    literal x = g.add_and(g.input_literal(0), g.latch_literal(0));
+    (void)x;
+    EXPECT_THROW(g.add_latch(), std::logic_error);  // latches before ANDs
+}
+
+TEST(simulation, xor_truth_table) {
+    aig g;
+    literal a = g.add_input();
+    literal b = g.add_input();
+    literal x = g.add_xor(a, b);
+    // Patterns: a = 0101..., b = 0011...
+    auto values = g.simulate_step({}, {0x5555555555555555ULL, 0x3333333333333333ULL});
+    std::uint64_t got = aig::value_of(values, x);
+    EXPECT_EQ(got, 0x5555555555555555ULL ^ 0x3333333333333333ULL);
+}
+
+TEST(simulation, three_bit_counter) {
+    // Counter: b0' = !b0; b1' = b1 ^ b0; b2' = b2 ^ (b1 & b0).
+    aig g;
+    literal b0 = g.add_latch(false);
+    literal b1 = g.add_latch(false);
+    literal b2 = g.add_latch(false);
+    g.set_latch_next(b0, negate(b0));
+    g.set_latch_next(b1, g.add_xor(b1, b0));
+    g.set_latch_next(b2, g.add_xor(b2, g.add_and(b1, b0)));
+    auto st = g.initial_state();
+    for (int step = 1; step <= 10; ++step) {
+        auto values = g.simulate_step(st, {});
+        st = g.next_state(values);
+        unsigned count = ((st[2] & 1) << 2) | ((st[1] & 1) << 1) | (st[0] & 1);
+        EXPECT_EQ(count, static_cast<unsigned>(step % 8)) << "step " << step;
+    }
+}
+
+TEST(cnf_export, instantiation_matches_simulation) {
+    // Random combinational circuit: force inputs in SAT, compare every node
+    // against 64-way simulation.
+    util::rng r(31);
+    for (int iter = 0; iter < 10; ++iter) {
+        aig g;
+        std::vector<literal> pool;
+        for (int i = 0; i < 4; ++i) pool.push_back(g.add_input());
+        for (int i = 0; i < 12; ++i) {
+            literal a = pool[r.next_below(pool.size())];
+            literal b = pool[r.next_below(pool.size())];
+            if (r.next_bool()) a = negate(a);
+            if (r.next_bool()) b = negate(b);
+            pool.push_back(g.add_and(a, b));
+        }
+        std::vector<std::uint64_t> input_words(4);
+        for (auto& w : input_words) w = r.next_u64();
+        auto sim = g.simulate_step({}, input_words);
+
+        sat::solver solver;
+        sat::gate_encoder gates(solver);
+        std::vector<sat::lit> inputs;
+        for (int i = 0; i < 4; ++i) inputs.push_back(gates.fresh());
+        auto frame = g.instantiate(gates, {}, inputs);
+        // Check lane 17 of the simulation.
+        const int lane = 17;
+        for (int i = 0; i < 4; ++i) {
+            bool v = ((input_words[static_cast<std::size_t>(i)] >> lane) & 1) != 0;
+            solver.add_clause(v ? inputs[static_cast<std::size_t>(i)]
+                                : ~inputs[static_cast<std::size_t>(i)]);
+        }
+        ASSERT_EQ(solver.solve(), sat::solve_result::sat);
+        for (literal node : pool) {
+            bool sim_val = ((aig::value_of(sim, node) >> lane) & 1) != 0;
+            bool sat_val = solver.model_lit(aig::sat_literal(frame, node));
+            ASSERT_EQ(sat_val, sim_val) << "node " << node << " iter " << iter;
+        }
+    }
+}
+
+TEST(cnf_export, sequential_unrolling) {
+    // Toggle flip-flop: after an odd number of frames the latch is high.
+    aig g;
+    literal t = g.add_latch(false);
+    g.set_latch_next(t, negate(t));
+    sat::solver solver;
+    sat::gate_encoder gates(solver);
+    std::vector<sat::lit> state{gates.constant(g.latch_init(0))};
+    for (int frame = 0; frame < 5; ++frame) {
+        auto f = g.instantiate(gates, state, {});
+        state = {aig::sat_literal(f, g.latch_next(0))};
+    }
+    solver.add_clause(state[0]);  // after 5 toggles: must be 1
+    EXPECT_EQ(solver.solve(), sat::solve_result::sat);
+    solver.add_clause(~state[0]);
+    EXPECT_EQ(solver.solve(), sat::solve_result::unsat);
+}
+
+}  // namespace
+}  // namespace sciduction::aig

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/hypothesis.hpp"
+#include "core/loops.hpp"
+
+namespace sciduction::core {
+namespace {
+
+// ---- reporting ----------------------------------------------------------------
+
+TEST(hypothesis, report_rendering) {
+    soundness_report r;
+    r.hypothesis = {"toy hypothesis", "all toys", "always", true};
+    r.guarantee = guarantee_kind::probabilistically_sound;
+    r.confidence = 0.99;
+    std::ostringstream os;
+    os << r;
+    std::string s = os.str();
+    EXPECT_NE(s.find("toy hypothesis"), std::string::npos);
+    EXPECT_NE(s.find("probabilistically sound"), std::string::npos);
+    EXPECT_NE(s.find("0.99"), std::string::npos);
+    EXPECT_EQ(to_string(guarantee_kind::sound), "sound");
+    EXPECT_EQ(to_string(guarantee_kind::sound_and_complete), "sound and complete");
+}
+
+// ---- CEGIS loop ------------------------------------------------------------------
+// Toy instance: synthesize a threshold t in [0, 100] such that t >= all
+// secret samples; verifier knows the secret maximum.
+
+TEST(cegis, converges_with_counterexamples) {
+    const int secret_max = 37;
+    auto synthesize = [](const std::vector<int>& examples) -> std::optional<int> {
+        int t = 0;
+        for (int e : examples) t = std::max(t, e);
+        return t;
+    };
+    auto verify = [&](const int& candidate) -> std::optional<int> {
+        if (candidate >= secret_max) return std::nullopt;
+        return candidate + 1;  // a sample the candidate misses
+    };
+    auto result = run_cegis<int, int>(synthesize, verify, 1000);
+    ASSERT_EQ(result.status, loop_status::success);
+    EXPECT_EQ(*result.artifact, secret_max);
+    EXPECT_EQ(result.iterations, static_cast<int>(result.examples.size()) + 1);
+}
+
+TEST(cegis, unrealizable_detected) {
+    auto synthesize = [](const std::vector<int>& examples) -> std::optional<int> {
+        if (examples.size() > 2) return std::nullopt;  // learner gives up
+        return 0;
+    };
+    auto verify = [](const int&) -> std::optional<int> { return 1; };  // always rejects
+    auto result = run_cegis<int, int>(synthesize, verify, 100);
+    EXPECT_EQ(result.status, loop_status::unrealizable);
+    EXPECT_FALSE(result.artifact.has_value());
+}
+
+TEST(cegis, budget_exhaustion) {
+    auto synthesize = [](const std::vector<int>&) -> std::optional<int> { return 0; };
+    auto verify = [](const int&) -> std::optional<int> { return 1; };
+    auto result = run_cegis<int, int>(synthesize, verify, 5);
+    EXPECT_EQ(result.status, loop_status::budget_exhausted);
+    EXPECT_EQ(result.iterations, 6);  // loop ran max_iterations times
+}
+
+TEST(cegis, initial_examples_consumed) {
+    auto synthesize = [](const std::vector<int>& examples) -> std::optional<int> {
+        int t = 0;
+        for (int e : examples) t = std::max(t, e);
+        return t;
+    };
+    auto verify = [](const int& candidate) -> std::optional<int> {
+        return candidate >= 10 ? std::nullopt : std::optional<int>(10);
+    };
+    auto result = run_cegis<int, int>(synthesize, verify, 10, {10});
+    EXPECT_EQ(result.status, loop_status::success);
+    EXPECT_EQ(result.iterations, 1);  // seeded example solved it immediately
+}
+
+// ---- OGIS loop -------------------------------------------------------------------
+// Toy instance: learn a secret affine function f(x) = a*x + b with small
+// coefficients from an I/O oracle; candidates are (a, b) pairs.
+
+using affine = std::pair<int, int>;
+
+std::optional<affine> synth_affine(const std::vector<std::pair<int, int>>& examples) {
+    for (int a = 0; a <= 5; ++a) {
+        for (int b = 0; b <= 5; ++b) {
+            bool ok = true;
+            for (const auto& [x, y] : examples)
+                if (a * x + b != y) ok = false;
+            if (ok) return affine{a, b};
+        }
+    }
+    return std::nullopt;
+}
+
+TEST(ogis, learns_affine_function) {
+    const affine secret{3, 2};
+    auto distinguish = [](const affine& cand, const std::vector<std::pair<int, int>>& examples)
+        -> std::optional<int> {
+        // Another consistent candidate differing on some input?
+        for (int a = 0; a <= 5; ++a) {
+            for (int b = 0; b <= 5; ++b) {
+                if (affine{a, b} == cand) continue;
+                bool consistent = true;
+                for (const auto& [x, y] : examples)
+                    if (a * x + b != y) consistent = false;
+                if (!consistent) continue;
+                for (int x = -10; x <= 10; ++x)
+                    if (a * x + b != cand.first * x + cand.second) return x;
+            }
+        }
+        return std::nullopt;
+    };
+    auto oracle = [&](const int& x) { return secret.first * x + secret.second; };
+    auto result = run_ogis<affine, int, int>(synth_affine, distinguish, oracle, 100, {0});
+    ASSERT_EQ(result.status, loop_status::success);
+    EXPECT_EQ(*result.artifact, secret);
+    // Teaching-dimension flavour: two well-chosen points pin an affine map.
+    EXPECT_LE(result.oracle_queries, 4u);
+}
+
+TEST(ogis, unrealizable_when_oracle_outside_class) {
+    auto distinguish = [](const affine&, const std::vector<std::pair<int, int>>&)
+        -> std::optional<int> { return std::nullopt; };
+    auto oracle = [](const int& x) { return x * x; };  // not affine
+    auto result =
+        run_ogis<affine, int, int>(synth_affine, distinguish, oracle, 100, {0, 1, 2, 3});
+    EXPECT_EQ(result.status, loop_status::unrealizable);
+}
+
+TEST(ogis, oracle_query_accounting) {
+    const affine secret{1, 0};
+    auto distinguish = [](const affine&, const std::vector<std::pair<int, int>>&)
+        -> std::optional<int> { return std::nullopt; };  // accept first candidate
+    int queries = 0;
+    auto oracle = [&](const int& x) {
+        ++queries;
+        return secret.first * x + secret.second;
+    };
+    auto result = run_ogis<affine, int, int>(synth_affine, distinguish, oracle, 10, {1, 2});
+    EXPECT_EQ(result.status, loop_status::success);
+    EXPECT_EQ(result.oracle_queries, 2u);
+    EXPECT_EQ(queries, 2);
+}
+
+}  // namespace
+}  // namespace sciduction::core

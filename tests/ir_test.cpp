@@ -1,0 +1,357 @@
+#include <gtest/gtest.h>
+
+#include "ir/interp.hpp"
+#include "ir/parser.hpp"
+#include "ir/transform.hpp"
+#include "util/rng.hpp"
+
+namespace sciduction::ir {
+namespace {
+
+// ---- lexer -----------------------------------------------------------------
+
+TEST(lexer, tokens_and_positions) {
+    auto toks = tokenize("int x = 0x1F; // comment\nwhile");
+    ASSERT_GE(toks.size(), 6u);
+    EXPECT_EQ(toks[0].kind, token_kind::kw_int);
+    EXPECT_EQ(toks[1].kind, token_kind::identifier);
+    EXPECT_EQ(toks[1].text, "x");
+    EXPECT_EQ(toks[2].kind, token_kind::assign);
+    EXPECT_EQ(toks[3].kind, token_kind::number);
+    EXPECT_EQ(toks[3].value, 0x1Fu);
+    EXPECT_EQ(toks[5].kind, token_kind::kw_while);
+    EXPECT_EQ(toks[5].line, 2);
+}
+
+TEST(lexer, multi_char_operators) {
+    auto toks = tokenize("<<= >>= << >> <= >= == != && || += ^=");
+    std::vector<token_kind> want{
+        token_kind::shl_assign, token_kind::shr_assign, token_kind::shl, token_kind::shr,
+        token_kind::le,         token_kind::ge,         token_kind::eq_eq, token_kind::bang_eq,
+        token_kind::amp_amp,    token_kind::pipe_pipe,  token_kind::plus_assign,
+        token_kind::caret_assign};
+    for (std::size_t i = 0; i < want.size(); ++i) EXPECT_EQ(toks[i].kind, want[i]) << i;
+}
+
+TEST(lexer, block_comments_and_errors) {
+    EXPECT_EQ(tokenize("/* multi \n line */ 42")[0].value, 42u);
+    EXPECT_THROW(tokenize("/* unterminated"), parse_error);
+    EXPECT_THROW(tokenize("@"), parse_error);
+    EXPECT_THROW(tokenize("0x"), parse_error);
+}
+
+// ---- parser -----------------------------------------------------------------
+
+TEST(parser, precedence_matches_c) {
+    // == binds tighter than ^ in C: a == b ^ c is (a == b) ^ c.
+    std::unordered_map<std::string, std::uint64_t> env{{"a", 5}, {"b", 5}, {"c", 6}};
+    EXPECT_EQ(eval_expr(parse_expression("a == b ^ c"), 32, env), 1u ^ 6u);
+    EXPECT_EQ(eval_expr(parse_expression("a == (b ^ c)"), 32, env), 0u);
+    EXPECT_EQ(eval_expr(parse_expression("1 + 2 * 3"), 32, env), 7u);
+    EXPECT_EQ(eval_expr(parse_expression("(1 + 2) * 3"), 32, env), 9u);
+    EXPECT_EQ(eval_expr(parse_expression("1 << 2 + 1"), 32, env), 8u);  // + before <<
+    EXPECT_EQ(eval_expr(parse_expression("7 & 3 | 8"), 32, env), (7u & 3u) | 8u);
+}
+
+TEST(parser, ternary_and_unary) {
+    std::unordered_map<std::string, std::uint64_t> env{{"x", 10}};
+    EXPECT_EQ(eval_expr(parse_expression("x > 5 ? x : 0 - x"), 32, env), 10u);
+    EXPECT_EQ(eval_expr(parse_expression("!x"), 32, env), 0u);
+    EXPECT_EQ(eval_expr(parse_expression("~0"), 8, env), 0xffu);
+    EXPECT_EQ(eval_expr(parse_expression("-1"), 8, env), 0xffu);
+    // Right associativity of nested ternary.
+    EXPECT_EQ(eval_expr(parse_expression("0 ? 1 : 0 ? 2 : 3"), 32, env), 3u);
+}
+
+TEST(parser, program_structure) {
+    program p = parse_program(R"(
+        int g = 7;
+        int arr[4] = {1, 2, 3};
+        int f(int a, int b) {
+          int t = a + b;
+          return t;
+        }
+    )");
+    ASSERT_NE(p.find_global("g"), nullptr);
+    EXPECT_EQ(p.find_global("g")->init[0], 7u);
+    const global_decl* arr = p.find_global("arr");
+    ASSERT_NE(arr, nullptr);
+    EXPECT_TRUE(arr->is_array);
+    EXPECT_EQ(arr->size, 4u);
+    EXPECT_EQ(arr->init[3], 0u);  // default-filled
+    const function* f = p.find_function("f");
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->params.size(), 2u);
+    EXPECT_EQ(f->body.size(), 2u);
+}
+
+TEST(parser, while_bound_annotation) {
+    program p = parse_program("int f() { int i = 0; while (i < 4) bound 4 { i = i + 1; } return i; }");
+    const stmt& w = p.functions[0].body[1];
+    ASSERT_EQ(w.k, stmt::kind::while_stmt);
+    ASSERT_TRUE(w.bound.has_value());
+    EXPECT_EQ(*w.bound, 4u);
+}
+
+TEST(parser, compound_assignment_desugars) {
+    program p = parse_program("int f(int x) { x += 3; x <<= 1; return x; }");
+    EXPECT_EQ(interpret(p, "f", {5}).return_value, 16u);
+}
+
+TEST(parser, syntax_errors) {
+    EXPECT_THROW(parse_program("int f( { return 0; }"), parse_error);
+    EXPECT_THROW(parse_program("int f() { return 0 }"), parse_error);
+    EXPECT_THROW(parse_program("int f() { if x { } return 0; }"), parse_error);
+    EXPECT_THROW(parse_program("int x[0];"), parse_error);
+    EXPECT_THROW(parse_program("int x[2] = {1,2,3};"), parse_error);
+    EXPECT_THROW(parse_expression("1 +"), parse_error);
+}
+
+// ---- interpreter --------------------------------------------------------------
+
+TEST(interp, modexp_reference) {
+    program p = parse_program(R"(
+        int modexp(int base, int exponent) {
+          int result = 1;
+          int b = base;
+          int i = 0;
+          while (i < 8) bound 8 {
+            if (exponent & 1) { result = (result * b) % 1000003; }
+            b = (b * b) % 1000003;
+            exponent = exponent >> 1;
+            i = i + 1;
+          }
+          return result;
+        }
+    )");
+    // Reference with the same 32-bit wrap-around semantics.
+    auto ref = [](std::uint64_t base, std::uint64_t e) {
+        const std::uint64_t m = 0xffffffffULL;
+        std::uint64_t result = 1;
+        std::uint64_t b = base & m;
+        for (int i = 0; i < 8; ++i) {
+            if (e & 1) result = ((result * b) & m) % 1000003;
+            b = ((b * b) & m) % 1000003;
+            e >>= 1;
+        }
+        return result;
+    };
+    util::rng r(3);
+    for (int t = 0; t < 100; ++t) {
+        std::uint64_t base = r.next_below(1 << 20);
+        std::uint64_t e = r.next_below(256);
+        EXPECT_EQ(interpret(p, "modexp", {base, e}).return_value, ref(base, e));
+    }
+}
+
+TEST(interp, while_break_and_logic) {
+    program p = parse_program(R"(
+        int f(int n) {
+          int count = 0;
+          while (1) {
+            if (count >= n || count >= 10) { break; }
+            count += 1;
+          }
+          return count;
+        }
+    )");
+    EXPECT_EQ(interpret(p, "f", {4}).return_value, 4u);
+    EXPECT_EQ(interpret(p, "f", {100}).return_value, 10u);
+}
+
+TEST(interp, arrays_and_globals) {
+    program p = parse_program(R"(
+        int acc = 0;
+        int buf[8];
+        int f(int n) {
+          int i = 0;
+          while (i < n) bound 8 {
+            buf[i] = i * i;
+            i += 1;
+          }
+          i = 0;
+          while (i < n) bound 8 {
+            acc += buf[i];
+            i += 1;
+          }
+          return acc;
+        }
+    )");
+    auto r = interpret(p, "f", {4});
+    EXPECT_EQ(r.return_value, 0u + 1 + 4 + 9);
+    EXPECT_EQ(r.state.scalars.at("acc"), 14u);
+    EXPECT_EQ(r.state.arrays.at("buf")[3], 9u);
+}
+
+TEST(interp, out_of_bounds_throws) {
+    program p = parse_program("int a[2]; int f(int i) { return a[i]; }");
+    EXPECT_EQ(interpret(p, "f", {1}).return_value, 0u);
+    EXPECT_THROW(interpret(p, "f", {2}), std::runtime_error);
+}
+
+TEST(interp, step_budget_guards_infinite_loops) {
+    program p = parse_program("int f() { while (1) { } return 0; }");
+    EXPECT_THROW(interpret(p, "f", {}, 1000), std::runtime_error);
+}
+
+TEST(interp, signed_comparisons_and_division) {
+    program p = parse_program("int f(int x, int y) { return (x < y) + (x / y) * 2; }");
+    // 0xffffffff is -1 signed: -1 < 1 is true; unsigned division: huge / 1.
+    EXPECT_EQ(interpret(p, "f", {0xffffffffULL, 1}).return_value,
+              (1 + 0xffffffffULL * 2) & 0xffffffffULL);
+    // Division by zero: SMT-LIB all-ones.
+    program q = parse_program("int f(int x) { return x / 0; }");
+    EXPECT_EQ(interpret(q, "f", {5}).return_value, 0xffffffffULL);
+}
+
+TEST(interp, nested_calls) {
+    program p = parse_program(R"(
+        int square(int x) { int y = x * x; return y; }
+        int f(int a) {
+          int s = 0;
+          s = square(a);
+          int t = 0;
+          t = square(s);
+          return t;
+        }
+    )");
+    EXPECT_EQ(interpret(p, "f", {3}).return_value, 81u);
+    EXPECT_THROW(interpret(p, "missing", {1}), std::runtime_error);
+    EXPECT_THROW(interpret(p, "f", {1, 2}), std::runtime_error);
+}
+
+// ---- transforms -----------------------------------------------------------------
+
+TEST(transform, unroll_preserves_semantics) {
+    program p = parse_program(R"(
+        int f(int n) {
+          int acc = 0;
+          int i = 0;
+          while (i < n) bound 6 {
+            acc += i * 2 + 1;
+            i += 1;
+          }
+          return acc;
+        }
+    )");
+    function u = unroll_loops(p.functions[0]);
+    EXPECT_TRUE(is_loop_free(u));
+    program p2 = p;
+    p2.functions[0] = u;
+    for (std::uint64_t n = 0; n <= 6; ++n)
+        EXPECT_EQ(interpret(p2, "f", {n}).return_value, interpret(p, "f", {n}).return_value);
+}
+
+TEST(transform, unroll_requires_bound) {
+    program p = parse_program("int f() { while (1) { } return 0; }");
+    EXPECT_THROW(unroll_loops(p.functions[0]), std::runtime_error);
+}
+
+TEST(transform, unroll_rejects_break) {
+    program p = parse_program(
+        "int f() { int i = 0; while (i < 3) bound 3 { break; } return i; }");
+    EXPECT_THROW(unroll_loops(p.functions[0]), std::runtime_error);
+}
+
+TEST(transform, resolve_static_branches_folds_counters) {
+    program p = parse_program(R"(
+        int f(int x) {
+          int i = 0;
+          while (i < 3) bound 3 {
+            if (x & 1) { x = x + i; }
+            i = i + 1;
+          }
+          return x;
+        }
+    )");
+    function u = resolve_static_branches(unroll_loops(p.functions[0]), p.width);
+    // All `i < 3` guards fold away; only the three data-dependent branches remain.
+    int ifs = 0;
+    std::function<void(const std::vector<stmt>&)> count = [&](const std::vector<stmt>& body) {
+        for (const stmt& s : body) {
+            if (s.k == stmt::kind::if_stmt) ++ifs;
+            count(s.body);
+            count(s.else_body);
+        }
+    };
+    count(u.body);
+    EXPECT_EQ(ifs, 3);
+    // Semantics preserved.
+    program p2 = p;
+    p2.functions[0] = u;
+    for (std::uint64_t x : {0ULL, 1ULL, 7ULL, 100ULL})
+        EXPECT_EQ(interpret(p2, "f", {x}).return_value, interpret(p, "f", {x}).return_value);
+}
+
+TEST(transform, inline_calls_flattens) {
+    program p = parse_program(R"(
+        int twice(int v) { int r = v + v; return r; }
+        int f(int a) {
+          int x = 0;
+          x = twice(a + 1);
+          int y = 0;
+          y = twice(x);
+          return y;
+        }
+    )");
+    function flat = inline_calls(p, "f");
+    // No call statements remain.
+    std::function<bool(const std::vector<stmt>&)> has_call = [&](const std::vector<stmt>& body) {
+        for (const stmt& s : body) {
+            if (s.k == stmt::kind::call_stmt) return true;
+            if (has_call(s.body) || has_call(s.else_body)) return true;
+        }
+        return false;
+    };
+    EXPECT_FALSE(has_call(flat.body));
+    program p2 = p;
+    p2.functions.push_back(flat);
+    p2.functions.back().name = "f_flat";
+    for (std::uint64_t a : {0ULL, 5ULL, 1000ULL})
+        EXPECT_EQ(interpret(p2, "f_flat", {a}).return_value,
+                  interpret(p, "f", {a}).return_value);
+}
+
+TEST(transform, inline_rejects_recursion_and_early_return) {
+    program rec = parse_program(R"(
+        int f(int x) { int y = 0; y = f(x); return y; }
+    )");
+    EXPECT_THROW(inline_calls(rec, "f"), std::runtime_error);
+    program early = parse_program(R"(
+        int g(int x) { if (x) { return 1; } return 0; }
+        int f(int x) { int y = 0; y = g(x); return y; }
+    )");
+    EXPECT_THROW(inline_calls(early, "f"), std::runtime_error);
+}
+
+// Property: unroll+resolve preserves semantics on random branching programs.
+class transform_property : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(transform_property, pipeline_preserves_semantics) {
+    program p = parse_program(R"(
+        int f(int x, int y) {
+          int acc = 0;
+          int i = 0;
+          while (i < 5) bound 5 {
+            if ((x >> i) & 1) { acc = acc + y; } else { acc = acc ^ (y << 1); }
+            if (acc > 1000) { acc = acc % 997; }
+            i = i + 1;
+          }
+          return acc;
+        }
+    )");
+    program p2 = p;
+    p2.functions[0] = resolve_static_branches(unroll_loops(p.functions[0]), p.width);
+    util::rng r(GetParam());
+    for (int t = 0; t < 50; ++t) {
+        std::uint64_t x = r.next_u64() & 0xffffffffULL;
+        std::uint64_t y = r.next_u64() & 0xffffffffULL;
+        ASSERT_EQ(interpret(p2, "f", {x, y}).return_value,
+                  interpret(p, "f", {x, y}).return_value);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, transform_property, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace sciduction::ir

@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sat/dimacs.hpp"
+#include "sat/gates.hpp"
+#include "sat/solver.hpp"
+#include "util/rng.hpp"
+
+namespace sciduction::sat {
+namespace {
+
+TEST(sat_solver, trivial_sat) {
+    solver s;
+    var a = s.new_var();
+    var b = s.new_var();
+    s.add_clause(mk_lit(a), mk_lit(b));
+    s.add_clause(~mk_lit(a), mk_lit(b));
+    EXPECT_EQ(s.solve(), solve_result::sat);
+    EXPECT_TRUE(s.model_bool(b));
+}
+
+TEST(sat_solver, trivial_unsat) {
+    solver s;
+    var a = s.new_var();
+    s.add_clause(mk_lit(a));
+    EXPECT_FALSE(s.add_clause(~mk_lit(a)));
+    EXPECT_EQ(s.solve(), solve_result::unsat);
+}
+
+TEST(sat_solver, empty_formula_is_sat) {
+    solver s;
+    s.new_var();
+    EXPECT_EQ(s.solve(), solve_result::sat);
+}
+
+TEST(sat_solver, tautologies_and_duplicates_handled) {
+    solver s;
+    var a = s.new_var();
+    var b = s.new_var();
+    s.add_clause({mk_lit(a), ~mk_lit(a), mk_lit(b)});  // tautology: no-op
+    s.add_clause({mk_lit(a), mk_lit(a)});              // duplicate literal
+    EXPECT_EQ(s.num_clauses(), 0u);                    // unit propagated, tautology dropped
+    EXPECT_EQ(s.solve(), solve_result::sat);
+    EXPECT_TRUE(s.model_bool(a));
+}
+
+TEST(sat_solver, unit_propagation_chain) {
+    solver s;
+    std::vector<var> v;
+    for (int i = 0; i < 10; ++i) v.push_back(s.new_var());
+    for (int i = 0; i + 1 < 10; ++i) s.add_clause(~mk_lit(v[i]), mk_lit(v[i + 1]));
+    s.add_clause(mk_lit(v[0]));
+    EXPECT_EQ(s.solve(), solve_result::sat);
+    for (int i = 0; i < 10; ++i) EXPECT_TRUE(s.model_bool(v[i]));
+}
+
+TEST(sat_solver, assumptions_sat_and_unsat) {
+    solver s;
+    var a = s.new_var();
+    var b = s.new_var();
+    s.add_clause(~mk_lit(a), mk_lit(b));  // a -> b
+    EXPECT_EQ(s.solve({mk_lit(a), ~mk_lit(b)}), solve_result::unsat);
+    EXPECT_FALSE(s.conflict_core().empty());
+    EXPECT_EQ(s.solve({mk_lit(a), mk_lit(b)}), solve_result::sat);
+    // Solver stays reusable after assumption-unsat.
+    EXPECT_EQ(s.solve(), solve_result::sat);
+}
+
+TEST(sat_solver, conflict_core_subset_of_assumptions) {
+    solver s;
+    var a = s.new_var();
+    var b = s.new_var();
+    var c = s.new_var();
+    s.add_clause(~mk_lit(a), ~mk_lit(b));  // !(a & b)
+    EXPECT_EQ(s.solve({mk_lit(a), mk_lit(b), mk_lit(c)}), solve_result::unsat);
+    // The core must only mention the conflicting assumptions (a, b), not c.
+    for (lit l : s.conflict_core()) EXPECT_NE(var_of(l), c);
+}
+
+// Pigeonhole principle: n+1 pigeons in n holes is unsatisfiable. A classic
+// resolution-hard family that exercises clause learning and restarts.
+class pigeonhole : public ::testing::TestWithParam<int> {};
+
+TEST_P(pigeonhole, unsat) {
+    const int holes = GetParam();
+    const int pigeons = holes + 1;
+    solver s;
+    std::vector<std::vector<var>> x(pigeons, std::vector<var>(holes));
+    for (auto& row : x)
+        for (auto& v : row) v = s.new_var();
+    for (int p = 0; p < pigeons; ++p) {
+        clause_lits c;
+        for (int h = 0; h < holes; ++h) c.push_back(mk_lit(x[p][h]));
+        s.add_clause(c);
+    }
+    for (int h = 0; h < holes; ++h)
+        for (int p1 = 0; p1 < pigeons; ++p1)
+            for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+                s.add_clause(~mk_lit(x[p1][h]), ~mk_lit(x[p2][h]));
+    EXPECT_EQ(s.solve(), solve_result::unsat);
+    EXPECT_GT(s.stats().conflicts, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(sizes, pigeonhole, ::testing::Values(3, 4, 5, 6, 7));
+
+// Property: agreement with brute force on random small instances, and
+// models must actually satisfy the formula.
+bool brute_force_sat(int nv, const std::vector<clause_lits>& clauses) {
+    for (int m = 0; m < (1 << nv); ++m) {
+        bool all = true;
+        for (const auto& c : clauses) {
+            bool any = false;
+            for (lit l : c) {
+                bool v = ((m >> var_of(l)) & 1) != 0;
+                if (sign_of(l) ? !v : v) {
+                    any = true;
+                    break;
+                }
+            }
+            if (!any) {
+                all = false;
+                break;
+            }
+        }
+        if (all) return true;
+    }
+    return false;
+}
+
+class random_cnf : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(random_cnf, matches_brute_force) {
+    util::rng r(GetParam());
+    for (int iter = 0; iter < 300; ++iter) {
+        int nv = 3 + static_cast<int>(r.next_below(8));
+        int nc = 2 + static_cast<int>(r.next_below(static_cast<std::uint64_t>(nv) * 5));
+        std::vector<clause_lits> clauses;
+        for (int i = 0; i < nc; ++i) {
+            clause_lits c;
+            int len = 1 + static_cast<int>(r.next_below(3));
+            for (int j = 0; j < len; ++j)
+                c.push_back(mk_lit(static_cast<var>(r.next_below(static_cast<std::uint64_t>(nv))),
+                                   r.next_bool()));
+            clauses.push_back(c);
+        }
+        solver s;
+        for (int v = 0; v < nv; ++v) s.new_var();
+        bool ok = true;
+        for (const auto& c : clauses) ok = s.add_clause(c) && ok;
+        bool got = ok && s.solve() == solve_result::sat;
+        ASSERT_EQ(got, brute_force_sat(nv, clauses)) << "iteration " << iter;
+        if (got) {
+            for (const auto& c : clauses) {
+                bool any = false;
+                for (lit l : c) any = any || s.model_lit(l);
+                ASSERT_TRUE(any) << "model violates a clause";
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, random_cnf, ::testing::Values(11, 22, 33, 44));
+
+TEST(sat_solver, conflict_budget_throws) {
+    // Large pigeonhole with a tiny budget must give up loudly, not wrongly.
+    const int holes = 9;
+    solver s;
+    std::vector<std::vector<var>> x(holes + 1, std::vector<var>(holes));
+    for (auto& row : x)
+        for (auto& v : row) v = s.new_var();
+    for (auto& row : x) {
+        clause_lits c;
+        for (var v : row) c.push_back(mk_lit(v));
+        s.add_clause(c);
+    }
+    for (int h = 0; h < holes; ++h)
+        for (int p1 = 0; p1 <= holes; ++p1)
+            for (int p2 = p1 + 1; p2 <= holes; ++p2)
+                s.add_clause(~mk_lit(x[p1][h]), ~mk_lit(x[p2][h]));
+    s.set_conflict_budget(10);
+    EXPECT_THROW(s.solve(), std::runtime_error);
+}
+
+// ---- gate encoder ----------------------------------------------------------------
+
+TEST(gates, truth_tables) {
+    // For every gate and input combination, force the inputs and check the
+    // output via solving.
+    for (int mask = 0; mask < 4; ++mask) {
+        bool va = (mask & 1) != 0;
+        bool vb = (mask & 2) != 0;
+        solver s;
+        gate_encoder g(s);
+        lit a = g.fresh();
+        lit b = g.fresh();
+        lit and_o = g.and_gate(a, b);
+        lit or_o = g.or_gate(a, b);
+        lit xor_o = g.xor_gate(a, b);
+        lit iff_o = g.iff_gate(a, b);
+        s.add_clause(va ? a : ~a);
+        s.add_clause(vb ? b : ~b);
+        ASSERT_EQ(s.solve(), solve_result::sat);
+        EXPECT_EQ(s.model_lit(and_o), va && vb);
+        EXPECT_EQ(s.model_lit(or_o), va || vb);
+        EXPECT_EQ(s.model_lit(xor_o), va != vb);
+        EXPECT_EQ(s.model_lit(iff_o), va == vb);
+    }
+}
+
+TEST(gates, ite_and_full_adder) {
+    for (int mask = 0; mask < 8; ++mask) {
+        bool vc = (mask & 1) != 0;
+        bool vt = (mask & 2) != 0;
+        bool ve = (mask & 4) != 0;
+        solver s;
+        gate_encoder g(s);
+        lit c = g.fresh();
+        lit t = g.fresh();
+        lit e = g.fresh();
+        lit ite_o = g.ite_gate(c, t, e);
+        auto [sum, carry] = g.full_adder(c, t, e);
+        s.add_clause(vc ? c : ~c);
+        s.add_clause(vt ? t : ~t);
+        s.add_clause(ve ? e : ~e);
+        ASSERT_EQ(s.solve(), solve_result::sat);
+        EXPECT_EQ(s.model_lit(ite_o), vc ? vt : ve);
+        int total = int(vc) + int(vt) + int(ve);
+        EXPECT_EQ(s.model_lit(sum), (total & 1) != 0);
+        EXPECT_EQ(s.model_lit(carry), total >= 2);
+    }
+}
+
+TEST(gates, constant_simplification) {
+    solver s;
+    gate_encoder g(s);
+    lit a = g.fresh();
+    EXPECT_EQ(g.and_gate(a, g.constant(false)), g.constant(false));
+    EXPECT_EQ(g.and_gate(a, g.constant(true)), a);
+    EXPECT_EQ(g.xor_gate(a, a), g.constant(false));
+    EXPECT_EQ(g.xor_gate(a, ~a), g.constant(true));
+    EXPECT_EQ(g.or_gate(a, ~a), g.constant(true));
+    EXPECT_EQ(g.ite_gate(g.constant(true), a, ~a), a);
+}
+
+
+// ---- DIMACS -----------------------------------------------------------------------
+
+TEST(dimacs, roundtrip_and_solve) {
+    const char* text =
+        "c tiny instance\n"
+        "p cnf 3 3\n"
+        "1 2 0\n"
+        "-1 3 0\n"
+        "-2 -3 0\n";
+    solver s;
+    EXPECT_EQ(read_dimacs(text, s), 3u);
+    EXPECT_EQ(s.num_vars(), 3);
+    EXPECT_EQ(s.solve(), solve_result::sat);
+    // Model satisfies the original clauses.
+    EXPECT_TRUE(s.model_lit(mk_lit(0)) || s.model_lit(mk_lit(1)));
+    EXPECT_TRUE(!s.model_lit(mk_lit(0)) || s.model_lit(mk_lit(2)));
+    EXPECT_TRUE(!s.model_lit(mk_lit(1)) || !s.model_lit(mk_lit(2)));
+}
+
+TEST(dimacs, unsat_instance) {
+    solver s;
+    read_dimacs("p cnf 1 2\n1 0\n-1 0\n", s);
+    EXPECT_EQ(s.solve(), solve_result::unsat);
+}
+
+TEST(dimacs, malformed_inputs_throw) {
+    solver s;
+    EXPECT_THROW(read_dimacs("p cnf x 3\n", s), std::runtime_error);
+    EXPECT_THROW(read_dimacs("1 2 3\n", s), std::runtime_error);  // missing 0
+    EXPECT_THROW(read_dimacs("hello\n", s), std::runtime_error);
+    EXPECT_THROW(read_dimacs("", s), std::runtime_error);
+}
+
+TEST(dimacs, write_format) {
+    std::vector<clause_lits> clauses{{mk_lit(0), ~mk_lit(1)}, {mk_lit(2)}};
+    std::ostringstream os;
+    write_dimacs(os, 3, clauses);
+    EXPECT_EQ(os.str(), "p cnf 3 2\n1 -2 0\n3 0\n");
+    // Round trip.
+    solver s;
+    EXPECT_EQ(read_dimacs(os.str(), s), 2u);
+    EXPECT_EQ(s.solve(), solve_result::sat);
+}
+
+}  // namespace
+}  // namespace sciduction::sat

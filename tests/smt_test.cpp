@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include "smt/solver.hpp"
+#include "util/rng.hpp"
+
+namespace sciduction::smt {
+namespace {
+
+TEST(term_manager, hash_consing_dedupes) {
+    term_manager tm;
+    term x = tm.mk_bv_var("x", 8);
+    term a = tm.mk_bvadd(x, tm.mk_bv_const(8, 1));
+    term b = tm.mk_bvadd(x, tm.mk_bv_const(8, 1));
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(tm.mk_bv_var("x", 8), x);
+    EXPECT_THROW(tm.mk_bv_var("x", 16), std::invalid_argument);  // width clash
+}
+
+TEST(term_manager, constant_folding) {
+    term_manager tm;
+    term five = tm.mk_bv_const(8, 5);
+    term three = tm.mk_bv_const(8, 3);
+    EXPECT_EQ(tm.mk_bvadd(five, three), tm.mk_bv_const(8, 8));
+    EXPECT_EQ(tm.mk_bvmul(five, three), tm.mk_bv_const(8, 15));
+    EXPECT_EQ(tm.mk_bvsub(three, five), tm.mk_bv_const(8, 254));  // wraps
+    EXPECT_EQ(tm.mk_bvudiv(five, tm.mk_bv_const(8, 0)), tm.mk_bv_const(8, 255));
+    EXPECT_EQ(tm.mk_bvurem(five, tm.mk_bv_const(8, 0)), five);
+    EXPECT_EQ(tm.mk_ult(three, five), tm.mk_bool_const(true));
+    EXPECT_EQ(tm.mk_slt(tm.mk_bv_const(8, 0xff), tm.mk_bv_const(8, 1)),
+              tm.mk_bool_const(true));  // -1 < 1 signed
+}
+
+TEST(term_manager, identity_rewrites) {
+    term_manager tm;
+    term x = tm.mk_bv_var("x", 16);
+    term zero = tm.mk_bv_const(16, 0);
+    term ones = tm.mk_bv_const(16, 0xffff);
+    EXPECT_EQ(tm.mk_bvadd(x, zero), x);
+    EXPECT_EQ(tm.mk_bvand(x, zero), zero);
+    EXPECT_EQ(tm.mk_bvand(x, ones), x);
+    EXPECT_EQ(tm.mk_bvor(x, zero), x);
+    EXPECT_EQ(tm.mk_bvxor(x, x), zero);
+    EXPECT_EQ(tm.mk_bvsub(x, x), zero);
+    EXPECT_EQ(tm.mk_bvmul(x, tm.mk_bv_const(16, 1)), x);
+    EXPECT_EQ(tm.mk_bvnot(tm.mk_bvnot(x)), x);
+    EXPECT_EQ(tm.mk_eq(x, x), tm.mk_bool_const(true));
+    EXPECT_EQ(tm.mk_ule(x, x), tm.mk_bool_const(true));
+    EXPECT_EQ(tm.mk_ult(x, x), tm.mk_bool_const(false));
+}
+
+TEST(term_manager, boolean_rewrites) {
+    term_manager tm;
+    term p = tm.mk_bool_var("p");
+    EXPECT_EQ(tm.mk_and(p, tm.mk_bool_const(true)), p);
+    EXPECT_EQ(tm.mk_and(p, tm.mk_bool_const(false)), tm.mk_bool_const(false));
+    EXPECT_EQ(tm.mk_and(p, tm.mk_not(p)), tm.mk_bool_const(false));
+    EXPECT_EQ(tm.mk_or(p, tm.mk_not(p)), tm.mk_bool_const(true));
+    EXPECT_EQ(tm.mk_not(tm.mk_not(p)), p);
+    EXPECT_EQ(tm.mk_xor(p, p), tm.mk_bool_const(false));
+    EXPECT_EQ(tm.mk_implies(tm.mk_bool_const(false), p), tm.mk_bool_const(true));
+}
+
+TEST(term_manager, extract_concat_extend) {
+    term_manager tm;
+    term c = tm.mk_bv_const(16, 0xABCD);
+    EXPECT_EQ(tm.mk_extract(c, 7, 0), tm.mk_bv_const(8, 0xCD));
+    EXPECT_EQ(tm.mk_extract(c, 15, 8), tm.mk_bv_const(8, 0xAB));
+    EXPECT_EQ(tm.mk_concat(tm.mk_bv_const(8, 0xAB), tm.mk_bv_const(8, 0xCD)), c);
+    EXPECT_EQ(tm.mk_zext(tm.mk_bv_const(8, 0x80), 16), tm.mk_bv_const(16, 0x0080));
+    EXPECT_EQ(tm.mk_sext(tm.mk_bv_const(8, 0x80), 16), tm.mk_bv_const(16, 0xFF80));
+    term x = tm.mk_bv_var("x", 8);
+    EXPECT_EQ(tm.mk_extract(x, 7, 0), x);  // full-range extract is identity
+    EXPECT_THROW(tm.mk_extract(x, 8, 0), std::invalid_argument);
+}
+
+TEST(evaluator, reference_semantics) {
+    term_manager tm;
+    term x = tm.mk_bv_var("x", 8);
+    term y = tm.mk_bv_var("y", 8);
+    env e{{x.id, 200}, {y.id, 100}};
+    EXPECT_EQ(tm.evaluate(tm.mk_bvadd(x, y), e), (200 + 100) & 0xff);
+    EXPECT_EQ(tm.evaluate(tm.mk_bvmul(x, y), e), (200 * 100) & 0xff);
+    EXPECT_EQ(tm.evaluate(tm.mk_bvashr(x, tm.mk_bv_const(8, 1)), e), 0xE4);  // sign fills
+    EXPECT_EQ(tm.evaluate(tm.mk_slt(x, y), e), 1u);                          // -56 < 100
+    EXPECT_EQ(tm.evaluate(tm.mk_ult(x, y), e), 0u);
+    EXPECT_THROW(tm.evaluate(tm.mk_bv_var("unbound", 8), env{}), std::out_of_range);
+}
+
+// ---- solver: per-operation cross-validation against the evaluator --------------
+
+struct op_case {
+    const char* name;
+    term (*build)(term_manager&, term, term);
+};
+
+term b_add(term_manager& tm, term a, term b) { return tm.mk_bvadd(a, b); }
+term b_sub(term_manager& tm, term a, term b) { return tm.mk_bvsub(a, b); }
+term b_mul(term_manager& tm, term a, term b) { return tm.mk_bvmul(a, b); }
+term b_udiv(term_manager& tm, term a, term b) { return tm.mk_bvudiv(a, b); }
+term b_urem(term_manager& tm, term a, term b) { return tm.mk_bvurem(a, b); }
+term b_and(term_manager& tm, term a, term b) { return tm.mk_bvand(a, b); }
+term b_or(term_manager& tm, term a, term b) { return tm.mk_bvor(a, b); }
+term b_xor(term_manager& tm, term a, term b) { return tm.mk_bvxor(a, b); }
+term b_shl(term_manager& tm, term a, term b) { return tm.mk_bvshl(a, b); }
+term b_lshr(term_manager& tm, term a, term b) { return tm.mk_bvlshr(a, b); }
+term b_ashr(term_manager& tm, term a, term b) { return tm.mk_bvashr(a, b); }
+
+class bitblast_op
+    : public ::testing::TestWithParam<std::tuple<op_case, unsigned>> {};
+
+TEST_P(bitblast_op, agrees_with_evaluator) {
+    auto [op, width] = GetParam();
+    util::rng r(0x5eedULL + width);
+    for (int iter = 0; iter < 12; ++iter) {
+        term_manager tm;
+        term x = tm.mk_bv_var("x", width);
+        term y = tm.mk_bv_var("y", width);
+        term t = op.build(tm, x, y);
+        env e{{x.id, r.next_u64() & term_manager::mask(width)},
+              {y.id, r.next_u64() & term_manager::mask(width)}};
+        // Small shift amounts half the time so both shifter regimes run.
+        if (iter % 2 == 0) e[y.id] = r.next_below(width + 2);
+        std::uint64_t want = tm.evaluate(t, e);
+
+        smt_solver s(tm);
+        s.assert_term(tm.mk_eq(x, tm.mk_bv_const(width, e.at(x.id))));
+        s.assert_term(tm.mk_eq(y, tm.mk_bv_const(width, e.at(y.id))));
+        s.assert_term(tm.mk_eq(t, tm.mk_bv_const(width, want)));
+        ASSERT_EQ(s.check(), check_result::sat) << op.name << " width " << width;
+
+        smt_solver s2(tm);
+        s2.assert_term(tm.mk_eq(x, tm.mk_bv_const(width, e.at(x.id))));
+        s2.assert_term(tm.mk_eq(y, tm.mk_bv_const(width, e.at(y.id))));
+        s2.assert_term(tm.mk_distinct(t, tm.mk_bv_const(width, want)));
+        ASSERT_EQ(s2.check(), check_result::unsat) << op.name << " width " << width;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ops, bitblast_op,
+    ::testing::Combine(
+        ::testing::Values(op_case{"add", b_add}, op_case{"sub", b_sub}, op_case{"mul", b_mul},
+                          op_case{"udiv", b_udiv}, op_case{"urem", b_urem},
+                          op_case{"and", b_and}, op_case{"or", b_or}, op_case{"xor", b_xor},
+                          op_case{"shl", b_shl}, op_case{"lshr", b_lshr},
+                          op_case{"ashr", b_ashr}),
+        ::testing::Values(1u, 3u, 8u, 13u)),
+    [](const auto& info) {
+        return std::string(std::get<0>(info.param).name) + "_w" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+TEST(smt_solver, division_by_zero_semantics) {
+    term_manager tm;
+    term x = tm.mk_bv_var("x", 8);
+    smt_solver s(tm);
+    s.assert_term(tm.mk_eq(x, tm.mk_bv_const(8, 77)));
+    term zero = tm.mk_bv_const(8, 0);
+    term q = tm.mk_bvudiv(x, tm.mk_bvand(x, zero));  // divisor folds to 0? no: x&0 == 0 folds
+    term rme = tm.mk_bvurem(x, tm.mk_bvand(x, zero));
+    // After folding (x & 0) == 0 these fold too; check via a non-foldable divisor.
+    term y = tm.mk_bv_var("y", 8);
+    s.assert_term(tm.mk_eq(y, zero));
+    s.assert_term(tm.mk_eq(tm.mk_bvudiv(x, y), tm.mk_bv_const(8, 0xff)));
+    s.assert_term(tm.mk_eq(tm.mk_bvurem(x, y), tm.mk_bv_const(8, 77)));
+    EXPECT_EQ(s.check(), check_result::sat);
+    (void)q;
+    (void)rme;
+}
+
+TEST(smt_solver, shift_beyond_width_saturates) {
+    term_manager tm;
+    term x = tm.mk_bv_var("x", 8);
+    term amt = tm.mk_bv_var("a", 8);
+    smt_solver s(tm);
+    s.assert_term(tm.mk_eq(x, tm.mk_bv_const(8, 0xff)));
+    s.assert_term(tm.mk_eq(amt, tm.mk_bv_const(8, 9)));
+    s.assert_term(tm.mk_eq(tm.mk_bvshl(x, amt), tm.mk_bv_const(8, 0)));
+    s.assert_term(tm.mk_eq(tm.mk_bvlshr(x, amt), tm.mk_bv_const(8, 0)));
+    s.assert_term(tm.mk_eq(tm.mk_bvashr(x, amt), tm.mk_bv_const(8, 0xff)));  // sign fill
+    EXPECT_EQ(s.check(), check_result::sat);
+}
+
+TEST(smt_solver, signed_comparison_boundaries) {
+    term_manager tm;
+    smt_solver s(tm);
+    term min8 = tm.mk_bv_const(8, 0x80);  // -128
+    term max8 = tm.mk_bv_const(8, 0x7f);  // 127
+    s.assert_term(tm.mk_slt(min8, max8));
+    s.assert_term(tm.mk_slt(min8, tm.mk_bv_const(8, 0)));
+    s.assert_term(tm.mk_not(tm.mk_slt(max8, min8)));
+    s.assert_term(tm.mk_sle(min8, min8));
+    EXPECT_EQ(s.check(), check_result::sat);
+}
+
+TEST(smt_solver, model_satisfies_formula) {
+    term_manager tm;
+    term x = tm.mk_bv_var("x", 12);
+    term y = tm.mk_bv_var("y", 12);
+    term f = tm.mk_and(tm.mk_ult(x, y),
+                       tm.mk_eq(tm.mk_bvadd(x, y), tm.mk_bv_const(12, 100)));
+    smt_solver s(tm);
+    s.assert_term(f);
+    ASSERT_EQ(s.check(), check_result::sat);
+    env m = s.model_env();
+    EXPECT_EQ(tm.evaluate(f, m), 1u);
+    EXPECT_EQ(s.model_value(tm.mk_bvadd(x, y)), 100u);
+}
+
+TEST(smt_solver, incremental_assertions_monotone) {
+    term_manager tm;
+    term x = tm.mk_bv_var("x", 8);
+    smt_solver s(tm);
+    s.assert_term(tm.mk_ult(x, tm.mk_bv_const(8, 10)));
+    ASSERT_EQ(s.check(), check_result::sat);
+    s.assert_term(tm.mk_ugt(x, tm.mk_bv_const(8, 5)));
+    ASSERT_EQ(s.check(), check_result::sat);
+    std::uint64_t v = s.model_value(x);
+    EXPECT_GT(v, 5u);
+    EXPECT_LT(v, 10u);
+    s.assert_term(tm.mk_ugt(x, tm.mk_bv_const(8, 20)));
+    EXPECT_EQ(s.check(), check_result::unsat);
+}
+
+TEST(smt_solver, check_under_assumptions_not_persistent) {
+    term_manager tm;
+    term p = tm.mk_bool_var("p");
+    smt_solver s(tm);
+    s.assert_term(tm.mk_or(p, tm.mk_not(p)));  // tautology, keeps p blasted
+    EXPECT_EQ(s.check({p}), check_result::sat);
+    EXPECT_EQ(s.check({tm.mk_not(p)}), check_result::sat);  // not stuck with p
+    EXPECT_EQ(s.check({p, tm.mk_not(p)}), check_result::unsat);
+    EXPECT_EQ(s.check(), check_result::sat);
+}
+
+TEST(smt_solver, ite_and_concat_extract_roundtrip) {
+    term_manager tm;
+    term x = tm.mk_bv_var("x", 16);
+    term lo = tm.mk_extract(x, 7, 0);
+    term hi = tm.mk_extract(x, 15, 8);
+    smt_solver s(tm);
+    // Reassembling the halves gives back x, for every x (prove by refutation).
+    s.assert_term(tm.mk_distinct(tm.mk_concat(hi, lo), x));
+    EXPECT_EQ(s.check(), check_result::unsat);
+}
+
+TEST(smt_solver, random_term_dag_fuzz) {
+    util::rng r(777);
+    for (int iter = 0; iter < 40; ++iter) {
+        term_manager tm;
+        unsigned w = 1 + static_cast<unsigned>(r.next_below(12));
+        term x = tm.mk_bv_var("x", w);
+        term y = tm.mk_bv_var("y", w);
+        std::vector<term> pool{x, y, tm.mk_bv_const(w, r.next_u64())};
+        for (int ops = 0; ops < 10; ++ops) {
+            term a = pool[r.next_below(pool.size())];
+            term b = pool[r.next_below(pool.size())];
+            switch (r.next_below(8)) {
+                case 0: pool.push_back(tm.mk_bvadd(a, b)); break;
+                case 1: pool.push_back(tm.mk_bvsub(a, b)); break;
+                case 2: pool.push_back(tm.mk_bvmul(a, b)); break;
+                case 3: pool.push_back(tm.mk_bvxor(a, b)); break;
+                case 4: pool.push_back(tm.mk_bvnot(a)); break;
+                case 5: pool.push_back(tm.mk_ite(tm.mk_ult(a, b), a, b)); break;
+                case 6: pool.push_back(tm.mk_bvshl(a, b)); break;
+                default: pool.push_back(tm.mk_bvlshr(a, b)); break;
+            }
+        }
+        term t = pool.back();
+        env e{{x.id, r.next_u64() & term_manager::mask(w)},
+              {y.id, r.next_u64() & term_manager::mask(w)}};
+        std::uint64_t want = tm.evaluate(t, e);
+        smt_solver s(tm);
+        s.assert_term(tm.mk_eq(x, tm.mk_bv_const(w, e.at(x.id))));
+        s.assert_term(tm.mk_eq(y, tm.mk_bv_const(w, e.at(y.id))));
+        s.assert_term(tm.mk_distinct(t, tm.mk_bv_const(w, want)));
+        ASSERT_EQ(s.check(), check_result::unsat) << "iter " << iter;
+    }
+}
+
+TEST(printer, renders_smtlib_flavour) {
+    term_manager tm;
+    term x = tm.mk_bv_var("x", 8);
+    std::string s = tm.to_string(tm.mk_bvadd(x, tm.mk_bv_const(8, 3)));
+    EXPECT_NE(s.find("bvadd"), std::string::npos);
+    EXPECT_NE(s.find("x"), std::string::npos);
+    EXPECT_NE(s.find("bv3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sciduction::smt

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include "util/histogram.hpp"
+#include "util/matrix.hpp"
+#include "util/rational.hpp"
+#include "util/rng.hpp"
+
+namespace sciduction::util {
+namespace {
+
+// ---- rational ---------------------------------------------------------------
+
+TEST(rational, construction_normalizes) {
+    rational r(6, 4);
+    EXPECT_EQ(r, rational(3, 2));
+    EXPECT_EQ(rational(-6, 4), rational(-3, 2));
+    EXPECT_EQ(rational(6, -4), rational(-3, 2));  // denominator made positive
+    EXPECT_EQ(rational(0, 7), rational(0));
+    EXPECT_TRUE(rational(0, 7).is_zero());
+}
+
+TEST(rational, zero_denominator_throws) {
+    EXPECT_THROW(rational(1, 0), std::domain_error);
+}
+
+TEST(rational, arithmetic) {
+    rational a(1, 3);
+    rational b(1, 6);
+    EXPECT_EQ(a + b, rational(1, 2));
+    EXPECT_EQ(a - b, rational(1, 6));
+    EXPECT_EQ(a * b, rational(1, 18));
+    EXPECT_EQ(a / b, rational(2));
+    EXPECT_EQ(-a, rational(-1, 3));
+    EXPECT_EQ(a.abs(), a);
+    EXPECT_EQ((-a).abs(), a);
+}
+
+TEST(rational, comparisons) {
+    EXPECT_LT(rational(1, 3), rational(1, 2));
+    EXPECT_LT(rational(-1, 2), rational(-1, 3));
+    EXPECT_GE(rational(2, 4), rational(1, 2));
+    EXPECT_GT(rational(0), rational(-5));
+}
+
+TEST(rational, to_int64_and_double) {
+    EXPECT_EQ(rational(10, 2).to_int64(), 5);
+    EXPECT_THROW(rational(1, 2).to_int64(), std::domain_error);
+    EXPECT_DOUBLE_EQ(rational(1, 2).to_double(), 0.5);
+    EXPECT_EQ(rational(7, 2).to_string(), "7/2");
+    EXPECT_EQ(rational(-4).to_string(), "-4");
+}
+
+TEST(rational, inverse_of_zero_throws) {
+    EXPECT_THROW(rational(0).inverse(), std::domain_error);
+}
+
+TEST(rational, overflow_detected) {
+    rational big(INT64_MAX);
+    rational r = big * big;  // fits in 128 bits
+    EXPECT_THROW(r * r, rational_overflow_error);
+}
+
+// Property: field axioms hold on random small rationals.
+class rational_property : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(rational_property, field_axioms) {
+    rng r(GetParam());
+    for (int i = 0; i < 200; ++i) {
+        auto pick = [&] {
+            return rational(static_cast<std::int64_t>(r.next_below(2001)) - 1000,
+                            static_cast<std::int64_t>(r.next_below(50)) + 1);
+        };
+        rational a = pick();
+        rational b = pick();
+        rational c = pick();
+        EXPECT_EQ(a + b, b + a);
+        EXPECT_EQ(a * b, b * a);
+        EXPECT_EQ((a + b) + c, a + (b + c));
+        EXPECT_EQ(a * (b + c), a * b + a * c);
+        EXPECT_EQ(a - a, rational(0));
+        if (!b.is_zero()) EXPECT_EQ((a / b) * b, a);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, rational_property, ::testing::Values(1, 2, 3, 4, 5));
+
+// ---- matrix -------------------------------------------------------------------
+
+TEST(matrix, rank_and_transpose) {
+    rmatrix m = rmatrix::from_rows({{rational(1), rational(0), rational(1)},
+                                    {rational(0), rational(1), rational(1)},
+                                    {rational(1), rational(1), rational(2)}});
+    EXPECT_EQ(m.rank(), 2u);  // row3 = row1 + row2
+    rmatrix t = m.transpose();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.at(2, 0), rational(1));
+    EXPECT_EQ(t.rank(), 2u);
+}
+
+TEST(matrix, solve_square) {
+    rmatrix a = rmatrix::from_rows({{rational(2), rational(1)}, {rational(1), rational(3)}});
+    auto x = solve_square(a, {rational(5), rational(10)});
+    ASSERT_TRUE(x.has_value());
+    EXPECT_EQ((*x)[0], rational(1));
+    EXPECT_EQ((*x)[1], rational(3));
+}
+
+TEST(matrix, solve_singular_returns_nullopt) {
+    rmatrix a = rmatrix::from_rows({{rational(1), rational(2)}, {rational(2), rational(4)}});
+    EXPECT_FALSE(solve_square(a, {rational(1), rational(2)}).has_value());
+}
+
+TEST(matrix, min_norm_solution_solves_system) {
+    // Underdetermined: 2 equations, 3 unknowns.
+    rmatrix b = rmatrix::from_rows({{rational(1), rational(1), rational(0)},
+                                    {rational(0), rational(1), rational(1)}});
+    rvector rhs{rational(3), rational(5)};
+    auto w = min_norm_solution(b, rhs);
+    ASSERT_TRUE(w.has_value());
+    rvector back = b.multiply(*w);
+    EXPECT_EQ(back[0], rational(3));
+    EXPECT_EQ(back[1], rational(5));
+}
+
+TEST(matrix, basis_coordinates_member_and_nonmember) {
+    rmatrix b = rmatrix::from_rows({{rational(1), rational(0), rational(1)},
+                                    {rational(0), rational(1), rational(1)}});
+    // x = 2*row0 - row1
+    rvector x{rational(2), rational(-1), rational(1)};
+    auto c = basis_coordinates(b, x);
+    ASSERT_TRUE(c.has_value());
+    EXPECT_EQ((*c)[0], rational(2));
+    EXPECT_EQ((*c)[1], rational(-1));
+    // Not in the span:
+    EXPECT_FALSE(basis_coordinates(b, {rational(1), rational(1), rational(1)}).has_value());
+}
+
+TEST(matrix, echelon_basis_incremental) {
+    echelon_basis eb(3);
+    EXPECT_TRUE(eb.insert({rational(1), rational(1), rational(0)}));
+    EXPECT_TRUE(eb.insert({rational(0), rational(1), rational(1)}));
+    // Dependent: sum of the two.
+    EXPECT_FALSE(eb.is_independent({rational(1), rational(2), rational(1)}));
+    EXPECT_FALSE(eb.insert({rational(1), rational(2), rational(1)}));
+    EXPECT_TRUE(eb.insert({rational(0), rational(0), rational(5)}));
+    EXPECT_EQ(eb.rank(), 3u);
+    // Everything is dependent at full rank.
+    EXPECT_FALSE(eb.is_independent({rational(7), rational(-2), rational(13)}));
+}
+
+// Property: rank of random 0/1 matrices matches a double-precision
+// Gram-Schmidt estimate on well-conditioned instances (cross-check).
+class matrix_property : public ::testing::TestWithParam<int> {};
+
+TEST_P(matrix_property, insert_consistent_with_rank) {
+    rng r(static_cast<std::uint64_t>(GetParam()));
+    for (int iter = 0; iter < 20; ++iter) {
+        std::size_t dim = 2 + r.next_below(5);
+        std::size_t rows = 1 + r.next_below(7);
+        std::vector<rvector> rws;
+        for (std::size_t i = 0; i < rows; ++i) {
+            rvector v(dim);
+            for (auto& x : v) x = rational(static_cast<std::int64_t>(r.next_below(2)));
+            rws.push_back(v);
+        }
+        rmatrix m = rmatrix::from_rows(rws);
+        echelon_basis eb(dim);
+        std::size_t inserted = 0;
+        for (const auto& v : rws)
+            if (eb.insert(v)) ++inserted;
+        EXPECT_EQ(inserted, m.rank());
+        EXPECT_EQ(eb.rank(), m.rank());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, matrix_property, ::testing::Range(10, 15));
+
+// ---- rng ------------------------------------------------------------------------
+
+TEST(rng, deterministic_per_seed) {
+    rng a(42);
+    rng b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+    rng c(43);
+    bool all_same = true;
+    rng a2(42);
+    for (int i = 0; i < 10; ++i) all_same = all_same && (a2.next_u64() == c.next_u64());
+    EXPECT_FALSE(all_same);
+}
+
+TEST(rng, next_below_in_range) {
+    rng r(7);
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(17), 17u);
+}
+
+TEST(rng, next_double_unit_interval) {
+    rng r(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double d = r.next_double();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);  // crude uniformity check
+}
+
+// ---- histogram ----------------------------------------------------------------
+
+TEST(histogram, binning) {
+    histogram h(10);
+    h.add(0);
+    h.add(9);
+    h.add(10);
+    h.add(25, 3);
+    EXPECT_EQ(h.total(), 6);
+    EXPECT_EQ(h.count_at(0), 2);
+    EXPECT_EQ(h.count_at(10), 1);
+    EXPECT_EQ(h.count_at(20), 3);
+    EXPECT_EQ(h.count_at(30), 0);
+}
+
+TEST(histogram, tv_distance_identical_zero) {
+    histogram a(5);
+    histogram b(5);
+    for (int i = 0; i < 50; ++i) {
+        a.add(i % 20);
+        b.add(i % 20);
+    }
+    EXPECT_DOUBLE_EQ(a.total_variation_distance(b), 0.0);
+}
+
+TEST(histogram, tv_distance_disjoint_one) {
+    histogram a(5);
+    histogram b(5);
+    a.add(0, 10);
+    b.add(100, 10);
+    EXPECT_DOUBLE_EQ(a.total_variation_distance(b), 1.0);
+}
+
+TEST(histogram, ascii_render_contains_counts) {
+    histogram h(10);
+    h.add(5, 4);
+    std::string s = h.to_ascii();
+    EXPECT_NE(s.find("0..9"), std::string::npos);
+    EXPECT_NE(s.find("4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sciduction::util
