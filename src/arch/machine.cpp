@@ -45,8 +45,10 @@ run_result machine::run(const std::vector<std::uint64_t>& args, machine_state& s
             case opcode::alu:
             case opcode::alui: {
                 std::uint64_t a = regs[static_cast<std::size_t>(i.rs1)];
-                std::uint64_t b = i.op == opcode::alu ? regs[static_cast<std::size_t>(i.rs2)]
-                                                      : (i.imm & m);
+                // Unary ops (snez/seqz) carry rs2 == -1; never read it.
+                std::uint64_t b = i.op == opcode::alui ? (i.imm & m)
+                                  : i.rs2 >= 0 ? regs[static_cast<std::size_t>(i.rs2)]
+                                               : 0;
                 std::uint64_t r;
                 switch (i.aop) {
                     case alu_op::add: r = ir::apply_binop(ir::binop::add, a, b, w); break;

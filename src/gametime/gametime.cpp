@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "substrate/thread_pool.hpp"
+
 namespace sciduction::gametime {
 
 // ---- platform ---------------------------------------------------------------
@@ -31,49 +33,114 @@ std::uint64_t sarm_platform::measure_cold(const std::vector<std::uint64_t>& args
 
 // ---- basis extraction --------------------------------------------------------
 
-basis_info extract_basis_paths(const ir::cfg& g, smt::term_manager& tm,
-                               std::size_t enumeration_limit) {
-    basis_info info;
-    const std::size_t target = g.basis_dimension();
-    util::echelon_basis echelon(g.num_edges());
+namespace {
 
-    // Lazy DFS enumeration of source-to-sink paths; each candidate is first
-    // rank-tested (cheap, exact) and only then sent to the SMT solver.
+/// Lazy DFS enumerator of source-to-sink paths, in the same order the
+/// original recursive enumeration visited them.
+class path_enumerator {
+public:
+    explicit path_enumerator(const ir::cfg& g) : g_(g), stack_{{g.source(), 0}} {}
+
+    /// Next complete path, or nullopt when exhausted.
+    std::optional<ir::path> next() {
+        while (!stack_.empty()) {
+            frame& f = stack_.back();
+            if (f.block == g_.sink()) {
+                ir::path complete = current_;
+                stack_.pop_back();
+                if (!current_.empty()) current_.pop_back();
+                return complete;
+            }
+            const auto& outs = g_.out_edges(f.block);
+            if (f.next_choice == outs.size()) {
+                stack_.pop_back();
+                if (!current_.empty()) current_.pop_back();
+                continue;
+            }
+            int eid = outs[f.next_choice++];
+            current_.push_back(eid);
+            stack_.push_back({g_.edge(eid).to, 0});
+        }
+        return std::nullopt;
+    }
+
+private:
     struct frame {
         int block;
         std::size_t next_choice;
     };
-    std::vector<frame> stack{{g.source(), 0}};
-    ir::path current;
-    while (!stack.empty() && echelon.rank() < target) {
-        frame& f = stack.back();
-        if (f.block == g.sink()) {
-            ++info.paths_considered;
-            if (info.paths_considered > enumeration_limit)
-                throw std::runtime_error("extract_basis_paths: enumeration limit exceeded");
-            util::rvector v = g.edge_vector(current);
-            if (echelon.is_independent(v)) {
-                ++info.smt_queries;
-                auto witness = ir::feasible_path_witness(g, current, tm);
-                if (witness) {
-                    echelon.insert(v);
-                    info.paths.push_back(current);
-                    info.tests.push_back(std::move(*witness));
-                }
+    const ir::cfg& g_;
+    std::vector<frame> stack_;
+    ir::path current_;
+};
+
+}  // namespace
+
+basis_info extract_basis_paths(const ir::cfg& g, substrate::smt_engine& engine,
+                               const basis_config& cfg) {
+    basis_info info;
+    const std::size_t target = g.basis_dimension();
+    util::echelon_basis echelon(g.num_edges());
+    path_enumerator paths(g);
+
+    // Candidates are rank-tested (cheap, exact) and only rank-increasing
+    // ones consult the SMT substrate. In batch mode, candidates are pulled
+    // in waves whose feasibility queries run concurrently (each worker on
+    // its own term_manager — the query is path-local and deterministic, so
+    // the answers match the sequential ones bit-for-bit) before the rank
+    // logic is replayed in enumeration order.
+    const std::size_t wave =
+        cfg.batch_threads > 1 ? static_cast<std::size_t>(cfg.batch_threads) * 4 : 1;
+    std::optional<substrate::thread_pool> pool;
+    if (cfg.batch_threads > 1) pool.emplace(cfg.batch_threads);
+    while (echelon.rank() < target) {
+        // A wave never pulls past the enumeration limit: the limit check
+        // happens after the wave is processed, so a basis completing within
+        // the limit returns normally in both modes.
+        std::vector<ir::path> candidates;
+        bool at_limit = false;
+        while (candidates.size() < wave) {
+            if (info.paths_considered == cfg.enumeration_limit) {
+                at_limit = true;
+                break;
             }
-            stack.pop_back();
-            if (!current.empty()) current.pop_back();
-            continue;
+            auto p = paths.next();
+            if (!p) break;
+            ++info.paths_considered;
+            candidates.push_back(std::move(*p));
         }
-        const auto& outs = g.out_edges(f.block);
-        if (f.next_choice == outs.size()) {
-            stack.pop_back();
-            if (!current.empty()) current.pop_back();
-            continue;
+
+        std::vector<std::optional<std::vector<std::uint64_t>>> witnesses(candidates.size());
+        if (pool) {
+            info.speculative_queries += candidates.size();
+            pool->parallel_for(candidates.size(), [&](std::size_t i) {
+                smt::term_manager local_tm;
+                witnesses[i] = ir::feasible_path_witness(g, candidates[i], local_tm);
+            });
         }
-        int eid = outs[f.next_choice++];
-        current.push_back(eid);
-        stack.push_back({g.edge(eid).to, 0});
+        for (std::size_t i = 0; i < candidates.size() && echelon.rank() < target; ++i) {
+            util::rvector v = g.edge_vector(candidates[i]);
+            if (!echelon.is_independent(v)) continue;
+            ++info.smt_queries;
+            auto witness = pool ? std::move(witnesses[i])
+                                : ir::feasible_path_witness(g, candidates[i], engine);
+            if (witness) {
+                echelon.insert(v);
+                info.paths.push_back(candidates[i]);
+                info.tests.push_back(std::move(*witness));
+            }
+        }
+        if (echelon.rank() >= target) break;
+        if (at_limit) {
+            // Sequential semantics: exceeding the limit only matters when
+            // another candidate would actually be considered.
+            if (paths.next()) {
+                ++info.paths_considered;
+                throw std::runtime_error("extract_basis_paths: enumeration limit exceeded");
+            }
+            break;
+        }
+        if (candidates.empty()) break;  // enumeration exhausted
     }
 
     std::vector<util::rvector> rows;
@@ -81,6 +148,14 @@ basis_info extract_basis_paths(const ir::cfg& g, smt::term_manager& tm,
     for (const auto& p : info.paths) rows.push_back(g.edge_vector(p));
     info.matrix = util::rmatrix::from_rows(rows);
     return info;
+}
+
+basis_info extract_basis_paths(const ir::cfg& g, smt::term_manager& tm,
+                               std::size_t enumeration_limit) {
+    substrate::smt_engine engine(tm);
+    basis_config cfg;
+    cfg.enumeration_limit = enumeration_limit;
+    return extract_basis_paths(g, engine, cfg);
 }
 
 // ---- learning ------------------------------------------------------------------
@@ -147,6 +222,12 @@ double predict_path_time(const ir::cfg& g, const timing_model& model, const ir::
 
 std::optional<wcet_estimate> predict_wcet(const ir::cfg& g, const timing_model& model,
                                           smt::term_manager& tm) {
+    substrate::smt_engine engine(tm);
+    return predict_wcet(g, model, engine);
+}
+
+std::optional<wcet_estimate> predict_wcet(const ir::cfg& g, const timing_model& model,
+                                          substrate::smt_engine& engine) {
     // Longest path in the DAG under w, by DP over a reverse topological order.
     const std::size_t n = g.num_blocks();
     std::vector<int> order;
@@ -200,7 +281,7 @@ std::optional<wcet_estimate> predict_wcet(const ir::cfg& g, const timing_model& 
         longest.push_back(eid);
         cur = g.edge(eid).to;
     }
-    auto witness = ir::feasible_path_witness(g, longest, tm);
+    auto witness = ir::feasible_path_witness(g, longest, engine);
     if (witness) {
         wcet_estimate est;
         est.longest = std::move(longest);
@@ -216,7 +297,7 @@ std::optional<wcet_estimate> predict_wcet(const ir::cfg& g, const timing_model& 
     for (const auto& p : g.enumerate_paths()) {
         double t = predict_path_time(g, model, p);
         if (best_est && t <= best_est->predicted_cycles) continue;
-        auto wit = ir::feasible_path_witness(g, p, tm);
+        auto wit = ir::feasible_path_witness(g, p, engine);
         if (!wit) continue;
         wcet_estimate est;
         est.longest = p;

@@ -21,6 +21,7 @@
 #include "core/oracles.hpp"
 #include "ir/cfg.hpp"
 #include "ir/symexec.hpp"
+#include "substrate/engine.hpp"
 #include "util/matrix.hpp"
 #include "util/rng.hpp"
 
@@ -62,13 +63,29 @@ struct basis_info {
     std::vector<std::vector<std::uint64_t>> tests;  ///< args driving each basis path
     util::rmatrix matrix;                           ///< rows = edge vectors (b x m)
     std::size_t paths_considered = 0;               ///< enumeration effort
-    std::size_t smt_queries = 0;
+    std::size_t smt_queries = 0;      ///< rank-increasing candidates consulted
+    std::size_t speculative_queries = 0;  ///< extra checks issued by batch mode
+};
+
+struct basis_config {
+    std::size_t enumeration_limit = 1u << 20;
+    /// Worker threads for batched feasibility checks. 1 = sequential (checks
+    /// issued lazily, only for rank-increasing candidates); >1 = candidate
+    /// paths are enumerated in waves whose feasibility queries run
+    /// concurrently, then the sequential rank logic is replayed over the
+    /// precomputed answers — the extracted basis is identical either way
+    /// (feasibility is path-local), at the cost of speculative solver work.
+    unsigned batch_threads = 1;
 };
 
 /// Extracts a maximal set of linearly independent *feasible* paths, querying
 /// the SMT solver for feasibility/tests only on rank-increasing candidates
 /// (paper Fig. 5, "Extract FEASIBLE BASIS PATHS with corresponding Test
-/// Cases"). The result size is at most m - n + 2.
+/// Cases"). The result size is at most m - n + 2. Queries route through the
+/// substrate engine (query cache, optional portfolio).
+basis_info extract_basis_paths(const ir::cfg& g, substrate::smt_engine& engine,
+                               const basis_config& cfg = {});
+/// Back-compat convenience: runs on a transient cached engine over `tm`.
 basis_info extract_basis_paths(const ir::cfg& g, smt::term_manager& tm,
                                std::size_t enumeration_limit = 1u << 20);
 
@@ -104,6 +121,10 @@ struct wcet_estimate {
 /// Predicts the worst-case path: longest path in the DAG under the learned
 /// edge weights, with SMT feasibility check (falls back to exhaustive
 /// search over feasible paths when the DP-longest path is infeasible).
+/// When the same engine also ran basis extraction, the feasibility re-check
+/// of a basis path is a cache hit.
+std::optional<wcet_estimate> predict_wcet(const ir::cfg& g, const timing_model& model,
+                                          substrate::smt_engine& engine);
 std::optional<wcet_estimate> predict_wcet(const ir::cfg& g, const timing_model& model,
                                           smt::term_manager& tm);
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "substrate/oracle_cache.hpp"
+
 namespace sciduction::hybrid {
 
 namespace {
@@ -126,9 +128,26 @@ box learn_guard(const box& over, const label_fn& label, const learner_config& cf
                 learner_stats& stats) {
     if (cfg.grid.size() != over.dim())
         throw std::invalid_argument("learn_guard: grid/box dimension mismatch");
-    auto seed = find_seed(over, label, cfg, stats);
-    if (!seed) return box::empty_box(over.dim());
-    return learn_box(over, *seed, label, cfg, stats);
+    if (!cfg.cache_queries) {
+        auto seed = find_seed(over, label, cfg, stats);
+        if (!seed) return box::empty_box(over.dim());
+        return learn_box(over, *seed, label, cfg, stats);
+    }
+    // Route membership queries through a substrate oracle cache scoped to
+    // this call (the oracle's semantics are fixed within one learn_guard).
+    substrate::oracle_cache<state, bool, substrate::byte_vector_hash> cache;
+    label_fn cached = [&](const state& x) {
+        return cache.get_or_compute(x, [&](const state& key) {
+            ++stats.oracle_calls;
+            return label(key);
+        });
+    };
+    box result;
+    auto seed = find_seed(over, cached, cfg, stats);
+    if (!seed) result = box::empty_box(over.dim());
+    else result = learn_box(over, *seed, cached, cfg, stats);
+    stats.cache_hits += cache.stats().hits;
+    return result;
 }
 
 }  // namespace sciduction::hybrid

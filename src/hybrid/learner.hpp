@@ -32,11 +32,19 @@ struct learner_config {
     /// transiently violated mid-fixpoint, the stride bounds how far a
     /// disconnected positive region can mislead the learner.
     std::vector<double> coarse_step;
+    /// Memoize label-oracle answers for the duration of one learn_guard
+    /// call (substrate::oracle_cache). The seed scan and the per-dimension
+    /// bisections revisit snapped grid points; with a deterministic oracle
+    /// the memoized answers are exact, so the learned box is unchanged —
+    /// only the number of actual oracle invocations drops.
+    bool cache_queries = true;
 };
 
 struct learner_stats {
-    std::uint64_t queries = 0;
+    std::uint64_t queries = 0;      ///< logical membership queries issued
     std::uint64_t seed_probes = 0;
+    std::uint64_t oracle_calls = 0;  ///< actual oracle invocations (cache misses)
+    std::uint64_t cache_hits = 0;
 };
 
 /// Scans the box middle-out along each axis for a positive point. Returns

@@ -16,7 +16,9 @@ int gear_of_mode(int mode_index) {
     return mode_index <= 3 ? mode_index : mode_index - 3;
 }
 
-bool is_up_mode(int mode_index) { return mode_index >= 1 && mode_index <= 3; }
+[[maybe_unused]] bool is_up_mode(int mode_index) {
+    return mode_index >= 1 && mode_index <= 3;
+}
 
 }  // namespace
 

@@ -1,8 +1,14 @@
 #include "invgen/invgen.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <sstream>
+#include <stdexcept>
 #include <unordered_map>
+
+#include "sat/gates.hpp"
+#include "substrate/portfolio.hpp"
+#include "substrate/thread_pool.hpp"
 
 namespace sciduction::invgen {
 
@@ -108,11 +114,14 @@ sat::lit violation_literal(sat::gate_encoder& gates, const std::vector<sat::lit>
     return ~a;
 }
 
-/// One refinement round: returns false when the current candidate set is
-/// consistent (query UNSAT); otherwise drops every candidate violated in
-/// the model and returns true.
-bool refine_round(const circuit_t& circuit, std::vector<candidate>& candidates, bool inductive_step) {
-    sat::solver solver;
+/// Builds one refinement-round CNF instance into `solver`: two time frames,
+/// candidate assumptions (inductive step only), and the "some candidate is
+/// violated" clause. Returns the per-candidate violation literals.
+/// Construction is fully deterministic, so every portfolio member gets the
+/// identical CNF with identical variable numbering.
+std::vector<sat::lit> build_refinement_instance(const circuit_t& circuit,
+                                                const std::vector<candidate>& candidates,
+                                                bool inductive_step, sat::solver& solver) {
     sat::gate_encoder gates(solver);
     frames fr = build_frames(circuit, gates, /*init_frame0=*/!inductive_step);
     if (inductive_step)
@@ -127,11 +136,59 @@ bool refine_round(const circuit_t& circuit, std::vector<candidate>& candidates, 
         any.push_back(v);
     }
     solver.add_clause(any);
-    if (solver.solve() == sat::solve_result::unsat) return false;
+    return violations;
+}
+
+bool model_lit_true(const std::vector<sat::lbool>& model, sat::lit l) {
+    sat::lbool v = model[static_cast<std::size_t>(sat::var_of(l))];
+    return sat::sign_of(l) ? v == sat::lbool::l_false : v == sat::lbool::l_true;
+}
+
+/// One refinement round: returns false when the current candidate set is
+/// consistent (query UNSAT); otherwise drops every candidate violated in
+/// the model and returns true. With cfg.portfolio_members > 1, diversified
+/// solver instances race on the query through the substrate.
+bool refine_round(const circuit_t& circuit, std::vector<candidate>& candidates,
+                  bool inductive_step, const invgen_config& cfg) {
+    if (cfg.portfolio_members <= 1) {
+        sat::solver solver;
+        std::vector<sat::lit> violations =
+            build_refinement_instance(circuit, candidates, inductive_step, solver);
+        if (solver.solve() == sat::solve_result::unsat) return false;
+        std::vector<candidate> kept;
+        kept.reserve(candidates.size());
+        for (std::size_t i = 0; i < candidates.size(); ++i)
+            if (!solver.model_lit(violations[i])) kept.push_back(candidates[i]);
+        candidates = std::move(kept);
+        return true;
+    }
+
+    // Violation literals are identical in every member (deterministic
+    // construction); each factory records its own copy and the winner's is
+    // used to read the model. A member may be skipped entirely when the
+    // race is already decided, so only the winner's slot is guaranteed.
+    std::vector<std::vector<sat::lit>> member_violations(cfg.portfolio_members);
+    substrate::portfolio_config pcfg;
+    pcfg.members = cfg.portfolio_members;
+    pcfg.threads = cfg.portfolio_threads;
+    auto outcome = substrate::race(
+        [&](unsigned member) {
+            auto backend = std::make_unique<substrate::sat_backend>(
+                substrate::diversified_options(member), "cnf#" + std::to_string(member));
+            member_violations[member] = build_refinement_instance(
+                circuit, candidates, inductive_step, backend->solver());
+            return backend;
+        },
+        pcfg);
+    if (outcome.result.is_unsat()) return false;
+    if (!outcome.result.is_sat())
+        throw std::runtime_error("refine_round: portfolio returned unknown");
+    const std::vector<sat::lit>& violations = member_violations[outcome.winner];
     std::vector<candidate> kept;
     kept.reserve(candidates.size());
     for (std::size_t i = 0; i < candidates.size(); ++i)
-        if (!solver.model_lit(violations[i])) kept.push_back(candidates[i]);
+        if (!model_lit_true(outcome.result.sat_model, violations[i]))
+            kept.push_back(candidates[i]);
     candidates = std::move(kept);
     return true;
 }
@@ -212,8 +269,8 @@ invgen_result generate_invariants(const aig::aig& circuit, const invgen_config& 
     std::size_t before = candidates.size();
     for (int iter = 0; iter < cfg.max_induction_iterations && !candidates.empty(); ++iter) {
         ++result.induction_iterations;
-        if (!refine_round(circuit, candidates, /*inductive_step=*/false) &&
-            !refine_round(circuit, candidates, /*inductive_step=*/true))
+        if (!refine_round(circuit, candidates, /*inductive_step=*/false, cfg) &&
+            !refine_round(circuit, candidates, /*inductive_step=*/true, cfg))
             break;
     }
     result.dropped_by_induction = before - candidates.size();
@@ -222,17 +279,18 @@ invgen_result generate_invariants(const aig::aig& circuit, const invgen_config& 
 }
 
 bool prove_with_invariants(const aig::aig& circuit, aig::literal prop,
-                           const std::vector<candidate>& invariants) {
+                           const std::vector<candidate>& invariants,
+                           const proof_config& cfg) {
     // Base: the property holds in the initial state (for all inputs).
-    {
+    auto base_holds = [&] {
         sat::solver solver;
         sat::gate_encoder gates(solver);
         frames fr = build_frames(circuit, gates, /*init_frame0=*/true);
         solver.add_clause(~circuit_t::sat_literal(fr.f0, prop));
-        if (solver.solve() == sat::solve_result::sat) return false;
-    }
+        return solver.solve() == sat::solve_result::unsat;
+    };
     // Step: invariants + property in frame 0 imply the property in frame 1.
-    {
+    auto step_holds = [&] {
         sat::solver solver;
         sat::gate_encoder gates(solver);
         frames fr = build_frames(circuit, gates, /*init_frame0=*/false);
@@ -242,9 +300,18 @@ bool prove_with_invariants(const aig::aig& circuit, aig::literal prop,
         }
         solver.add_clause(circuit_t::sat_literal(fr.f0, prop));
         solver.add_clause(~circuit_t::sat_literal(fr.f1, prop));
-        if (solver.solve() == sat::solve_result::sat) return false;
-    }
-    return true;
+        return solver.solve() == sat::solve_result::unsat;
+    };
+    if (cfg.batch_threads <= 1) return base_holds() && step_holds();
+    // The two queries are independent: batch them on the substrate pool.
+    bool base_ok = false;
+    bool step_ok = false;
+    substrate::thread_pool pool(cfg.batch_threads);
+    pool.parallel_for(2, [&](std::size_t i) {
+        if (i == 0) base_ok = base_holds();
+        else step_ok = step_holds();
+    });
+    return base_ok && step_ok;
 }
 
 core::structure_hypothesis invariant_form_hypothesis() {

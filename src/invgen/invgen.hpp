@@ -43,6 +43,14 @@ struct invgen_config {
     bool include_implications = false;  ///< O(n^2) candidates; off by default
     int max_induction_iterations = 64;
     std::uint64_t seed = 8;
+    /// Diversified SAT instances raced per induction query via the
+    /// substrate portfolio (1 = single solver). The sat/unsat answer of
+    /// every query is deterministic either way; with >1 member, *which*
+    /// counterexample-to-induction prunes the candidates depends on the
+    /// winning member, so the (still correct, still inductive) fixpoint may
+    /// differ between runs.
+    unsigned portfolio_members = 1;
+    unsigned portfolio_threads = 0;  ///< 0 = hardware concurrency
 };
 
 struct invgen_result {
@@ -59,12 +67,21 @@ struct invgen_result {
 /// remaining set is inductive).
 invgen_result generate_invariants(const aig::aig& circuit, const invgen_config& cfg = {});
 
+/// Substrate routing for prove_with_invariants: the base-case and
+/// inductive-step queries are independent, so with batch_threads > 1 they
+/// are dispatched concurrently (both always run); with 1 they run
+/// sequentially with short-circuiting. The verdict is identical either way.
+struct proof_config {
+    unsigned batch_threads = 1;
+};
+
 /// Checks whether `prop` (an AIG literal that must always be true) can be
 /// proven by 1-induction strengthened with the given invariants. Sound:
 /// `true` means proved; `false` means not provable this way (not a bug
 /// report).
 bool prove_with_invariants(const aig::aig& circuit, aig::literal prop,
-                           const std::vector<candidate>& invariants);
+                           const std::vector<candidate>& invariants,
+                           const proof_config& cfg = {});
 
 /// The structure hypothesis H of this instance, for reporting.
 core::structure_hypothesis invariant_form_hypothesis();

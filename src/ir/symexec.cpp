@@ -159,13 +159,19 @@ path_encoding encode_path(const cfg& g, const path& p, smt::term_manager& tm) {
 
 std::optional<std::vector<std::uint64_t>> feasible_path_witness(const cfg& g, const path& p,
                                                                 smt::term_manager& tm) {
-    path_encoding enc = encode_path(g, p, tm);
-    smt::smt_solver solver(tm);
-    solver.assert_term(enc.path_condition);
-    if (solver.check() != smt::check_result::sat) return std::nullopt;
+    substrate::smt_engine engine(tm, {.use_cache = false});
+    return feasible_path_witness(g, p, engine);
+}
+
+std::optional<std::vector<std::uint64_t>> feasible_path_witness(const cfg& g, const path& p,
+                                                                substrate::smt_engine& engine) {
+    path_encoding enc = encode_path(g, p, engine.manager());
+    auto result = engine.check({enc.path_condition});
+    if (!result.is_sat()) return std::nullopt;
+    substrate::model_evaluator eval(engine.manager(), std::move(result.model));
     std::vector<std::uint64_t> args;
     args.reserve(enc.params.size());
-    for (smt::term t : enc.params) args.push_back(solver.model_value(t));
+    for (smt::term t : enc.params) args.push_back(eval.value(t));
     return args;
 }
 

@@ -10,6 +10,7 @@
 
 #include "ir/cfg.hpp"
 #include "smt/solver.hpp"
+#include "substrate/engine.hpp"
 
 namespace sciduction::ir {
 
@@ -30,8 +31,14 @@ struct path_encoding {
 path_encoding encode_path(const cfg& g, const path& p, smt::term_manager& tm);
 
 /// Convenience wrapper: decide feasibility of a path and, if feasible,
-/// return the argument tuple driving execution down it.
+/// return the argument tuple driving execution down it. The term_manager
+/// overload runs a transient uncached engine; the engine overload routes
+/// through the caller's substrate (cache, portfolio) so repeated
+/// feasibility queries — e.g. GameTime re-checking the predicted longest
+/// path — hit the cache.
 std::optional<std::vector<std::uint64_t>> feasible_path_witness(const cfg& g, const path& p,
                                                                 smt::term_manager& tm);
+std::optional<std::vector<std::uint64_t>> feasible_path_witness(const cfg& g, const path& p,
+                                                                substrate::smt_engine& engine);
 
 }  // namespace sciduction::ir

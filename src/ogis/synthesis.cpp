@@ -145,15 +145,15 @@ public:
         return tm_.mk_and(cs);
     }
 
-    /// Reads the synthesized program out of a model.
-    lf_program extract(const smt::smt_solver& solver) {
+    /// Reads the synthesized program out of a model (any term -> value map).
+    lf_program extract(const std::function<std::uint64_t(term)>& model_value) {
         lf_program prog;
         prog.width = cfg_.width;
         prog.num_inputs = cfg_.num_inputs;
         const std::size_t l = cfg_.library.size();
         std::vector<int> comp_at_slot(num_slots(), -1);
         for (std::size_t i = 0; i < l; ++i) {
-            auto slot = static_cast<std::size_t>(solver.model_value(locs_.comp_out[i]));
+            auto slot = static_cast<std::size_t>(model_value(locs_.comp_out[i]));
             comp_at_slot.at(slot) = static_cast<int>(i);
         }
         for (std::size_t slot = cfg_.num_inputs; slot < num_slots(); ++slot) {
@@ -162,11 +162,11 @@ public:
             lf_program::line line;
             line.component = ci;
             for (const term& in : locs_.comp_in[static_cast<std::size_t>(ci)])
-                line.args.push_back(static_cast<int>(solver.model_value(in)));
+                line.args.push_back(static_cast<int>(model_value(in)));
             prog.lines.push_back(std::move(line));
         }
         for (const term& r : locs_.prog_out)
-            prog.outputs.push_back(static_cast<int>(solver.model_value(r)));
+            prog.outputs.push_back(static_cast<int>(model_value(r)));
         return prog;
     }
 
@@ -186,43 +186,54 @@ synthesis_outcome synthesize(const synthesis_config& cfg, spec_oracle& oracle) {
 
     term_manager tm;
     encoder enc(cfg, tm);
+    substrate::smt_engine engine(tm, cfg.engine);
     synthesis_outcome outcome;
     outcome.report.hypothesis = component_library_hypothesis(cfg.library.size());
     outcome.report.guarantee = core::guarantee_kind::sound;
 
     using example = std::pair<io_vector, io_vector>;
 
+    // Example constraints are memoized so both query shapes (and successive
+    // iterations, whose example sets grow by one) share the exact term
+    // nodes — which is also what lets the substrate cache key them cheaply.
+    std::vector<term> example_terms;
+    auto example_assertions = [&](const std::vector<example>& examples) {
+        for (std::size_t e = example_terms.size(); e < examples.size(); ++e)
+            example_terms.push_back(enc.example_constraint(e, examples[e]));
+        std::vector<term> assertions{enc.well_formed()};
+        assertions.insert(assertions.end(), example_terms.begin(),
+                          example_terms.begin() + static_cast<std::ptrdiff_t>(examples.size()));
+        return assertions;
+    };
+
     auto synth = [&](const std::vector<example>& examples) -> std::optional<lf_program> {
         ++outcome.stats.synthesis_queries;
-        smt::smt_solver solver(tm);
-        solver.assert_term(enc.well_formed());
-        for (std::size_t e = 0; e < examples.size(); ++e)
-            solver.assert_term(enc.example_constraint(e, examples[e]));
-        if (solver.check() != smt::check_result::sat) return std::nullopt;
-        return enc.extract(solver);
+        auto result = engine.check(example_assertions(examples));
+        if (!result.is_sat()) return std::nullopt;
+        substrate::model_evaluator eval(tm, std::move(result.model));
+        return enc.extract([&](term t) { return eval.value(t); });
     };
 
     auto distinguish = [&](const lf_program& candidate,
                            const std::vector<example>& examples) -> std::optional<io_vector> {
         ++outcome.stats.distinguish_queries;
-        smt::smt_solver solver(tm);
-        solver.assert_term(enc.well_formed());
-        for (std::size_t e = 0; e < examples.size(); ++e)
-            solver.assert_term(enc.example_constraint(e, examples[e]));
+        std::vector<term> assertions = example_assertions(examples);
         // Symbolic input driving both the candidate and a rival candidate.
         std::vector<term> x;
         for (unsigned i = 0; i < cfg.num_inputs; ++i)
             x.push_back(tm.mk_bv_var("dx_" + std::to_string(i), cfg.width));
         auto exec = enc.encode_execution("d", x);
-        solver.assert_term(exec.constraint);
+        assertions.push_back(exec.constraint);
         std::vector<term> cand_out = candidate.eval_symbolic(cfg.library, tm, x);
         std::vector<term> differs;
         for (unsigned k = 0; k < cfg.num_outputs; ++k)
             differs.push_back(tm.mk_distinct(exec.outputs[k], cand_out[k]));
-        solver.assert_term(tm.mk_or(differs));
-        if (solver.check() != smt::check_result::sat) return std::nullopt;
+        assertions.push_back(tm.mk_or(differs));
+        auto result = engine.check(assertions);
+        if (!result.is_sat()) return std::nullopt;
+        substrate::model_evaluator eval(tm, std::move(result.model));
         io_vector input;
-        for (unsigned i = 0; i < cfg.num_inputs; ++i) input.push_back(solver.model_value(x[i]));
+        for (unsigned i = 0; i < cfg.num_inputs; ++i) input.push_back(eval.value(x[i]));
         return input;
     };
 
@@ -246,6 +257,8 @@ synthesis_outcome synthesize(const synthesis_config& cfg, spec_oracle& oracle) {
     outcome.status = loop.status;
     outcome.program = std::move(loop.artifact);
     outcome.stats.iterations = loop.iterations;
+    outcome.stats.substrate_cache_hits = engine.stats().cache_hits;
+    outcome.stats.solver_runs = engine.stats().solver_runs;
     outcome.stats.elapsed_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
     return outcome;

@@ -24,6 +24,7 @@
 #include "core/loops.hpp"
 #include "core/oracles.hpp"
 #include "ogis/component.hpp"
+#include "substrate/engine.hpp"
 
 namespace sciduction::ogis {
 
@@ -40,6 +41,12 @@ struct synthesis_config {
     /// synthesis query ("starts with one or more randomly chosen inputs").
     int initial_examples = 2;
     std::uint64_t seed = 2010;
+    /// Substrate routing for the synthesis/distinguishing queries. The
+    /// default (cache on, single solver) reproduces the historical
+    /// behaviour; portfolio_members > 1 races diversified solvers per
+    /// query (answers unchanged; which satisfying model — and hence which
+    /// equivalent candidate program — is found may depend on the winner).
+    substrate::engine_config engine;
 };
 
 struct synthesis_stats {
@@ -47,6 +54,8 @@ struct synthesis_stats {
     std::uint64_t oracle_queries = 0;
     int synthesis_queries = 0;
     int distinguish_queries = 0;
+    std::uint64_t substrate_cache_hits = 0;  ///< solver queries answered memoized
+    std::uint64_t solver_runs = 0;           ///< solver instances actually run
     double elapsed_seconds = 0;
 };
 

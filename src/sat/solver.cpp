@@ -9,10 +9,19 @@ namespace sciduction::sat {
 
 solver::solver() = default;
 
+void solver::set_options(const solver_options& opts) {
+    opts_ = opts;
+    var_decay_ = opts.var_decay;
+    cla_decay_ = opts.clause_decay;
+    random_.reseed(opts.random_seed);
+    for (auto& p : polarity_) p = opts.init_phase_true ? 0 : 1;
+}
+
 var solver::new_var() {
     var v = static_cast<var>(assigns_.size());
     assigns_.push_back(lbool::l_undef);
-    polarity_.push_back(1);  // default phase: false (MiniSat convention)
+    // Default phase: false (MiniSat convention) unless diversified.
+    polarity_.push_back(opts_.init_phase_true ? 0 : 1);
     level_.push_back(0);
     reason_.push_back(cref_undef);
     activity_.push_back(0.0);
@@ -336,6 +345,14 @@ void solver::cla_bump_activity(cref c) {
 }
 
 lit solver::pick_branch_lit() {
+    // Occasional random decisions diversify portfolio members; a var already
+    // assigned falls through to the activity heap.
+    if (opts_.random_branch_freq > 0 && !assigns_.empty() &&
+        random_.next_double() < opts_.random_branch_freq) {
+        var v = static_cast<var>(random_.next_below(assigns_.size()));
+        if (value(v) == lbool::l_undef)
+            return mk_lit(v, polarity_[static_cast<std::size_t>(v)] != 0);
+    }
     var next = var_undef;
     while (next == var_undef || value(next) != lbool::l_undef) {
         if (heap_.empty()) return lit_undef;
@@ -464,6 +481,11 @@ lbool solver::search(std::uint64_t conflicts_before_restart) {
     std::uint64_t conflicts_here = 0;
     clause_lits learnt;
     for (;;) {
+        if (interrupt_ != nullptr && interrupt_->load(std::memory_order_relaxed)) {
+            interrupted_ = true;
+            backtrack_to(0);
+            return lbool::l_undef;
+        }
         cref confl = propagate();
         if (confl != cref_undef) {
             ++stats_.conflicts;
@@ -545,6 +567,7 @@ solve_result solver::solve(const std::vector<lit>& assumptions) {
     assumptions_ = assumptions;
     conflict_.clear();
     model_.clear();
+    interrupted_ = false;
     if (!ok_) return solve_result::unsat;
 
     max_learnts_ = std::max(static_cast<double>(clauses_.size()) * learntsize_factor_, 1000.0);
@@ -552,8 +575,9 @@ solve_result solver::solve(const std::vector<lit>& assumptions) {
     lbool status = lbool::l_undef;
     std::uint64_t restarts = 0;
     while (status == lbool::l_undef) {
-        double budget = 100.0 * luby(2.0, restarts++);
+        double budget = opts_.restart_base * luby(opts_.restart_luby_factor, restarts++);
         status = search(static_cast<std::uint64_t>(budget));
+        if (interrupted_) return solve_result::unknown;
     }
 
     if (status == lbool::l_true) {

@@ -12,10 +12,12 @@
 // generation extension (Sec. 2.4.1).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
 #include "sat/types.hpp"
+#include "util/rng.hpp"
 
 namespace sciduction::sat {
 
@@ -34,11 +36,37 @@ struct solver_stats {
     std::uint64_t deleted_clauses = 0;
 };
 
-enum class solve_result : std::uint8_t { sat, unsat };
+/// `unknown` is only returned when an external interrupt flag (see
+/// set_interrupt) aborted the search; plain solve() calls stay binary.
+enum class solve_result : std::uint8_t { sat, unsat, unknown };
+
+/// Search-strategy knobs. The defaults reproduce the solver's historical
+/// behaviour bit-for-bit; the substrate's portfolio backend diversifies
+/// them (seed, phase, decay, restarts) to race differently-biased
+/// instances of the same problem.
+struct solver_options {
+    double var_decay = 0.95;           ///< VSIDS activity decay
+    double clause_decay = 0.999;       ///< learnt-clause activity decay
+    bool init_phase_true = false;      ///< initial saved phase of every var
+    double random_branch_freq = 0.0;   ///< probability of a random decision
+    std::uint64_t random_seed = 0;     ///< seed for random branching
+    double restart_base = 100.0;       ///< conflicts before the first restart
+    double restart_luby_factor = 2.0;  ///< geometric factor of the Luby sequence
+};
 
 class solver {
 public:
     solver();
+
+    /// Applies search-strategy options. Resets the saved phase of existing
+    /// variables; safe to call at any point between solve() calls.
+    void set_options(const solver_options& opts);
+    [[nodiscard]] const solver_options& options() const { return opts_; }
+
+    /// Installs an external interrupt flag checked during search. When the
+    /// flag becomes true, the current solve() returns solve_result::unknown.
+    /// Pass nullptr to detach. The flag must outlive the solve call.
+    void set_interrupt(const std::atomic<bool>* flag) { interrupt_ = flag; }
 
     /// Creates a fresh variable and returns its index.
     var new_var();
@@ -194,6 +222,11 @@ private:
 
     std::uint64_t conflict_budget_ = 0;
     std::uint64_t simplify_assigns_ = 0;  // #top-level assigns at last simplify
+
+    solver_options opts_;
+    util::rng random_;
+    const std::atomic<bool>* interrupt_ = nullptr;
+    bool interrupted_ = false;  // search aborted by the interrupt flag
 
     solver_stats stats_;
 };

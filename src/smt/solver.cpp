@@ -270,6 +270,7 @@ check_result smt_solver::check(const std::vector<term>& assumptions) {
     assumed.reserve(assumptions.size());
     for (term t : assumptions) assumed.push_back(blast_bool(t));
     auto r = sat_.solve(assumed);
+    if (r == sat::solve_result::unknown) return check_result::unknown;
     return r == sat::solve_result::sat ? check_result::sat : check_result::unsat;
 }
 

@@ -17,13 +17,23 @@
 
 namespace sciduction::smt {
 
-enum class check_result : std::uint8_t { sat, unsat };
+/// `unknown` is only returned when an external interrupt flag (see
+/// set_interrupt) aborted the underlying SAT search.
+enum class check_result : std::uint8_t { sat, unsat, unknown };
 
 class smt_solver {
 public:
     explicit smt_solver(term_manager& tm) : tm_(tm), gates_(sat_) {}
 
     term_manager& manager() { return tm_; }
+
+    /// Applies search-strategy options to the underlying SAT core (portfolio
+    /// diversification hook).
+    void set_sat_options(const sat::solver_options& opts) { sat_.set_options(opts); }
+
+    /// Installs an external interrupt flag on the SAT core; an interrupted
+    /// check() returns check_result::unknown.
+    void set_interrupt(const std::atomic<bool>* flag) { sat_.set_interrupt(flag); }
 
     /// Asserts a boolean term (conjoined with previous assertions).
     void assert_term(term t);

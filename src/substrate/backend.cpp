@@ -1,0 +1,96 @@
+#include "substrate/backend.hpp"
+
+namespace sciduction::substrate {
+
+namespace {
+
+answer from_sat(sat::solve_result r) {
+    switch (r) {
+        case sat::solve_result::sat: return answer::sat;
+        case sat::solve_result::unsat: return answer::unsat;
+        case sat::solve_result::unknown: return answer::unknown;
+    }
+    return answer::unknown;
+}
+
+answer from_smt(smt::check_result r) {
+    switch (r) {
+        case smt::check_result::sat: return answer::sat;
+        case smt::check_result::unsat: return answer::unsat;
+        case smt::check_result::unknown: return answer::unknown;
+    }
+    return answer::unknown;
+}
+
+}  // namespace
+
+// ---- sat_backend ------------------------------------------------------------
+
+sat_backend::sat_backend(sat::solver_options opts, std::string name)
+    : name_(std::move(name)) {
+    solver_.set_options(opts);
+}
+
+void sat_backend::set_assumptions(std::vector<sat::lit> assumptions) {
+    assumptions_ = std::move(assumptions);
+}
+
+backend_result sat_backend::check(const std::atomic<bool>* cancel) {
+    solver_.set_interrupt(cancel);
+    backend_result result;
+    result.ans = from_sat(solver_.solve(assumptions_));
+    solver_.set_interrupt(nullptr);
+    if (result.ans == answer::sat) {
+        result.sat_model.reserve(static_cast<std::size_t>(solver_.num_vars()));
+        for (sat::var v = 0; v < solver_.num_vars(); ++v)
+            result.sat_model.push_back(solver_.model_value(v));
+    }
+    return result;
+}
+
+// ---- smt_backend ------------------------------------------------------------
+
+smt_backend::smt_backend(smt::term_manager& tm, std::vector<smt::term> assertions,
+                         std::vector<smt::term> assumptions, sat::solver_options opts,
+                         std::string name)
+    : solver_(tm),
+      assertions_(std::move(assertions)),
+      assumptions_(std::move(assumptions)),
+      name_(std::move(name)) {
+    solver_.set_sat_options(opts);
+}
+
+backend_result smt_backend::check(const std::atomic<bool>* cancel) {
+    if (!asserted_) {
+        for (smt::term t : assertions_) solver_.assert_term(t);
+        asserted_ = true;
+    }
+    solver_.set_interrupt(cancel);
+    backend_result result;
+    result.ans = from_smt(solver_.check(assumptions_));
+    solver_.set_interrupt(nullptr);
+    if (result.ans == answer::sat) result.model = solver_.model_env();
+    return result;
+}
+
+// ---- model evaluation -------------------------------------------------------
+
+std::uint64_t model_evaluator::value(smt::term t) {
+    // Iterative DAG walk defaulting unbound variables of t to zero.
+    stack_.assign(1, t);
+    while (!stack_.empty()) {
+        smt::term x = stack_.back();
+        stack_.pop_back();
+        smt::kind k = tm_.kind_of(x);
+        if ((k == smt::kind::var_bool || k == smt::kind::var_bv) && env_.count(x.id) == 0)
+            env_[x.id] = 0;
+        for (smt::term kid : tm_.children_of(x)) stack_.push_back(kid);
+    }
+    return tm_.evaluate(t, env_);
+}
+
+std::uint64_t eval_model(const smt::term_manager& tm, smt::term t, const smt::env& model) {
+    return model_evaluator(tm, model).value(t);
+}
+
+}  // namespace sciduction::substrate

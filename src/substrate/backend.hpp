@@ -1,0 +1,116 @@
+// The substrate's uniform deductive-engine interface.
+//
+// Every sciduction application (GameTime Sec. 3, OGIS Sec. 4, invariant
+// generation Sec. 2.4.1) hammers a deductive engine D with near-identical
+// oracle queries. solver_backend is the one seam those queries flow
+// through: a *prepared problem instance* that can be decided once,
+// cooperatively cancelled, and read back. Two adapters cover the repo's
+// engines — sat_backend over the CDCL core (CNF level, used by invgen) and
+// smt_backend over the QF_BV bit-blaster (term level, used by GameTime and
+// OGIS). The portfolio (portfolio.hpp) races diversified backends; the
+// query cache (query_cache.hpp) memoizes term-level results; the batch API
+// (engine.hpp) dispatches independent backends concurrently.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sat/solver.hpp"
+#include "smt/solver.hpp"
+
+namespace sciduction::substrate {
+
+enum class answer : std::uint8_t { sat, unsat, unknown };
+
+/// Uniform result of one deductive query. CNF-level backends populate
+/// sat_model (indexed by sat::var); term-level backends populate model (a
+/// smt::env of the blasted variables, ready for term_manager::evaluate).
+struct backend_result {
+    answer ans = answer::unknown;
+    std::vector<sat::lbool> sat_model;
+    smt::env model;
+
+    [[nodiscard]] bool is_sat() const { return ans == answer::sat; }
+    [[nodiscard]] bool is_unsat() const { return ans == answer::unsat; }
+};
+
+/// One prepared deductive problem instance. check() decides it; a non-null
+/// cancel flag set by another thread aborts the search (the backend then
+/// answers unknown). Instances are single-owner and not thread-safe —
+/// concurrency comes from racing or batching *distinct* instances.
+class solver_backend {
+public:
+    virtual ~solver_backend() = default;
+
+    [[nodiscard]] virtual const std::string& name() const = 0;
+    virtual backend_result check(const std::atomic<bool>* cancel) = 0;
+    backend_result check() { return check(nullptr); }
+};
+
+/// CNF-level adapter owning a sat::solver. The caller (or a build callback)
+/// populates the solver with variables and clauses, then check() decides it
+/// under the configured assumptions.
+class sat_backend final : public solver_backend {
+public:
+    explicit sat_backend(sat::solver_options opts = {}, std::string name = "sat");
+
+    [[nodiscard]] sat::solver& solver() { return solver_; }
+    void set_assumptions(std::vector<sat::lit> assumptions);
+
+    [[nodiscard]] const std::string& name() const override { return name_; }
+    using solver_backend::check;
+    backend_result check(const std::atomic<bool>* cancel) override;
+
+private:
+    sat::solver solver_;
+    std::vector<sat::lit> assumptions_;
+    std::string name_;
+};
+
+/// Term-level adapter owning an smt::smt_solver over a shared term_manager.
+/// Only *reads* the manager (blasting never creates terms), so distinct
+/// smt_backends over one manager may run concurrently — provided no thread
+/// builds new terms meanwhile.
+class smt_backend final : public solver_backend {
+public:
+    smt_backend(smt::term_manager& tm, std::vector<smt::term> assertions,
+                std::vector<smt::term> assumptions = {}, sat::solver_options opts = {},
+                std::string name = "smt");
+
+    [[nodiscard]] const std::string& name() const override { return name_; }
+    using solver_backend::check;
+    backend_result check(const std::atomic<bool>* cancel) override;
+
+private:
+    smt::smt_solver solver_;
+    std::vector<smt::term> assertions_;
+    std::vector<smt::term> assumptions_;
+    bool asserted_ = false;
+    std::string name_;
+};
+
+/// Reads many term values out of one model without recopying it: the env is
+/// taken once and variables absent from it (never blasted, hence
+/// unconstrained) are defaulted to zero on first touch — the same
+/// convention as smt::smt_solver::model_value.
+class model_evaluator {
+public:
+    model_evaluator(const smt::term_manager& tm, smt::env model)
+        : tm_(tm), env_(std::move(model)) {}
+
+    std::uint64_t value(smt::term t);
+
+private:
+    const smt::term_manager& tm_;
+    smt::env env_;
+    std::vector<smt::term> stack_;  // scratch for the unbound-variable walk
+};
+
+/// One-shot convenience over model_evaluator (copies the env; prefer the
+/// evaluator when reading several terms from the same model).
+std::uint64_t eval_model(const smt::term_manager& tm, smt::term t, const smt::env& model);
+
+}  // namespace sciduction::substrate

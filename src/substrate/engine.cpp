@@ -1,0 +1,80 @@
+#include "substrate/engine.hpp"
+
+#include "substrate/thread_pool.hpp"
+
+namespace sciduction::substrate {
+
+smt_engine::smt_engine(smt::term_manager& tm, engine_config cfg)
+    : tm_(tm), cfg_(cfg), cache_(tm) {}
+
+engine_stats smt_engine::stats() const {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return stats_;
+}
+
+thread_pool& smt_engine::pool() {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    if (!pool_) pool_ = std::make_unique<thread_pool>(cfg_.threads);
+    return *pool_;
+}
+
+backend_result smt_engine::solve_uncached(const smt_query& q, bool allow_portfolio) {
+    const unsigned members = allow_portfolio ? std::max(1u, cfg_.portfolio_members) : 1;
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats_.solver_runs += members;
+    }
+    if (members == 1) {
+        smt_backend backend(tm_, q.assertions, q.assumptions);
+        return backend.check();
+    }
+    auto outcome = race(
+        [&](unsigned member) {
+            return std::make_unique<smt_backend>(tm_, q.assertions, q.assumptions,
+                                                 diversified_options(member),
+                                                 "smt#" + std::to_string(member));
+        },
+        members, pool());
+    return outcome.result;
+}
+
+backend_result smt_engine::check(const smt_query& q) {
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.queries;
+    }
+    if (cfg_.use_cache) {
+        if (auto cached = cache_.lookup(q.assertions, q.assumptions)) {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.cache_hits;
+            return *cached;
+        }
+    }
+    backend_result result = solve_uncached(q, /*allow_portfolio=*/true);
+    if (cfg_.use_cache) cache_.insert(q.assertions, q.assumptions, result);
+    return result;
+}
+
+std::vector<backend_result> smt_engine::check_batch(const std::vector<smt_query>& queries) {
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats_.queries += queries.size();
+    }
+    std::vector<backend_result> results(queries.size());
+    pool().parallel_for(queries.size(), [&](std::size_t i) {
+        const smt_query& q = queries[i];
+        if (cfg_.use_cache) {
+            if (auto cached = cache_.lookup(q.assertions, q.assumptions)) {
+                std::lock_guard<std::mutex> lock(stats_mutex_);
+                ++stats_.cache_hits;
+                results[i] = *cached;
+                return;
+            }
+        }
+        results[i] = solve_uncached(q, /*allow_portfolio=*/false);
+        if (cfg_.use_cache) cache_.insert(q.assertions, q.assumptions, results[i]);
+    });
+    return results;
+}
+
+}  // namespace sciduction::substrate

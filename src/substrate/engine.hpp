@@ -1,0 +1,86 @@
+// smt_engine: the facade the application layers route their deductive
+// queries through.
+//
+// One engine per (term_manager, workload) combines the substrate pieces:
+//   * query cache    — memoizes check() results across the workload's loop;
+//   * portfolio      — races diversified solver instances per query;
+//   * batch API      — dispatches independent queries concurrently.
+// A default-configured engine (cache on, 1 member, sequential batch) is
+// observationally identical to constructing one smt::smt_solver per query,
+// which is what the application modules did before the substrate existed.
+#pragma once
+
+#include "substrate/portfolio.hpp"
+#include "substrate/query_cache.hpp"
+
+namespace sciduction::substrate {
+
+struct engine_config {
+    bool use_cache = true;
+    /// Portfolio members raced per query; 1 = single solver (deterministic
+    /// models), >1 = racing (deterministic answers, winner's model).
+    unsigned portfolio_members = 1;
+    /// Worker threads for portfolio racing and check_batch (0 = hardware).
+    unsigned threads = 0;
+};
+
+struct engine_stats {
+    std::uint64_t queries = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t solver_runs = 0;  ///< backends actually constructed+checked
+};
+
+/// An independent term-level query: decide the conjunction of `assertions`
+/// under the (non-persisted) `assumptions`.
+struct smt_query {
+    std::vector<smt::term> assertions;
+    std::vector<smt::term> assumptions;
+};
+
+class smt_engine {
+public:
+    explicit smt_engine(smt::term_manager& tm, engine_config cfg = {});
+
+    [[nodiscard]] smt::term_manager& manager() { return tm_; }
+    [[nodiscard]] const engine_config& config() const { return cfg_; }
+    [[nodiscard]] query_cache& cache() { return cache_; }
+    [[nodiscard]] engine_stats stats() const;
+
+    /// Decides one query: cache lookup, then a single solve or a portfolio
+    /// race on miss, then cache insert. All terms must be built before the
+    /// call (backends only read the manager).
+    backend_result check(const smt_query& q);
+    backend_result check(const std::vector<smt::term>& assertions,
+                         const std::vector<smt::term>& assumptions = {}) {
+        return check(smt_query{assertions, assumptions});
+    }
+
+    /// Decides many independent queries concurrently on cfg.threads workers
+    /// (each query a single solver instance; no nested portfolio), sharing
+    /// the cache. Results are in query order, so the output is independent
+    /// of scheduling. No thread may create terms while this runs.
+    std::vector<backend_result> check_batch(const std::vector<smt_query>& queries);
+
+    /// Evaluates t under a model returned by check(), defaulting unblasted
+    /// variables to zero.
+    [[nodiscard]] std::uint64_t model_value(smt::term t, const smt::env& model) const {
+        return eval_model(tm_, t, model);
+    }
+
+private:
+    backend_result solve_uncached(const smt_query& q, bool allow_portfolio);
+    /// The engine's worker pool, created on first concurrent use and then
+    /// shared by every portfolio race and batch — loops issuing thousands
+    /// of queries pay thread spawn/teardown once, not per query.
+    thread_pool& pool();
+
+    smt::term_manager& tm_;
+    engine_config cfg_;
+    query_cache cache_;
+    std::unique_ptr<thread_pool> pool_;
+    std::mutex pool_mutex_;
+    mutable std::mutex stats_mutex_;
+    engine_stats stats_;
+};
+
+}  // namespace sciduction::substrate

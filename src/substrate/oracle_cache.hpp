@@ -1,0 +1,78 @@
+// Memoizing wrapper for non-solver oracles.
+//
+// The substrate's query_cache covers term-level solver queries; this is the
+// same idea for the paper's other oracle shapes (core/oracles.hpp): label
+// oracles backed by numerical simulation (Sec. 5), measurement oracles,
+// I/O oracles. Adaptive learners re-probe the same points — the hyperbox
+// learner's seed scan and per-dimension bisections revisit snapped grid
+// coordinates — and a deterministic oracle answers identically every time,
+// so memoization is exact. Scope a cache to one oracle *semantics*: if the
+// oracle's meaning changes (e.g. between fixpoint iterations), use a fresh
+// cache.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <unordered_map>
+
+namespace sciduction::substrate {
+
+/// FNV-1a over the byte representation of a trivially-copyable element
+/// vector — used to key oracle queries on std::vector<double> states.
+/// Floating-point elements are canonicalized so keys that compare equal
+/// hash equal: -0.0 == +0.0 but their bytes differ (x + 0 maps -0.0 to
+/// +0.0 and changes nothing else).
+struct byte_vector_hash {
+    template <typename Vec>
+    std::size_t operator()(const Vec& v) const {
+        using elem = typename Vec::value_type;
+        std::uint64_t h = 0xcbf29ce484222325ULL;
+        for (const elem& e : v) {
+            elem canon = e;
+            if constexpr (std::is_floating_point_v<elem>) canon = canon + elem(0);
+            const auto* bytes = reinterpret_cast<const unsigned char*>(&canon);
+            for (std::size_t i = 0; i < sizeof(elem); ++i) {
+                h ^= bytes[i];
+                h *= 0x100000001b3ULL;
+            }
+        }
+        return static_cast<std::size_t>(h);
+    }
+};
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class oracle_cache {
+public:
+    struct cache_stats {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+    };
+
+    /// Returns the memoized value for `key`, invoking `compute` on miss.
+    Value get_or_compute(const Key& key, const std::function<Value(const Key&)>& compute) {
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            ++stats_.hits;
+            return it->second;
+        }
+        ++stats_.misses;
+        Value v = compute(key);
+        entries_.emplace(key, v);
+        return v;
+    }
+
+    void clear() {
+        entries_.clear();
+        stats_ = {};
+    }
+
+    [[nodiscard]] const cache_stats& stats() const { return stats_; }
+    [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+private:
+    std::unordered_map<Key, Value, Hash> entries_;
+    cache_stats stats_;
+};
+
+}  // namespace sciduction::substrate

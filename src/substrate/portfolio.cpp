@@ -1,0 +1,84 @@
+#include "substrate/portfolio.hpp"
+
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "substrate/thread_pool.hpp"
+
+namespace sciduction::substrate {
+
+sat::solver_options diversified_options(unsigned member) {
+    sat::solver_options opts;
+    if (member == 0) return opts;  // baseline: bit-for-bit the single solver
+    opts.random_seed = 0x5eed0000ULL + member;
+    opts.init_phase_true = (member % 2) == 1;
+    switch (member % 4) {
+        case 1:
+            // Aggressive restarts with light random diversification.
+            opts.restart_base = 50.0;
+            opts.random_branch_freq = 0.02;
+            break;
+        case 2:
+            // Slow decay: long-term activity memory, conservative restarts.
+            opts.var_decay = 0.99;
+            opts.restart_base = 300.0;
+            break;
+        case 3:
+            // Fast decay: locally-focused search, frequent random probes.
+            opts.var_decay = 0.85;
+            opts.random_branch_freq = 0.05;
+            opts.restart_luby_factor = 3.0;
+            break;
+        default: break;
+    }
+    return opts;
+}
+
+portfolio_outcome race(const backend_factory& factory, unsigned members, thread_pool& pool) {
+    if (members <= 1) {
+        portfolio_outcome outcome;
+        auto backend = factory(0);
+        outcome.result = backend->check();
+        outcome.winner_name = backend->name();
+        return outcome;
+    }
+
+    struct race_state {
+        std::atomic<bool> cancel{false};
+        std::mutex mutex;
+        portfolio_outcome outcome;
+        bool decided = false;
+    } state;
+
+    pool.parallel_for(members, [&](std::size_t member) {
+        if (state.cancel.load(std::memory_order_relaxed)) return;
+        auto backend = factory(static_cast<unsigned>(member));
+        backend_result result = backend->check(&state.cancel);
+        if (result.ans == answer::unknown) return;  // cancelled or aborted
+        std::lock_guard<std::mutex> lock(state.mutex);
+        if (state.decided) return;
+        state.decided = true;
+        state.outcome.result = std::move(result);
+        state.outcome.winner = static_cast<unsigned>(member);
+        state.outcome.winner_name = backend->name();
+        state.cancel.store(true, std::memory_order_relaxed);
+    });
+    return state.outcome;  // all-unknown leaves the default (answer::unknown)
+}
+
+portfolio_outcome race(const backend_factory& factory, const portfolio_config& cfg) {
+    const unsigned members = cfg.members == 0 ? 1 : cfg.members;
+    if (members == 1) {
+        portfolio_outcome outcome;
+        auto backend = factory(0);
+        outcome.result = backend->check();
+        outcome.winner_name = backend->name();
+        return outcome;
+    }
+    thread_pool pool(cfg.threads == 0 ? std::min(members, default_concurrency())
+                                      : cfg.threads);
+    return race(factory, members, pool);
+}
+
+}  // namespace sciduction::substrate

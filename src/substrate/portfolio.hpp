@@ -1,0 +1,54 @@
+// Portfolio solving: race N diversified solver instances, return the first
+// answer, cancel the rest.
+//
+// CDCL runtimes are heavy-tailed in the search strategy: two instances of
+// the same solver with different seeds / phases / restart schedules can
+// differ by orders of magnitude on one query. Racing a small, diversified
+// portfolio turns worst-case members into the minimum over members — the
+// classic multi-engine trick (ManySAT / ppfolio lineage) that the ROADMAP's
+// multi-backend north star builds on. Because every member decides the
+// *same* problem, sat/unsat answers are deterministic regardless of which
+// member wins; only the satisfying model (when one exists) depends on the
+// winner.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "substrate/backend.hpp"
+#include "substrate/thread_pool.hpp"
+
+namespace sciduction::substrate {
+
+struct portfolio_config {
+    /// Member instances to race; 1 degenerates to a single solve.
+    unsigned members = 4;
+    /// Worker threads (0 = hardware concurrency). Members beyond the thread
+    /// count start only if an earlier member finishes without an answer.
+    unsigned threads = 0;
+};
+
+/// Builds the member'th diversified instance of one problem. Member 0 must
+/// be the baseline configuration so a 1-member portfolio reproduces the
+/// single-solver behaviour exactly.
+using backend_factory = std::function<std::unique_ptr<solver_backend>(unsigned member)>;
+
+struct portfolio_outcome {
+    backend_result result;
+    unsigned winner = 0;       ///< member index that produced the answer
+    std::string winner_name;   ///< its backend name
+};
+
+/// Races cfg.members instances built by `factory` and returns the first
+/// definite answer, cancelling the losers. Answer unknown only if every
+/// member returned unknown. The first overload spins up a transient pool;
+/// callers racing in a loop should hold a pool and use the second.
+portfolio_outcome race(const backend_factory& factory, const portfolio_config& cfg = {});
+portfolio_outcome race(const backend_factory& factory, unsigned members, thread_pool& pool);
+
+/// Standard diversification for the member'th portfolio slot: member 0 is
+/// the baseline; others vary seed, initial phase, random-branch frequency,
+/// activity decay, and the restart schedule.
+sat::solver_options diversified_options(unsigned member);
+
+}  // namespace sciduction::substrate

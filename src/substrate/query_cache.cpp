@@ -1,0 +1,132 @@
+#include "substrate/query_cache.hpp"
+
+#include <algorithm>
+
+namespace sciduction::substrate {
+
+namespace {
+
+inline std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+}
+
+std::uint64_t hash_string(const std::string& s) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+}  // namespace
+
+std::uint64_t query_cache::structural_hash(smt::term t) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return structural_hash_locked(t);
+}
+
+std::uint64_t query_cache::structural_hash_locked(smt::term t) {
+    // Iterative post-order: children first, memoized per node.
+    std::vector<smt::term> stack{t};
+    while (!stack.empty()) {
+        smt::term x = stack.back();
+        if (term_hashes_.count(x.id) != 0) {
+            stack.pop_back();
+            continue;
+        }
+        const auto& kids = tm_.children_of(x);
+        bool ready = true;
+        for (smt::term kid : kids) {
+            if (term_hashes_.count(kid.id) == 0) {
+                stack.push_back(kid);
+                ready = false;
+            }
+        }
+        if (!ready) continue;
+        stack.pop_back();
+
+        const smt::kind k = tm_.kind_of(x);
+        std::uint64_t h = mix(static_cast<std::uint64_t>(k), tm_.width_of(x));
+        switch (k) {
+            case smt::kind::var_bool:
+            case smt::kind::var_bv:
+                // Variables hash by name, so the hash is independent of the
+                // manager's construction order.
+                h = mix(h, hash_string(tm_.var_name(x)));
+                break;
+            case smt::kind::const_bool: h = mix(h, tm_.const_bool_value(x) ? 1 : 0); break;
+            case smt::kind::const_bv: h = mix(h, tm_.const_bv_value(x)); break;
+            default: h = mix(h, tm_.payload_of(x)); break;
+        }
+        for (smt::term kid : kids) h = mix(h, term_hashes_.at(kid.id));
+        term_hashes_.emplace(x.id, h);
+    }
+    return term_hashes_.at(t.id);
+}
+
+query_cache::key query_cache::make_key(const std::vector<smt::term>& assertions,
+                                       const std::vector<smt::term>& assumptions) {
+    key k;
+    auto canonical = [](std::vector<std::uint32_t>& ids) {
+        std::sort(ids.begin(), ids.end());
+        ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    };
+    k.assertion_ids.reserve(assertions.size());
+    for (smt::term t : assertions) k.assertion_ids.push_back(t.id);
+    canonical(k.assertion_ids);
+    k.assumption_ids.reserve(assumptions.size());
+    for (smt::term t : assumptions) k.assumption_ids.push_back(t.id);
+    canonical(k.assumption_ids);
+
+    std::uint64_t h = 0x5c1d0c71a2e4b69dULL;
+    for (std::uint32_t id : k.assertion_ids) h = mix(h, structural_hash_locked(smt::term{id}));
+    h = mix(h, 0xa55e7a55e7a55e77ULL);  // separator: assertions vs assumptions
+    for (std::uint32_t id : k.assumption_ids) h = mix(h, structural_hash_locked(smt::term{id}));
+    k.hash = h;
+    return k;
+}
+
+std::optional<backend_result> query_cache::lookup(const std::vector<smt::term>& assertions,
+                                                  const std::vector<smt::term>& assumptions) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    key k = make_key(assertions, assumptions);
+    auto it = entries_.find(k);
+    if (it == entries_.end()) {
+        ++stats_.misses;
+        return std::nullopt;
+    }
+    ++stats_.hits;
+    return it->second;
+}
+
+void query_cache::insert(const std::vector<smt::term>& assertions,
+                         const std::vector<smt::term>& assumptions,
+                         const backend_result& result) {
+    if (result.ans == answer::unknown) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    key k = make_key(assertions, assumptions);
+    auto [it, inserted] = entries_.emplace(std::move(k), result);
+    (void)it;
+    if (inserted) ++stats_.insertions;
+}
+
+void query_cache::clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    term_hashes_.clear();
+    stats_ = {};
+}
+
+query_cache::cache_stats query_cache::stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+std::size_t query_cache::size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+}  // namespace sciduction::substrate

@@ -1,0 +1,80 @@
+// Memoization of term-level check() results.
+//
+// The sciduction loops re-issue structurally identical queries: GameTime
+// re-checks the predicted longest path it already proved feasible during
+// basis extraction; houdini-style refinement re-checks shrinking candidate
+// sets; OGIS re-derives the same well-formedness core every iteration. The
+// cache keys a query by the *set* of asserted terms plus the assumption
+// set — order-insensitive, duplicate-insensitive — under a structural hash
+// of the term DAG (variables hash by name, not id, so the hash is stable
+// across construction orders). Because the key is the full assertion set,
+// growing a query never aliases a cached entry: "invalidation" is
+// structural, not temporal.
+//
+// A cache is scoped to one term_manager (term ids are manager-local); all
+// operations are thread-safe so batch workers can share one instance.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "substrate/backend.hpp"
+
+namespace sciduction::substrate {
+
+class query_cache {
+public:
+    struct cache_stats {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t insertions = 0;
+    };
+
+    explicit query_cache(smt::term_manager& tm) : tm_(tm) {}
+
+    /// Returns the memoized result for this (assertion set, assumption set),
+    /// or nullopt. Counted as a hit/miss in stats().
+    std::optional<backend_result> lookup(const std::vector<smt::term>& assertions,
+                                         const std::vector<smt::term>& assumptions = {});
+
+    /// Memoizes a definite result. answer::unknown (interrupted) results are
+    /// ignored — they say nothing about the query.
+    void insert(const std::vector<smt::term>& assertions,
+                const std::vector<smt::term>& assumptions, const backend_result& result);
+
+    void clear();
+
+    [[nodiscard]] cache_stats stats() const;
+    [[nodiscard]] std::size_t size() const;
+
+    /// Order-independent structural hash of a term DAG (memoized per cache).
+    /// Exposed for tests and for keying derived caches.
+    std::uint64_t structural_hash(smt::term t);
+
+private:
+    struct key {
+        std::uint64_t hash = 0;
+        std::vector<std::uint32_t> assertion_ids;   // sorted, deduplicated
+        std::vector<std::uint32_t> assumption_ids;  // sorted, deduplicated
+
+        bool operator==(const key&) const = default;
+    };
+    struct key_hash {
+        std::size_t operator()(const key& k) const { return static_cast<std::size_t>(k.hash); }
+    };
+
+    key make_key(const std::vector<smt::term>& assertions,
+                 const std::vector<smt::term>& assumptions);
+    std::uint64_t structural_hash_locked(smt::term t);
+
+    smt::term_manager& tm_;
+    mutable std::mutex mutex_;
+    std::unordered_map<key, backend_result, key_hash> entries_;
+    std::unordered_map<std::uint32_t, std::uint64_t> term_hashes_;  // term id -> hash
+    cache_stats stats_;
+};
+
+}  // namespace sciduction::substrate

@@ -1,0 +1,105 @@
+#include "substrate/thread_pool.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+
+namespace sciduction::substrate {
+
+unsigned default_concurrency() {
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+thread_pool::thread_pool(unsigned num_workers) {
+    if (num_workers == 0) num_workers = default_concurrency();
+    workers_.reserve(num_workers);
+    for (unsigned i = 0; i < num_workers; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+thread_pool::~thread_pool() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void thread_pool::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) return;  // stopping_ and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+bool thread_pool::run_one() {
+    std::function<void()> task;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (queue_.empty()) return false;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+    }
+    task();
+    return true;
+}
+
+void thread_pool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    // Shared by value with every queued claim-task: a straggler task that
+    // only starts after parallel_for returned must find the state alive (it
+    // then sees next >= n and exits immediately).
+    struct for_state {
+        std::function<void(std::size_t)> fn;
+        std::size_t n;
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> done{0};
+        std::mutex error_mutex;
+        std::exception_ptr first_error;
+        std::promise<void> all_done;
+    };
+    auto state = std::make_shared<for_state>();
+    state->fn = fn;
+    state->n = n;
+    auto drained = state->all_done.get_future();
+
+    auto run_chunk = [state] {
+        for (;;) {
+            std::size_t i = state->next.fetch_add(1);
+            if (i >= state->n) return;
+            try {
+                state->fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(state->error_mutex);
+                if (!state->first_error) state->first_error = std::current_exception();
+            }
+            if (state->done.fetch_add(1) + 1 == state->n) state->all_done.set_value();
+        }
+    };
+
+    // One claim-task per worker; each loops until the index range is drained.
+    const std::size_t claimants = std::min<std::size_t>(n, size());
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t i = 0; i < claimants; ++i) queue_.emplace_back(run_chunk);
+    }
+    wake_.notify_all();
+    // The caller participates too: steal queued work (including work queued
+    // by other users of the pool) until every iteration has completed.
+    run_chunk();
+    while (drained.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+        if (!run_one()) drained.wait();
+    }
+    if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+}  // namespace sciduction::substrate

@@ -1,0 +1,83 @@
+// Fixed-size worker pool shared by the substrate's batch and portfolio
+// dispatchers.
+//
+// The sciduction loops issue thousands of independent oracle queries
+// (basis-path feasibility, candidate checks, invariant refinements); this
+// pool is the single place concurrency lives, so every higher layer stays
+// free of raw thread management. Tasks are type-erased thunks; results flow
+// back through the futures returned by submit() or through the caller's own
+// slots in parallel_for.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sciduction::substrate {
+
+/// Number of workers to use when the caller passes 0: the hardware
+/// concurrency, floored at 1 (hardware_concurrency may return 0).
+unsigned default_concurrency();
+
+class thread_pool {
+public:
+    /// Spawns `num_workers` threads (0 = default_concurrency()).
+    explicit thread_pool(unsigned num_workers = 0);
+    ~thread_pool();
+
+    thread_pool(const thread_pool&) = delete;
+    thread_pool& operator=(const thread_pool&) = delete;
+
+    [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+    /// Enqueues a task; the future resolves with its result (or exception).
+    template <typename Fn>
+    auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+        using result_t = std::invoke_result_t<Fn>;
+        auto task = std::make_shared<std::packaged_task<result_t()>>(std::forward<Fn>(fn));
+        std::future<result_t> fut = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.emplace_back([task] { (*task)(); });
+        }
+        wake_.notify_one();
+        return fut;
+    }
+
+    /// Runs fn(i) for every i in [0, n), blocking until all complete. The
+    /// calling thread participates, so parallel_for on a 1-worker pool (or
+    /// from within a worker) cannot deadlock. The first exception thrown by
+    /// any iteration is rethrown after all iterations finish.
+    void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+private:
+    void worker_loop();
+    /// Pops and runs one queued task; returns false if the queue was empty.
+    bool run_one();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    bool stopping_ = false;
+};
+
+/// Maps fn over [0, n) with `threads` workers (0 = default_concurrency) and
+/// returns the results in index order. A transient pool is spun up per call;
+/// for steady-state use, hold a thread_pool and use parallel_for.
+template <typename R>
+std::vector<R> parallel_map(std::size_t n, unsigned threads,
+                            const std::function<R(std::size_t)>& fn) {
+    std::vector<R> results(n);
+    if (n == 0) return results;
+    thread_pool pool(threads);
+    pool.parallel_for(n, [&](std::size_t i) { results[i] = fn(i); });
+    return results;
+}
+
+}  // namespace sciduction::substrate

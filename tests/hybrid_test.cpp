@@ -288,8 +288,9 @@ TEST(transmission, fig10_trace_properties) {
     std::vector<std::string> want{"N", "G1U", "G2U", "G3U", "G3D", "G2D", "G1D", "N"};
     EXPECT_EQ(trace.mode_sequence, want);
     // Efficiency >= 0.5 whenever speed >= 5 (the synthesized guarantee).
-    for (const auto& s : trace.samples)
-        if (s.mode != 0 && s.omega >= 5.0) EXPECT_GE(s.eta, 0.5) << "t=" << s.t;
+    for (const auto& s : trace.samples) {
+        if (s.mode != 0 && s.omega >= 5.0) { EXPECT_GE(s.eta, 0.5) << "t=" << s.t; }
+    }
     // Speed envelope respected and actually exercised.
     double peak = 0;
     for (const auto& s : trace.samples) peak = std::max(peak, s.omega);
@@ -304,8 +305,9 @@ TEST(transmission, fig10_dwell_trace_respects_dwell) {
     fig10_result trace = run_fig10_trace(sys, params, 5.0);
     EXPECT_TRUE(trace.safety_held);
     EXPECT_GE(trace.min_mode_dwell, 5.0);  // paper: at least 5 s per gear mode
-    for (const auto& s : trace.samples)
-        if (s.mode != 0 && s.omega >= 5.0) EXPECT_GE(s.eta, 0.5);
+    for (const auto& s : trace.samples) {
+        if (s.mode != 0 && s.omega >= 5.0) { EXPECT_GE(s.eta, 0.5); }
+    }
 }
 
 TEST(transmission, synthesis_reports_conditional_soundness) {

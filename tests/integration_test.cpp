@@ -85,8 +85,9 @@ TEST(integration, switching_logic_pipeline) {
     EXPECT_TRUE(trace.safety_held);
     EXPECT_TRUE(trace.reached_goal);
     // Independent check of the synthesized guarantee on the trace.
-    for (const auto& s : trace.samples)
-        if (s.mode != 0 && s.omega >= 5.0) ASSERT_GE(s.eta, 0.5);
+    for (const auto& s : trace.samples) {
+        if (s.mode != 0 && s.omega >= 5.0) { ASSERT_GE(s.eta, 0.5); }
+    }
 }
 
 TEST(integration, invariant_generation_pipeline) {
