@@ -1,9 +1,11 @@
 #include "hybrid/learner.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 #include "substrate/oracle_cache.hpp"
+#include "substrate/thread_pool.hpp"
 
 namespace sciduction::hybrid {
 
@@ -28,33 +30,66 @@ std::optional<state> find_seed(const box& over, const label_fn& label,
         center[d] = snap(center[d], cfg.grid[d]);
     }
 
-    auto probe = [&](const state& x) {
-        ++stats.seed_probes;
-        ++stats.queries;
-        return label(x);
-    };
-    if (probe(center)) return center;
-
-    // Star pattern: walk outward from the centre along each axis with
-    // geometrically-refined strides.
-    for (int pass = 1; pass <= 4; ++pass) {
-        for (std::size_t d = 0; d < n; ++d) {
+    // Candidate probe points in scan order — the centre, then the star
+    // pattern walking outward along each axis with geometrically-refined
+    // strides. Pure geometry (oracle-free), so the sequence can be
+    // enumerated up front and labelled ahead of the scan.
+    std::vector<state> points{center};
+    const std::size_t point_cap = static_cast<std::size_t>(std::max(cfg.max_seed_probes, 0)) + 1;
+    for (int pass = 1; pass <= 4 && points.size() < point_cap; ++pass) {
+        for (std::size_t d = 0; d < n && points.size() < point_cap; ++d) {
             double span = over.hi[d] - over.lo[d];
             if (!std::isfinite(span)) continue;  // unconstrained: centre anchor suffices
             if (span <= 0) continue;
             double stride = span / std::pow(2.0, pass + 1);
             if (stride < cfg.grid[d]) stride = cfg.grid[d];
-            for (double off = stride; off <= span / 2 + 1e-12; off += stride) {
+            for (double off = stride; off <= span / 2 + 1e-12 && points.size() < point_cap;
+                 off += stride) {
                 for (double sign : {+1.0, -1.0}) {
-                    if (static_cast<int>(stats.seed_probes) >= cfg.max_seed_probes)
-                        return std::nullopt;
+                    if (points.size() >= point_cap) break;
                     state x = center;
                     x[d] = snap(center[d] + sign * off, cfg.grid[d]);
                     if (x[d] < over.lo[d] - 1e-12 || x[d] > over.hi[d] + 1e-12) continue;
-                    if (probe(x)) return x;
+                    points.push_back(std::move(x));
                 }
             }
         }
+    }
+
+    // The scan consumes the sequence in order and stops at the first
+    // positive, so the seed found and the budget accounting are identical
+    // whether the labels were computed on demand (sequential) or ahead in
+    // speculative parallel waves.
+    if (cfg.probe_threads <= 1) {
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (i > 0 && static_cast<int>(stats.seed_probes) >= cfg.max_seed_probes)
+                return std::nullopt;
+            ++stats.seed_probes;
+            ++stats.queries;
+            if (label(points[i])) return points[i];
+        }
+        return std::nullopt;
+    }
+
+    substrate::thread_pool pool(cfg.probe_threads);
+    std::vector<char> labels(points.size(), 0);
+    std::size_t labelled = 0;
+    const std::size_t wave = static_cast<std::size_t>(cfg.probe_threads) * 2;
+    auto ensure_labelled = [&](std::size_t i) {
+        if (i < labelled) return;
+        const std::size_t base = labelled;
+        const std::size_t hi = std::min(points.size(), i + wave);
+        pool.parallel_for(hi - base,
+                          [&](std::size_t k) { labels[base + k] = label(points[base + k]) ? 1 : 0; });
+        labelled = hi;
+    };
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (i > 0 && static_cast<int>(stats.seed_probes) >= cfg.max_seed_probes)
+            return std::nullopt;
+        ensure_labelled(i);
+        ++stats.seed_probes;
+        ++stats.queries;
+        if (labels[i] != 0) return points[i];
     }
     return std::nullopt;
 }
@@ -143,7 +178,11 @@ box learn_guard(const box& over, const label_fn& label, const learner_config& cf
         });
     };
     box result;
-    auto seed = find_seed(over, cached, cfg, stats);
+    // The memoizing wrapper is not thread-safe: a wave-parallel seed scan
+    // labels through the raw oracle (find_seed keeps its own wave store)
+    // and only the sequential corner search routes through the cache.
+    const label_fn& seed_label = cfg.probe_threads > 1 ? label : cached;
+    auto seed = find_seed(over, seed_label, cfg, stats);
     if (!seed) result = box::empty_box(over.dim());
     else result = learn_box(over, *seed, cached, cfg, stats);
     stats.cache_hits += cache.stats().hits;

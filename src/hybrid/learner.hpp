@@ -38,6 +38,14 @@ struct learner_config {
     /// the memoized answers are exact, so the learned box is unchanged —
     /// only the number of actual oracle invocations drops.
     bool cache_queries = true;
+    /// Worker threads for the seed scan's membership probes. > 1 labels
+    /// upcoming probe candidates in speculative waves on a substrate pool
+    /// (requires a thread-safe label fn — the simulator-backed oracles
+    /// only read the system). The seed found, the learned box, and the
+    /// logical query counts (queries / seed_probes) are identical to the
+    /// sequential scan; only oracle_calls / cache_hits differ, since the
+    /// wave store bypasses the (non-thread-safe) memoizing wrapper.
+    unsigned probe_threads = 1;
 };
 
 struct learner_stats {

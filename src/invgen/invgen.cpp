@@ -8,6 +8,7 @@
 
 #include "sat/gates.hpp"
 #include "substrate/portfolio.hpp"
+#include "substrate/shard.hpp"
 #include "substrate/thread_pool.hpp"
 
 namespace sciduction::invgen {
@@ -290,8 +291,10 @@ bool prove_with_invariants(const aig::aig& circuit, aig::literal prop,
         return solver.solve() == sat::solve_result::unsat;
     };
     // Step: invariants + property in frame 0 imply the property in frame 1.
-    auto step_holds = [&] {
-        sat::solver solver;
+    // Construction is deterministic, so every shard replica rebuilds the
+    // identical CNF with identical variable numbering (the cube-transfer
+    // contract of substrate::solve_cubes).
+    auto build_step = [&](sat::solver& solver) {
         sat::gate_encoder gates(solver);
         frames fr = build_frames(circuit, gates, /*init_frame0=*/false);
         for (const candidate& c : invariants) {
@@ -300,7 +303,27 @@ bool prove_with_invariants(const aig::aig& circuit, aig::literal prop,
         }
         solver.add_clause(circuit_t::sat_literal(fr.f0, prop));
         solver.add_clause(~circuit_t::sat_literal(fr.f1, prop));
-        return solver.solve() == sat::solve_result::unsat;
+    };
+    auto step_holds = [&] {
+        if (cfg.shard_depth == 0) {
+            sat::solver solver;
+            build_step(solver);
+            return solver.solve() == sat::solve_result::unsat;
+        }
+        // Cube-and-conquer the inductive step: lookahead on a prototype
+        // picks the split variables, then the cube tree races on a pool.
+        sat::solver prototype;
+        build_step(prototype);
+        substrate::cube_plan plan =
+            substrate::generate_cubes(prototype, {.depth = cfg.shard_depth});
+        substrate::shard_outcome outcome = substrate::solve_cubes(
+            [&]() {
+                auto backend = std::make_unique<substrate::sat_backend>();
+                build_step(backend->solver());
+                return backend;
+            },
+            plan, cfg.shard_threads);
+        return outcome.result.is_unsat();
     };
     if (cfg.batch_threads <= 1) return base_holds() && step_holds();
     // The two queries are independent: batch them on the substrate pool.

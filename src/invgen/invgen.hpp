@@ -71,8 +71,16 @@ invgen_result generate_invariants(const aig::aig& circuit, const invgen_config& 
 /// inductive-step queries are independent, so with batch_threads > 1 they
 /// are dispatched concurrently (both always run); with 1 they run
 /// sequentially with short-circuiting. The verdict is identical either way.
+/// With shard_depth > 0 the inductive-step query — the hard half of the
+/// proof (two time frames plus every invariant assumed) — is decided by
+/// cube-and-conquer across shard_threads workers instead of a single
+/// solver instance; the verdict is again identical (the shard layer's
+/// all-UNSAT aggregation is deterministic, and a SAT cube is a genuine
+/// counterexample-to-induction whichever cube finds it).
 struct proof_config {
     unsigned batch_threads = 1;
+    unsigned shard_depth = 0;    ///< 0 = single-instance inductive-step solve
+    unsigned shard_threads = 0;  ///< 0 = hardware concurrency
 };
 
 /// Checks whether `prop` (an AIG literal that must always be true) can be

@@ -163,16 +163,32 @@ std::optional<std::vector<std::uint64_t>> feasible_path_witness(const cfg& g, co
     return feasible_path_witness(g, p, engine);
 }
 
-std::optional<std::vector<std::uint64_t>> feasible_path_witness(const cfg& g, const path& p,
-                                                                substrate::smt_engine& engine) {
+namespace {
+
+std::optional<std::vector<std::uint64_t>> witness_from(const cfg& g, const path& p,
+                                                       substrate::smt_engine& engine,
+                                                       bool sharded) {
     path_encoding enc = encode_path(g, p, engine.manager());
-    auto result = engine.check({enc.path_condition});
+    auto result = sharded ? engine.check_sharded({{enc.path_condition}, {}})
+                          : engine.check({enc.path_condition});
     if (!result.is_sat()) return std::nullopt;
     substrate::model_evaluator eval(engine.manager(), std::move(result.model));
     std::vector<std::uint64_t> args;
     args.reserve(enc.params.size());
     for (smt::term t : enc.params) args.push_back(eval.value(t));
     return args;
+}
+
+}  // namespace
+
+std::optional<std::vector<std::uint64_t>> feasible_path_witness(const cfg& g, const path& p,
+                                                                substrate::smt_engine& engine) {
+    return witness_from(g, p, engine, /*sharded=*/false);
+}
+
+std::optional<std::vector<std::uint64_t>> feasible_path_witness_sharded(
+    const cfg& g, const path& p, substrate::smt_engine& engine) {
+    return witness_from(g, p, engine, /*sharded=*/true);
 }
 
 }  // namespace sciduction::ir

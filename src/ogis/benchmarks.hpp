@@ -8,6 +8,7 @@
 // the expected clean semantics for validation.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -27,6 +28,9 @@ public:
     minic_oracle(ir::program prog, std::string function_name,
                  std::vector<std::string> output_globals = {});
 
+    /// Thread-safe: the interpreter only reads the program, and the query
+    /// counter is atomic — which is what lets seed labelling dispatch
+    /// through substrate::parallel_map.
     io_vector query(const io_vector& input) override;
 
     [[nodiscard]] const ir::program& program() const { return program_; }
@@ -36,7 +40,7 @@ private:
     ir::program program_;
     std::string function_;
     std::vector<std::string> output_globals_;
-    std::uint64_t queries_ = 0;
+    std::atomic<std::uint64_t> queries_ = 0;
 };
 
 struct deobfuscation_benchmark {

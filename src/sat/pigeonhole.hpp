@@ -1,0 +1,35 @@
+// Pigeonhole-principle CNF generator: `holes`+1 pigeons into `holes`
+// holes. UNSAT with exponential-size resolution proofs, which makes the
+// family the canonical "single hard query" for exercising cooperative
+// interrupts, portfolio racing and cube-and-conquer sharding — the tests
+// and benches all share this one encoder.
+#pragma once
+
+#include "sat/solver.hpp"
+
+namespace sciduction::sat {
+
+inline void encode_pigeonhole(solver& s, int holes) {
+    std::vector<std::vector<var>> x(static_cast<std::size_t>(holes) + 1,
+                                    std::vector<var>(static_cast<std::size_t>(holes)));
+    for (auto& row : x)
+        for (auto& v : row) v = s.new_var();
+    // Every pigeon sits in some hole...
+    for (auto& row : x) {
+        clause_lits c;
+        for (auto v : row) c.push_back(mk_lit(v));
+        s.add_clause(c);
+    }
+    // ...and no hole houses two pigeons.
+    for (int h = 0; h < holes; ++h) {
+        for (int p1 = 0; p1 <= holes; ++p1) {
+            for (int p2 = p1 + 1; p2 <= holes; ++p2) {
+                lit a = mk_lit(x[static_cast<std::size_t>(p1)][static_cast<std::size_t>(h)]);
+                lit b = mk_lit(x[static_cast<std::size_t>(p2)][static_cast<std::size_t>(h)]);
+                s.add_clause(~a, ~b);
+            }
+        }
+    }
+}
+
+}  // namespace sciduction::sat

@@ -10,11 +10,16 @@ namespace sciduction::sat {
 solver::solver() = default;
 
 void solver::set_options(const solver_options& opts) {
+    // Re-seed existing phases only when the initial-phase option changes:
+    // mid-incremental-session retunes (decay, restarts, seed) must not
+    // clobber the phase-saving state accumulated by earlier solve() calls.
+    const bool phase_changed = opts.init_phase_true != opts_.init_phase_true;
     opts_ = opts;
     var_decay_ = opts.var_decay;
     cla_decay_ = opts.clause_decay;
     random_.reseed(opts.random_seed);
-    for (auto& p : polarity_) p = opts.init_phase_true ? 0 : 1;
+    if (phase_changed)
+        for (auto& p : polarity_) p = opts.init_phase_true ? 0 : 1;
 }
 
 var solver::new_var() {
@@ -198,6 +203,41 @@ void solver::backtrack_to(int lvl) {
     trail_.resize(bound);
     trail_lim_.resize(static_cast<std::size_t>(lvl));
     qhead_ = trail_.size();
+}
+
+// ---- lookahead probing ----------------------------------------------------------
+
+solver::probe_outcome solver::probe_literal(lit l) {
+    if (decision_level() != 0) throw std::logic_error("probe_literal: only at decision level 0");
+    probe_outcome out;
+    if (!ok_) {
+        out.conflict = true;
+        return out;
+    }
+    if (value(l) != lbool::l_undef) {
+        // Already decided at the top level: a false literal conflicts
+        // outright, a true one implies nothing new.
+        out.conflict = value(l) == lbool::l_false;
+        return out;
+    }
+    const std::size_t before = trail_.size();
+    new_decision_level();
+    enqueue(l, cref_undef);
+    cref confl = propagate();
+    out.conflict = confl != cref_undef;
+    out.implied = static_cast<std::uint32_t>(trail_.size() - before);
+    backtrack_to(0);
+    return out;
+}
+
+std::vector<std::uint32_t> solver::occurrence_counts() const {
+    std::vector<std::uint32_t> counts(assigns_.size(), 0);
+    for (cref c : clauses_) {
+        const std::uint32_t sz = clause_size(c);
+        for (std::uint32_t k = 0; k < sz; ++k)
+            ++counts[static_cast<std::size_t>(var_of(clause_lit(c, k)))];
+    }
+    return counts;
 }
 
 // ---- conflict analysis ----------------------------------------------------------

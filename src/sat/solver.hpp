@@ -58,8 +58,10 @@ class solver {
 public:
     solver();
 
-    /// Applies search-strategy options. Resets the saved phase of existing
-    /// variables; safe to call at any point between solve() calls.
+    /// Applies search-strategy options. Safe to call at any point between
+    /// solve() calls: saved phases accumulated by earlier solves are kept
+    /// unless the initial-phase option itself changes (in which case every
+    /// variable is re-seeded with the new phase, as diversification needs).
     void set_options(const solver_options& opts);
     [[nodiscard]] const solver_options& options() const { return opts_; }
 
@@ -95,8 +97,28 @@ public:
     }
 
     /// After an unsat answer under assumptions: the subset of assumptions
-    /// (negated) that formed the final conflict.
+    /// (negated) that formed the final conflict. Empty when the formula is
+    /// unsat regardless of the assumptions — the shard layer reads that as
+    /// "every sibling cube is refuted too".
     [[nodiscard]] const std::vector<lit>& conflict_core() const { return conflict_; }
+
+    /// Outcome of one bounded-lookahead probe (see probe_literal).
+    struct probe_outcome {
+        bool conflict = false;      ///< the probe hit a conflict: ~l is entailed
+        std::uint32_t implied = 0;  ///< assignments implied by the probe (incl. l)
+    };
+
+    /// Bounded lookahead at decision level 0: assume `l`, run unit
+    /// propagation, report the outcome, and restore the solver state. The
+    /// cube generator scores splitting variables with this — a literal that
+    /// implies many assignments splits the search space unevenly but
+    /// cheaply, a conflicting one yields a free entailed unit. Only the
+    /// saved-phase hints are perturbed (heuristic state, not answers).
+    probe_outcome probe_literal(lit l);
+
+    /// Per-variable occurrence counts over the problem (non-learnt)
+    /// clauses — the cube generator's static ranking of split candidates.
+    [[nodiscard]] std::vector<std::uint32_t> occurrence_counts() const;
 
     [[nodiscard]] const solver_stats& stats() const { return stats_; }
 

@@ -269,7 +269,11 @@ check_result smt_solver::check(const std::vector<term>& assumptions) {
     std::vector<lit> assumed;
     assumed.reserve(assumptions.size());
     for (term t : assumptions) assumed.push_back(blast_bool(t));
-    auto r = sat_.solve(assumed);
+    return check_under(assumed);
+}
+
+check_result smt_solver::check_under(const std::vector<sat::lit>& assumptions) {
+    auto r = sat_.solve(assumptions);
     if (r == sat::solve_result::unknown) return check_result::unknown;
     return r == sat::solve_result::sat ? check_result::sat : check_result::unsat;
 }

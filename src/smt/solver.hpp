@@ -42,6 +42,27 @@ public:
     /// boolean assumption terms (not persisted).
     check_result check(const std::vector<term>& assumptions = {});
 
+    /// Decides the assertions under raw CNF-level assumption literals —
+    /// the shard layer's cubes. Literals refer to this solver's own SAT
+    /// core; blasting is deterministic, so identically-constructed solvers
+    /// over one manager share variable numbering and cubes transfer.
+    check_result check_under(const std::vector<sat::lit>& assumptions);
+
+    /// Blasts a boolean term and returns its CNF literal (forces the
+    /// circuit for t into the SAT core without asserting anything).
+    sat::lit literal_of(term t) { return blast_bool(t); }
+
+    /// The underlying CDCL core, exposed for the shard layer's lookahead
+    /// probing and for stats. Mutating it other than via probe/solve
+    /// options voids the blasting invariants.
+    [[nodiscard]] sat::solver& sat_core() { return sat_; }
+
+    /// After an unsat check under assumptions: the failed assumptions,
+    /// negated (see sat::solver::conflict_core).
+    [[nodiscard]] const std::vector<sat::lit>& conflict_core() const {
+        return sat_.conflict_core();
+    }
+
     /// After a sat answer: concrete value of any term (variables that never
     /// reached the solver evaluate as 0).
     [[nodiscard]] std::uint64_t model_value(term t) const;

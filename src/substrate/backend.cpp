@@ -35,15 +35,34 @@ void sat_backend::set_assumptions(std::vector<sat::lit> assumptions) {
     assumptions_ = std::move(assumptions);
 }
 
-backend_result sat_backend::check(const std::atomic<bool>* cancel) {
+namespace {
+
+/// Negate the solver's conflict clause back into the failed assumptions.
+std::vector<sat::lit> failed_assumptions(const std::vector<sat::lit>& conflict) {
+    std::vector<sat::lit> core;
+    core.reserve(conflict.size());
+    for (sat::lit l : conflict) core.push_back(~l);
+    return core;
+}
+
+}  // namespace
+
+backend_result sat_backend::check_cube(const std::vector<sat::lit>& cube,
+                                       const std::atomic<bool>* cancel) {
+    std::vector<sat::lit> assumed = assumptions_;
+    assumed.insert(assumed.end(), cube.begin(), cube.end());
     solver_.set_interrupt(cancel);
     backend_result result;
-    result.ans = from_sat(solver_.solve(assumptions_));
+    const std::uint64_t conflicts_before = solver_.stats().conflicts;
+    result.ans = from_sat(solver_.solve(assumed));
     solver_.set_interrupt(nullptr);
+    result.conflicts = solver_.stats().conflicts - conflicts_before;
     if (result.ans == answer::sat) {
         result.sat_model.reserve(static_cast<std::size_t>(solver_.num_vars()));
         for (sat::var v = 0; v < solver_.num_vars(); ++v)
             result.sat_model.push_back(solver_.model_value(v));
+    } else if (result.ans == answer::unsat) {
+        result.core = failed_assumptions(solver_.conflict_core());
     }
     return result;
 }
@@ -60,16 +79,30 @@ smt_backend::smt_backend(smt::term_manager& tm, std::vector<smt::term> assertion
     solver_.set_sat_options(opts);
 }
 
-backend_result smt_backend::check(const std::atomic<bool>* cancel) {
-    if (!asserted_) {
-        for (smt::term t : assertions_) solver_.assert_term(t);
-        asserted_ = true;
-    }
+void smt_backend::prepare() {
+    if (asserted_) return;
+    // Deterministic blasting order — assertions, then assumption terms —
+    // gives identically-constructed backends identical CNF numbering, which
+    // is what lets the shard layer transfer cube literals between replicas.
+    for (smt::term t : assertions_) solver_.assert_term(t);
+    assumption_lits_.reserve(assumptions_.size());
+    for (smt::term t : assumptions_) assumption_lits_.push_back(solver_.literal_of(t));
+    asserted_ = true;
+}
+
+backend_result smt_backend::check_cube(const std::vector<sat::lit>& cube,
+                                       const std::atomic<bool>* cancel) {
+    prepare();
+    std::vector<sat::lit> assumed = assumption_lits_;
+    assumed.insert(assumed.end(), cube.begin(), cube.end());
     solver_.set_interrupt(cancel);
     backend_result result;
-    result.ans = from_smt(solver_.check(assumptions_));
+    const std::uint64_t conflicts_before = solver_.sat_core().stats().conflicts;
+    result.ans = from_smt(solver_.check_under(assumed));
     solver_.set_interrupt(nullptr);
+    result.conflicts = solver_.sat_core().stats().conflicts - conflicts_before;
     if (result.ans == answer::sat) result.model = solver_.model_env();
+    else if (result.ans == answer::unsat) result.core = failed_assumptions(solver_.conflict_core());
     return result;
 }
 

@@ -32,6 +32,14 @@ struct backend_result {
     answer ans = answer::unknown;
     std::vector<sat::lbool> sat_model;
     smt::env model;
+    /// On an unsat answer under assumptions: the assumption literals the
+    /// final conflict actually used (CNF level, un-negated). Empty when the
+    /// problem is unsat regardless of the assumptions. The shard scheduler
+    /// prunes sibling cubes with this.
+    std::vector<sat::lit> core;
+    /// Solver conflicts this check spent — the scheduling-independent cost
+    /// metric the shard benches and stats aggregate.
+    std::uint64_t conflicts = 0;
 
     [[nodiscard]] bool is_sat() const { return ans == answer::sat; }
     [[nodiscard]] bool is_unsat() const { return ans == answer::unsat; }
@@ -39,14 +47,19 @@ struct backend_result {
 
 /// One prepared deductive problem instance. check() decides it; a non-null
 /// cancel flag set by another thread aborts the search (the backend then
-/// answers unknown). Instances are single-owner and not thread-safe —
-/// concurrency comes from racing or batching *distinct* instances.
+/// answers unknown). check_cube() decides the same instance under extra
+/// CNF-level assumption literals — the shard layer's cubes — and may be
+/// called repeatedly (incrementally: learnt clauses carry over between
+/// cubes). Instances are single-owner and not thread-safe — concurrency
+/// comes from racing, batching, or sharding *distinct* instances.
 class solver_backend {
 public:
     virtual ~solver_backend() = default;
 
     [[nodiscard]] virtual const std::string& name() const = 0;
-    virtual backend_result check(const std::atomic<bool>* cancel) = 0;
+    virtual backend_result check_cube(const std::vector<sat::lit>& cube,
+                                      const std::atomic<bool>* cancel) = 0;
+    backend_result check(const std::atomic<bool>* cancel) { return check_cube({}, cancel); }
     backend_result check() { return check(nullptr); }
 };
 
@@ -61,8 +74,8 @@ public:
     void set_assumptions(std::vector<sat::lit> assumptions);
 
     [[nodiscard]] const std::string& name() const override { return name_; }
-    using solver_backend::check;
-    backend_result check(const std::atomic<bool>* cancel) override;
+    backend_result check_cube(const std::vector<sat::lit>& cube,
+                              const std::atomic<bool>* cancel) override;
 
 private:
     sat::solver solver_;
@@ -81,13 +94,22 @@ public:
                 std::string name = "smt");
 
     [[nodiscard]] const std::string& name() const override { return name_; }
-    using solver_backend::check;
-    backend_result check(const std::atomic<bool>* cancel) override;
+    backend_result check_cube(const std::vector<sat::lit>& cube,
+                              const std::atomic<bool>* cancel) override;
+
+    /// The underlying SAT core (after blasting) — the shard layer's cube
+    /// generator probes it for splitting variables.
+    [[nodiscard]] smt::smt_solver& solver() { return solver_; }
+    /// Blasts the assertions and assumption terms if not yet done. Called
+    /// implicitly by check_cube; explicitly by the cube generator, which
+    /// needs the CNF before the first solve.
+    void prepare();
 
 private:
     smt::smt_solver solver_;
     std::vector<smt::term> assertions_;
     std::vector<smt::term> assumptions_;
+    std::vector<sat::lit> assumption_lits_;
     bool asserted_ = false;
     std::string name_;
 };

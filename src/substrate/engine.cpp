@@ -5,7 +5,7 @@
 namespace sciduction::substrate {
 
 smt_engine::smt_engine(smt::term_manager& tm, engine_config cfg)
-    : tm_(tm), cfg_(cfg), cache_(tm) {}
+    : tm_(tm), cfg_(cfg), cache_(tm, cfg.cache_capacity) {}
 
 engine_stats smt_engine::stats() const {
     std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -53,6 +53,108 @@ backend_result smt_engine::check(const smt_query& q) {
     backend_result result = solve_uncached(q, /*allow_portfolio=*/true);
     if (cfg_.use_cache) cache_.insert(q.assertions, q.assumptions, result);
     return result;
+}
+
+std::shared_future<backend_result> smt_engine::check_async(const smt_query& q) {
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.queries;
+    }
+    if (cfg_.use_cache) {
+        if (auto cached = cache_.lookup(q.assertions, q.assumptions)) {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.cache_hits;
+            std::promise<backend_result> ready;
+            ready.set_value(std::move(*cached));
+            return ready.get_future().share();
+        }
+    }
+    query_key key = cache_.key_for(q.assertions, q.assumptions);
+    thread_pool& workers = pool();  // created outside the inflight lock
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    if (auto it = inflight_.find(key); it != inflight_.end()) {
+        std::lock_guard<std::mutex> slock(stats_mutex_);
+        ++stats_.coalesced;
+        return it->second;
+    }
+    if (cfg_.use_cache) {
+        // Re-check under the inflight lock: an in-flight duplicate may have
+        // completed between the optimistic lookup above and here. Its
+        // completion inserts into the cache *before* erasing the inflight
+        // entry, so missing both maps really means the query is new.
+        if (auto cached = cache_.lookup(q.assertions, q.assumptions)) {
+            std::lock_guard<std::mutex> slock(stats_mutex_);
+            ++stats_.cache_hits;
+            std::promise<backend_result> ready;
+            ready.set_value(std::move(*cached));
+            return ready.get_future().share();
+        }
+    }
+    auto future = workers
+                      .submit([this, q, key]() -> backend_result {
+                          backend_result result;
+                          try {
+                              result = solve_uncached(q, /*allow_portfolio=*/true);
+                              if (cfg_.use_cache)
+                                  cache_.insert(q.assertions, q.assumptions, result);
+                          } catch (...) {
+                              // The entry must not outlive the attempt, or
+                              // every later duplicate coalesces onto this
+                              // dead future instead of re-solving.
+                              std::lock_guard<std::mutex> ilock(inflight_mutex_);
+                              inflight_.erase(key);
+                              throw;
+                          }
+                          std::lock_guard<std::mutex> ilock(inflight_mutex_);
+                          inflight_.erase(key);
+                          return result;
+                      })
+                      .share();
+    // The map entry is published under the same lock that the completion
+    // lambda needs to erase it, so a fast worker cannot race past us.
+    inflight_.emplace(std::move(key), future);
+    return future;
+}
+
+backend_result smt_engine::check_sharded(const smt_query& q, shard_stats* stats) {
+    if (stats != nullptr) *stats = {};
+    if (cfg_.shard_depth == 0) return check(q);
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.queries;
+    }
+    if (cfg_.use_cache) {
+        if (auto cached = cache_.lookup(q.assertions, q.assumptions)) {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.cache_hits;
+            return *cached;
+        }
+    }
+    // Prototype instance: blast once (same construction order as every
+    // replica, so cube literals transfer) and run the lookahead pass on its
+    // SAT core.
+    smt_backend prototype(tm_, q.assertions, q.assumptions, {}, "shard-proto");
+    prototype.prepare();
+    cube_plan plan = generate_cubes(
+        prototype.solver().sat_core(),
+        {.depth = cfg_.shard_depth, .probe_candidates = cfg_.shard_probe_candidates});
+    unsigned replica = 0;
+    shard_outcome outcome = solve_cubes(
+        [&]() {
+            unsigned id;
+            {
+                std::lock_guard<std::mutex> lock(stats_mutex_);
+                id = replica++;
+                ++stats_.solver_runs;
+            }
+            return std::make_unique<smt_backend>(tm_, q.assertions, q.assumptions,
+                                                 sat::solver_options{},
+                                                 "shard#" + std::to_string(id));
+        },
+        plan, pool());
+    if (stats != nullptr) *stats = outcome.stats;
+    if (cfg_.use_cache) cache_.insert(q.assertions, q.assumptions, outcome.result);
+    return std::move(outcome.result);
 }
 
 std::vector<backend_result> smt_engine::check_batch(const std::vector<smt_query>& queries) {

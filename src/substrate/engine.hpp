@@ -2,32 +2,53 @@
 // queries through.
 //
 // One engine per (term_manager, workload) combines the substrate pieces:
-//   * query cache    — memoizes check() results across the workload's loop;
+//   * query cache    — memoizes check() results across the workload's loop
+//                      (optionally capacity-bounded with LRU eviction);
 //   * portfolio      — races diversified solver instances per query;
-//   * batch API      — dispatches independent queries concurrently.
-// A default-configured engine (cache on, 1 member, sequential batch) is
-// observationally identical to constructing one smt::smt_solver per query,
-// which is what the application modules did before the substrate existed.
+//   * batch API      — dispatches independent queries concurrently;
+//   * shard API      — cube-and-conquers one hard query across the pool;
+//   * async API      — futures-based check() whose in-flight duplicates
+//                      coalesce, letting a loop overlap two queries.
+// A default-configured engine (cache on, 1 member, sequential batch, no
+// sharding) is observationally identical to constructing one
+// smt::smt_solver per query, which is what the application modules did
+// before the substrate existed.
 #pragma once
+
+#include <future>
 
 #include "substrate/portfolio.hpp"
 #include "substrate/query_cache.hpp"
+#include "substrate/shard.hpp"
 
 namespace sciduction::substrate {
 
 struct engine_config {
     bool use_cache = true;
+    /// Query-cache capacity (results retained); 0 = unbounded. Bounded
+    /// caches evict least-recently-used entries, keeping long CEGIS runs'
+    /// memory flat while the hot re-checks stay resident.
+    std::size_t cache_capacity = 0;
     /// Portfolio members raced per query; 1 = single solver (deterministic
     /// models), >1 = racing (deterministic answers, winner's model).
     unsigned portfolio_members = 1;
-    /// Worker threads for portfolio racing and check_batch (0 = hardware).
+    /// Worker threads for portfolio racing, check_batch, check_sharded and
+    /// check_async (0 = hardware).
     unsigned threads = 0;
+    /// Cube-and-conquer split depth for check_sharded: up to 2^depth cubes
+    /// per query. 0 degrades check_sharded to a plain check() — callers can
+    /// route their hardest query through check_sharded unconditionally and
+    /// let the config decide.
+    unsigned shard_depth = 0;
+    /// Lookahead probes per check_sharded cube generation.
+    unsigned shard_probe_candidates = 16;
 };
 
 struct engine_stats {
     std::uint64_t queries = 0;
     std::uint64_t cache_hits = 0;
     std::uint64_t solver_runs = 0;  ///< backends actually constructed+checked
+    std::uint64_t coalesced = 0;    ///< async queries joined to an in-flight duplicate
 };
 
 /// An independent term-level query: decide the conjunction of `assertions`
@@ -61,6 +82,22 @@ public:
     /// of scheduling. No thread may create terms while this runs.
     std::vector<backend_result> check_batch(const std::vector<smt_query>& queries);
 
+    /// Decides one query asynchronously on the engine's pool, composing
+    /// with the cache: a hit resolves immediately, a miss solves in the
+    /// background and lands in the cache, and an async query equal to one
+    /// already in flight coalesces onto the same future instead of
+    /// re-solving. No thread may create terms until the future is ready
+    /// (backends read the shared manager while solving).
+    std::shared_future<backend_result> check_async(const smt_query& q);
+
+    /// Decides one *hard* query by cube-and-conquer: bounded lookahead on a
+    /// prototype instance picks splitting variables, the cube tree is
+    /// dispatched across the pool (first SAT wins; all-UNSAT aggregates
+    /// deterministically), and the result composes with the cache exactly
+    /// like check(). With cfg.shard_depth == 0 this *is* check(). The
+    /// optional out-param reports the shard work breakdown.
+    backend_result check_sharded(const smt_query& q, shard_stats* stats = nullptr);
+
     /// Evaluates t under a model returned by check(), defaulting unblasted
     /// variables to zero.
     [[nodiscard]] std::uint64_t model_value(smt::term t, const smt::env& model) const {
@@ -70,17 +107,22 @@ public:
 private:
     backend_result solve_uncached(const smt_query& q, bool allow_portfolio);
     /// The engine's worker pool, created on first concurrent use and then
-    /// shared by every portfolio race and batch — loops issuing thousands
-    /// of queries pay thread spawn/teardown once, not per query.
+    /// shared by every portfolio race, batch, shard and async query — loops
+    /// issuing thousands of queries pay thread spawn/teardown once.
     thread_pool& pool();
 
     smt::term_manager& tm_;
     engine_config cfg_;
     query_cache cache_;
-    std::unique_ptr<thread_pool> pool_;
-    std::mutex pool_mutex_;
+    std::mutex inflight_mutex_;
+    std::unordered_map<query_key, std::shared_future<backend_result>, query_key_hash> inflight_;
     mutable std::mutex stats_mutex_;
     engine_stats stats_;
+    // The pool is declared last on purpose: async tasks touch cache_,
+    // inflight_ and stats_, so ~smt_engine must drain the pool (members are
+    // destroyed in reverse declaration order) before any of those die.
+    std::mutex pool_mutex_;
+    std::unique_ptr<thread_pool> pool_;
 };
 
 }  // namespace sciduction::substrate

@@ -66,9 +66,15 @@ std::uint64_t query_cache::structural_hash_locked(smt::term t) {
     return term_hashes_.at(t.id);
 }
 
-query_cache::key query_cache::make_key(const std::vector<smt::term>& assertions,
-                                       const std::vector<smt::term>& assumptions) {
-    key k;
+query_key query_cache::key_for(const std::vector<smt::term>& assertions,
+                               const std::vector<smt::term>& assumptions) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return make_key(assertions, assumptions);
+}
+
+query_key query_cache::make_key(const std::vector<smt::term>& assertions,
+                                const std::vector<smt::term>& assumptions) {
+    query_key k;
     auto canonical = [](std::vector<std::uint32_t>& ids) {
         std::sort(ids.begin(), ids.end());
         ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
@@ -88,17 +94,23 @@ query_cache::key query_cache::make_key(const std::vector<smt::term>& assertions,
     return k;
 }
 
+void query_cache::touch(entry& e) {
+    lru_.splice(lru_.begin(), lru_, e.lru_pos);
+    e.lru_pos = lru_.begin();
+}
+
 std::optional<backend_result> query_cache::lookup(const std::vector<smt::term>& assertions,
                                                   const std::vector<smt::term>& assumptions) {
     std::lock_guard<std::mutex> lock(mutex_);
-    key k = make_key(assertions, assumptions);
+    query_key k = make_key(assertions, assumptions);
     auto it = entries_.find(k);
     if (it == entries_.end()) {
         ++stats_.misses;
         return std::nullopt;
     }
     ++stats_.hits;
-    return it->second;
+    touch(it->second);
+    return it->second.result;
 }
 
 void query_cache::insert(const std::vector<smt::term>& assertions,
@@ -106,15 +118,26 @@ void query_cache::insert(const std::vector<smt::term>& assertions,
                          const backend_result& result) {
     if (result.ans == answer::unknown) return;
     std::lock_guard<std::mutex> lock(mutex_);
-    key k = make_key(assertions, assumptions);
-    auto [it, inserted] = entries_.emplace(std::move(k), result);
-    (void)it;
-    if (inserted) ++stats_.insertions;
+    query_key k = make_key(assertions, assumptions);
+    auto it = entries_.find(k);
+    if (it != entries_.end()) {
+        touch(it->second);
+        return;
+    }
+    lru_.push_front(k);
+    entries_.emplace(std::move(k), entry{result, lru_.begin()});
+    ++stats_.insertions;
+    if (capacity_ != 0 && entries_.size() > capacity_) {
+        entries_.erase(lru_.back());
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
 }
 
 void query_cache::clear() {
     std::lock_guard<std::mutex> lock(mutex_);
     entries_.clear();
+    lru_.clear();
     term_hashes_.clear();
     stats_ = {};
 }

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -25,15 +26,39 @@
 
 namespace sciduction::substrate {
 
+/// The canonical identity of a query: sorted, deduplicated term ids plus
+/// the structural hash. Exposed so the engine's async layer can coalesce
+/// in-flight duplicates on exactly the cache's notion of "same query".
+struct query_key {
+    std::uint64_t hash = 0;
+    std::vector<std::uint32_t> assertion_ids;
+    std::vector<std::uint32_t> assumption_ids;
+
+    bool operator==(const query_key&) const = default;
+};
+
+struct query_key_hash {
+    std::size_t operator()(const query_key& k) const { return static_cast<std::size_t>(k.hash); }
+};
+
 class query_cache {
 public:
     struct cache_stats {
         std::uint64_t hits = 0;
         std::uint64_t misses = 0;
         std::uint64_t insertions = 0;
+        std::uint64_t evictions = 0;
     };
 
-    explicit query_cache(smt::term_manager& tm) : tm_(tm) {}
+    /// `capacity` bounds the number of retained results; 0 = unbounded.
+    /// Past the bound, the least-recently-used entry is evicted — long
+    /// CEGIS runs stop growing without bound while the hot re-checks
+    /// (GameTime's predicted-longest-path, OGIS's well-formedness core)
+    /// stay resident.
+    explicit query_cache(smt::term_manager& tm, std::size_t capacity = 0)
+        : tm_(tm), capacity_(capacity) {}
+
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
     /// Returns the memoized result for this (assertion set, assumption set),
     /// or nullopt. Counted as a hit/miss in stats().
@@ -54,25 +79,27 @@ public:
     /// Exposed for tests and for keying derived caches.
     std::uint64_t structural_hash(smt::term t);
 
+    /// Canonical key of a query — what the engine's async layer coalesces
+    /// in-flight duplicates on.
+    query_key key_for(const std::vector<smt::term>& assertions,
+                      const std::vector<smt::term>& assumptions);
+
 private:
-    struct key {
-        std::uint64_t hash = 0;
-        std::vector<std::uint32_t> assertion_ids;   // sorted, deduplicated
-        std::vector<std::uint32_t> assumption_ids;  // sorted, deduplicated
-
-        bool operator==(const key&) const = default;
-    };
-    struct key_hash {
-        std::size_t operator()(const key& k) const { return static_cast<std::size_t>(k.hash); }
+    struct entry {
+        backend_result result;
+        std::list<query_key>::iterator lru_pos;  // position in lru_ (MRU at front)
     };
 
-    key make_key(const std::vector<smt::term>& assertions,
-                 const std::vector<smt::term>& assumptions);
+    query_key make_key(const std::vector<smt::term>& assertions,
+                       const std::vector<smt::term>& assumptions);
     std::uint64_t structural_hash_locked(smt::term t);
+    void touch(entry& e);
 
     smt::term_manager& tm_;
+    std::size_t capacity_;
     mutable std::mutex mutex_;
-    std::unordered_map<key, backend_result, key_hash> entries_;
+    std::unordered_map<query_key, entry, query_key_hash> entries_;
+    std::list<query_key> lru_;  // most-recently-used first
     std::unordered_map<std::uint32_t, std::uint64_t> term_hashes_;  // term id -> hash
     cache_stats stats_;
 };

@@ -1,0 +1,198 @@
+#include "substrate/shard.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+
+namespace sciduction::substrate {
+
+namespace {
+
+constexpr unsigned max_depth = 12;
+
+}  // namespace
+
+cube_plan generate_cubes(sat::solver& s, const cube_config& cfg) {
+    cube_plan plan;
+    if (!s.okay()) {
+        plan.root_unsat = true;
+        return plan;
+    }
+
+    // Static ranking: most-occurring variables first (ties by index, so the
+    // ranking — and hence the whole plan — is deterministic).
+    auto counts = s.occurrence_counts();
+    std::vector<sat::var> order(counts.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](sat::var a, sat::var b) {
+        return counts[static_cast<std::size_t>(a)] > counts[static_cast<std::size_t>(b)];
+    });
+
+    // Lookahead pass: probe both polarities of each candidate. A conflicting
+    // probe yields an entailed unit (failed literal) that strengthens the
+    // formula for free; a clean pair is scored by how evenly and strongly it
+    // constrains — the classic march-style product+sum heuristic.
+    struct scored_var {
+        sat::var v;
+        std::uint64_t score;
+    };
+    std::vector<scored_var> candidates;
+    unsigned probed = 0;
+    for (sat::var v : order) {
+        if (probed >= cfg.probe_candidates) break;
+        if (counts[static_cast<std::size_t>(v)] == 0) break;  // rest are unused vars
+        ++probed;
+        auto pos = s.probe_literal(sat::mk_lit(v));
+        if (pos.conflict) {
+            sat::lit unit = sat::mk_lit(v, /*negated=*/true);
+            plan.forced.push_back(unit);
+            if (!s.add_clause(unit)) {
+                plan.root_unsat = true;
+                return plan;
+            }
+            continue;
+        }
+        auto neg = s.probe_literal(sat::mk_lit(v, /*negated=*/true));
+        if (neg.conflict) {
+            sat::lit unit = sat::mk_lit(v);
+            plan.forced.push_back(unit);
+            if (!s.add_clause(unit)) {
+                plan.root_unsat = true;
+                return plan;
+            }
+            continue;
+        }
+        if (pos.implied == 0) continue;  // assigned meanwhile (by a forced unit)
+        const std::uint64_t p = pos.implied;
+        const std::uint64_t n = neg.implied;
+        candidates.push_back({v, p * n + p + n});
+    }
+
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const scored_var& a, const scored_var& b) { return a.score > b.score; });
+
+    const unsigned depth =
+        std::min({static_cast<unsigned>(candidates.size()), cfg.depth, max_depth});
+    plan.split_vars.reserve(depth);
+    for (unsigned i = 0; i < depth; ++i) plan.split_vars.push_back(candidates[i].v);
+
+    // Leaves in lexicographic order: bit j of the cube index (MSB first)
+    // picks the sign of split variable j, so cubes 2m and 2m+1 are siblings
+    // differing only in the final literal.
+    const std::size_t leaves = std::size_t{1} << depth;
+    plan.cubes.resize(leaves);
+    for (std::size_t k = 0; k < leaves; ++k) {
+        plan.cubes[k].lits.reserve(depth);
+        for (unsigned j = 0; j < depth; ++j) {
+            const bool negated = ((k >> (depth - 1 - j)) & 1) != 0;
+            plan.cubes[k].lits.push_back(sat::mk_lit(plan.split_vars[j], negated));
+        }
+    }
+    return plan;
+}
+
+shard_outcome solve_cubes(const shard_backend_factory& factory, const cube_plan& plan,
+                          thread_pool& pool) {
+    shard_outcome out;
+    out.stats.cubes = plan.cubes.size();
+    out.cube_fates.assign(plan.cubes.size(), cube_status::pending);
+    if (plan.root_unsat) {
+        out.result.ans = answer::unsat;
+        return out;
+    }
+
+    struct race_state {
+        std::atomic<bool> cancel{false};
+        std::mutex mutex;
+        bool decided = false;
+        backend_result winner;
+        std::size_t winning_cube = shard_outcome::no_cube;
+    } state;
+
+    const std::size_t pairs = (plan.cubes.size() + 1) / 2;
+    std::vector<std::uint64_t> pair_conflicts(pairs, 0);
+
+    // One task per sibling pair; parallel_for's claim loop is the refill —
+    // idle workers keep pulling the next pair until the tree is drained.
+    pool.parallel_for(pairs, [&](std::size_t pair) {
+        const std::size_t first = 2 * pair;
+        const std::size_t last = std::min(first + 2, plan.cubes.size());
+        if (state.cancel.load(std::memory_order_relaxed)) {
+            for (std::size_t i = first; i < last; ++i) out.cube_fates[i] = cube_status::skipped;
+            return;
+        }
+        // One incremental solver per pair: the sibling reuses the clauses
+        // learnt refuting its twin, and the pair's work is scheduling-
+        // independent (the all-UNSAT determinism contract).
+        auto backend = factory();
+        bool sibling_pruned = false;
+        for (std::size_t i = first; i < last; ++i) {
+            if (state.cancel.load(std::memory_order_relaxed)) {
+                out.cube_fates[i] = cube_status::skipped;
+                continue;
+            }
+            if (sibling_pruned) {
+                out.cube_fates[i] = cube_status::pruned;
+                continue;
+            }
+            std::vector<sat::lit> assumed = plan.cubes[i].lits;
+            assumed.insert(assumed.end(), plan.forced.begin(), plan.forced.end());
+            backend_result r = backend->check_cube(assumed, &state.cancel);
+            pair_conflicts[pair] += r.conflicts;
+            if (r.ans == answer::unknown) {  // cancelled mid-solve
+                out.cube_fates[i] = cube_status::skipped;
+                continue;
+            }
+            if (r.ans == answer::sat) {
+                out.cube_fates[i] = cube_status::satisfied;
+                for (std::size_t j = i + 1; j < last; ++j)
+                    out.cube_fates[j] = cube_status::skipped;
+                std::lock_guard<std::mutex> lock(state.mutex);
+                if (!state.decided) {
+                    state.decided = true;
+                    state.winner = std::move(r);
+                    state.winning_cube = i;
+                    state.cancel.store(true, std::memory_order_relaxed);
+                }
+                return;
+            }
+            out.cube_fates[i] = cube_status::refuted;
+            // Sibling pruning: the twin differs only in the last literal; a
+            // refutation that never used it refutes the twin as well.
+            if (i + 1 < last && !plan.cubes[i].lits.empty()) {
+                const sat::lit split = plan.cubes[i].lits.back();
+                sibling_pruned =
+                    std::find(r.core.begin(), r.core.end(), split) == r.core.end();
+            }
+        }
+    });
+
+    for (std::size_t i = 0; i < out.cube_fates.size(); ++i) {
+        switch (out.cube_fates[i]) {
+            case cube_status::refuted: ++out.stats.refuted; break;
+            case cube_status::pruned: ++out.stats.pruned; break;
+            case cube_status::skipped: ++out.stats.skipped; break;
+            default: break;
+        }
+    }
+    for (std::uint64_t c : pair_conflicts) out.stats.conflicts += c;
+
+    if (state.decided) {
+        out.result = std::move(state.winner);
+        out.winning_cube = state.winning_cube;
+        return out;
+    }
+    const bool all_refuted =
+        out.stats.refuted + out.stats.pruned == plan.cubes.size();
+    out.result.ans = all_refuted ? answer::unsat : answer::unknown;
+    return out;
+}
+
+shard_outcome solve_cubes(const shard_backend_factory& factory, const cube_plan& plan,
+                          unsigned threads) {
+    thread_pool pool(threads == 0 ? default_concurrency() : threads);
+    return solve_cubes(factory, plan, pool);
+}
+
+}  // namespace sciduction::substrate

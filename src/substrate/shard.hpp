@@ -1,0 +1,108 @@
+// Cube-and-conquer sharding: split one *hard* query into a balanced tree
+// of cubes and decide the cubes concurrently.
+//
+// Portfolio racing (portfolio.hpp) scales easy-to-diversify instances; it
+// cannot scale a single hard query — every member re-proves the same
+// search space. Cube-and-conquer does: a bounded lookahead pass picks the
+// most constraining variables, the induced assignment tree's leaves (the
+// "cubes") become independent `solve(assumptions)` calls, and a scheduler
+// spreads them over the thread pool. A cube that is satisfiable settles
+// the whole query (first SAT wins, the rest are cancelled); when every
+// cube is refuted the query is UNSAT, and the failed-assumption core of a
+// refuted cube prunes its sibling whenever the split literal took no part
+// in the refutation.
+//
+// Determinism contract: answers are deterministic in all modes. For
+// all-UNSAT trees the full shard_stats are deterministic too — the
+// scheduler's unit of work is a *sibling pair* solved sequentially on one
+// incremental solver instance, so the per-pair work is independent of
+// thread count and scheduling order. SAT races only promise a model
+// satisfying the query; which cube wins is timing-dependent.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "substrate/backend.hpp"
+#include "substrate/thread_pool.hpp"
+
+namespace sciduction::substrate {
+
+/// One cube: a conjunction of assumption literals selecting a leaf of the
+/// split tree.
+struct cube {
+    std::vector<sat::lit> lits;
+};
+
+struct cube_config {
+    /// Split variables; the tree has up to 2^depth leaves. Clamped to 12.
+    unsigned depth = 3;
+    /// Occurrence-ranked variables probed by the lookahead pass.
+    unsigned probe_candidates = 16;
+};
+
+/// The output of the cube generator: a balanced tree over `split_vars`,
+/// flattened into leaves in lexicographic order (cubes 2m and 2m+1 are
+/// siblings differing only in the sign of the last split variable).
+struct cube_plan {
+    std::vector<sat::var> split_vars;  ///< chosen splitting variables, root first
+    std::vector<cube> cubes;           ///< the leaves; a single empty cube if depth is 0
+    std::vector<sat::lit> forced;      ///< entailed units found by failed-literal probes
+    bool root_unsat = false;           ///< probing refuted the formula outright
+};
+
+/// Runs bounded lookahead on `s` (which must hold the problem clauses, at
+/// decision level 0) and emits a balanced cube tree. Probing may add
+/// entailed unit clauses to `s` (failed literals); they are also recorded
+/// in `forced` so shard replicas can assume them. Deterministic: same
+/// solver contents => same plan.
+cube_plan generate_cubes(sat::solver& s, const cube_config& cfg = {});
+
+/// Per-cube fate, exposed for tests and stats aggregation.
+enum class cube_status : unsigned char {
+    pending,    ///< never dispatched (only transiently observable)
+    refuted,    ///< a solver run proved the cube unsat
+    pruned,     ///< refuted for free: the sibling's unsat core excluded the split literal
+    satisfied,  ///< a solver run found a model under the cube
+    skipped     ///< abandoned after another cube won a SAT race
+};
+
+struct shard_stats {
+    std::size_t cubes = 0;
+    std::size_t refuted = 0;
+    std::size_t pruned = 0;
+    std::size_t skipped = 0;
+    std::uint64_t conflicts = 0;  ///< total solver conflicts across all cube runs
+
+    bool operator==(const shard_stats&) const = default;
+};
+
+struct shard_outcome {
+    static constexpr std::size_t no_cube = static_cast<std::size_t>(-1);
+
+    backend_result result;               ///< sat: winner's model; unsat: empty
+    std::size_t winning_cube = no_cube;  ///< index of the SAT cube, if any
+    shard_stats stats;
+    std::vector<cube_status> cube_fates;  ///< per-cube, indexed like plan.cubes
+};
+
+/// Builds one fresh replica of the shared problem. The construction must
+/// be deterministic — every replica must produce the same CNF with the
+/// same variable numbering as the solver `generate_cubes` probed, or the
+/// plan's cube literals are meaningless (same contract as the invgen
+/// portfolio factories).
+using shard_backend_factory = std::function<std::unique_ptr<solver_backend>()>;
+
+/// Decides the problem by dispatching the plan's cubes across `pool`.
+/// Work-stealing-style refill: the unit of work is a sibling pair, and
+/// idle workers claim the next pair index until the tree is drained. A
+/// SAT cube cancels everything else; all-UNSAT aggregates deterministically
+/// (see the header comment's determinism contract).
+shard_outcome solve_cubes(const shard_backend_factory& factory, const cube_plan& plan,
+                          thread_pool& pool);
+
+/// Convenience overload spinning up a transient pool (0 = hardware).
+shard_outcome solve_cubes(const shard_backend_factory& factory, const cube_plan& plan,
+                          unsigned threads = 0);
+
+}  // namespace sciduction::substrate

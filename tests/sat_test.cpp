@@ -288,5 +288,113 @@ TEST(dimacs, write_format) {
     EXPECT_EQ(s.solve(), solve_result::sat);
 }
 
+// ---- options mid-incremental-session --------------------------------------------
+
+TEST(solver_options, mid_session_retune_preserves_saved_phases) {
+    // Regression: set_options is documented safe between solve() calls, but
+    // used to re-seed every saved phase, wiping the phase-saving state of
+    // an in-progress incremental session.
+    solver s;
+    std::vector<var> v;
+    for (int i = 0; i < 8; ++i) v.push_back(s.new_var());
+
+    // Unconstrained: the default phase decides everything false.
+    ASSERT_EQ(s.solve(), solve_result::sat);
+    for (var x : v) EXPECT_FALSE(s.model_bool(x));
+
+    // Assumptions drive everything true; phase saving then reproduces that
+    // in a plain solve.
+    std::vector<lit> all_true;
+    for (var x : v) all_true.push_back(mk_lit(x));
+    ASSERT_EQ(s.solve(all_true), solve_result::sat);
+    ASSERT_EQ(s.solve(), solve_result::sat);
+    for (var x : v) EXPECT_TRUE(s.model_bool(x));
+
+    // Mid-session retune (same initial-phase option): the saved phases —
+    // and hence the model — must survive.
+    solver_options retuned;
+    retuned.var_decay = 0.9;
+    retuned.restart_base = 42.0;
+    retuned.random_seed = 7;
+    s.set_options(retuned);
+    ASSERT_EQ(s.solve(), solve_result::sat);
+    for (var x : v) EXPECT_TRUE(s.model_bool(x)) << "saved phase clobbered by set_options";
+}
+
+TEST(solver_options, mid_session_retune_keeps_incremental_session_correct) {
+    // Retune between solves of one incremental session, then keep adding
+    // clauses and solving under assumptions: answers and failed-assumption
+    // cores must stay exact.
+    solver s;
+    var a = s.new_var();
+    var b = s.new_var();
+    var c = s.new_var();
+    s.add_clause(mk_lit(a), mk_lit(b), mk_lit(c));
+    ASSERT_EQ(s.solve(), solve_result::sat);
+
+    solver_options retuned;
+    retuned.restart_base = 25.0;
+    retuned.random_branch_freq = 0.1;
+    retuned.random_seed = 3;
+    s.set_options(retuned);
+
+    s.add_clause(~mk_lit(a), mk_lit(b));
+    s.add_clause(~mk_lit(b));
+    EXPECT_EQ(s.solve({mk_lit(a)}), solve_result::unsat);
+    // The failed-assumption core names the assumption (negated).
+    ASSERT_EQ(s.conflict_core().size(), 1u);
+    EXPECT_EQ(s.conflict_core()[0], ~mk_lit(a));
+    EXPECT_EQ(s.solve({mk_lit(c)}), solve_result::sat);
+
+    // Changing the initial-phase option still re-seeds phases, as the
+    // portfolio's diversification needs.
+    solver_options flipped;
+    flipped.init_phase_true = true;
+    s.set_options(flipped);
+    ASSERT_EQ(s.solve(), solve_result::sat);
+    EXPECT_TRUE(s.model_bool(c));
+}
+
+TEST(lookahead, probe_literal_reports_implications_and_restores_state) {
+    solver s;
+    var a = s.new_var();
+    var b = s.new_var();
+    var d = s.new_var();
+    s.add_clause(~mk_lit(a), mk_lit(b));
+    s.add_clause(~mk_lit(b), mk_lit(d));
+    auto probe = s.probe_literal(mk_lit(a));
+    EXPECT_FALSE(probe.conflict);
+    EXPECT_EQ(probe.implied, 3u);  // a, b, d
+    // State restored: the same probe repeats identically, and solving works.
+    auto again = s.probe_literal(mk_lit(a));
+    EXPECT_EQ(again.implied, 3u);
+    EXPECT_EQ(s.solve(), solve_result::sat);
+}
+
+TEST(lookahead, probe_literal_detects_failed_literal) {
+    solver s;
+    var a = s.new_var();
+    var b = s.new_var();
+    s.add_clause(~mk_lit(a), mk_lit(b));
+    s.add_clause(~mk_lit(a), ~mk_lit(b));
+    auto probe = s.probe_literal(mk_lit(a));
+    EXPECT_TRUE(probe.conflict);  // a implies b and ~b
+    EXPECT_EQ(s.solve(), solve_result::sat);  // formula itself is fine (~a)
+}
+
+TEST(lookahead, occurrence_counts_over_problem_clauses) {
+    solver s;
+    var a = s.new_var();
+    var b = s.new_var();
+    var c = s.new_var();
+    s.add_clause(mk_lit(a), mk_lit(b));
+    s.add_clause(~mk_lit(a), mk_lit(c));
+    auto counts = s.occurrence_counts();
+    ASSERT_EQ(counts.size(), 3u);
+    EXPECT_EQ(counts[static_cast<std::size_t>(a)], 2u);
+    EXPECT_EQ(counts[static_cast<std::size_t>(b)], 1u);
+    EXPECT_EQ(counts[static_cast<std::size_t>(c)], 1u);
+}
+
 }  // namespace
 }  // namespace sciduction::sat

@@ -9,6 +9,7 @@
 #include "ir/parser.hpp"
 #include "ir/transform.hpp"
 #include "ogis/benchmarks.hpp"
+#include "sat/pigeonhole.hpp"
 #include "substrate/engine.hpp"
 #include "substrate/oracle_cache.hpp"
 #include "substrate/portfolio.hpp"
@@ -49,24 +50,7 @@ TEST(thread_pool, submit_returns_future) {
 
 // ---- interrupt support ------------------------------------------------------
 
-/// Pigeonhole principle CNF: holes+1 pigeons into `holes` holes — UNSAT and
-/// exponentially hard for CDCL, a good long-running query.
-void encode_pigeonhole(sat::solver& s, int holes) {
-    std::vector<std::vector<sat::var>> x(static_cast<std::size_t>(holes) + 1,
-                                         std::vector<sat::var>(static_cast<std::size_t>(holes)));
-    for (auto& row : x)
-        for (auto& v : row) v = s.new_var();
-    for (auto& row : x) {
-        sat::clause_lits c;
-        for (auto v : row) c.push_back(sat::mk_lit(v));
-        s.add_clause(c);
-    }
-    for (int h = 0; h < holes; ++h)
-        for (int p1 = 0; p1 <= holes; ++p1)
-            for (int p2 = p1 + 1; p2 <= holes; ++p2)
-                s.add_clause(~sat::mk_lit(x[static_cast<std::size_t>(p1)][static_cast<std::size_t>(h)]),
-                             ~sat::mk_lit(x[static_cast<std::size_t>(p2)][static_cast<std::size_t>(h)]));
-}
+using sat::encode_pigeonhole;  // the shared hard-UNSAT family (sat/pigeonhole.hpp)
 
 TEST(interrupt, preset_flag_aborts_solve_as_unknown) {
     sat::solver s;
