@@ -286,7 +286,9 @@ std::optional<wcet_estimate> predict_wcet(const ir::cfg& g, const timing_model& 
     // extraction, so this is either a cache hit or a fresh deep path):
     // route it through the engine's cube-and-conquer shard path. With
     // sharding disabled in the engine config this is the plain cached
-    // check it always was.
+    // check it always was; with engine_config::sharing enabled the shard's
+    // sibling pairs additionally exchange core-clean learnt clauses, so the
+    // deep-path refutation work is not repeated per cube.
     auto witness = ir::feasible_path_witness_sharded(g, longest, engine);
     if (witness) {
         wcet_estimate est;

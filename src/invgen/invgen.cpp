@@ -172,6 +172,7 @@ bool refine_round(const circuit_t& circuit, std::vector<candidate>& candidates,
     substrate::portfolio_config pcfg;
     pcfg.members = cfg.portfolio_members;
     pcfg.threads = cfg.portfolio_threads;
+    pcfg.sharing = cfg.sharing;
     auto outcome = substrate::race(
         [&](unsigned member) {
             auto backend = std::make_unique<substrate::sat_backend>(
@@ -322,7 +323,7 @@ bool prove_with_invariants(const aig::aig& circuit, aig::literal prop,
                 build_step(backend->solver());
                 return backend;
             },
-            plan, cfg.shard_threads);
+            plan, cfg.shard_threads, cfg.sharing);
         return outcome.result.is_unsat();
     };
     if (cfg.batch_threads <= 1) return base_holds() && step_holds();

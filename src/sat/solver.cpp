@@ -40,11 +40,11 @@ var solver::new_var() {
 
 // ---- clause arena ----------------------------------------------------------
 
-cref solver::alloc_clause(const clause_lits& lits, bool learnt) {
+cref solver::alloc_clause(const clause_lits& lits, bool learnt, bool imported) {
     cref c = static_cast<cref>(arena_.size());
     std::uint32_t has_extra = learnt ? 1U : 0U;
-    arena_.push_back((static_cast<std::uint32_t>(lits.size()) << 2) | (has_extra << 1) |
-                     (learnt ? 1U : 0U));
+    arena_.push_back((static_cast<std::uint32_t>(lits.size()) << 3) |
+                     ((imported ? 1U : 0U) << 2) | (has_extra << 1) | (learnt ? 1U : 0U));
     if (learnt) arena_.push_back(0);  // activity slot
     for (lit l : lits) arena_.push_back(static_cast<std::uint32_t>(l.x));
     return c;
@@ -65,7 +65,7 @@ void solver::set_clause_activity(cref c, float a) {
 
 void solver::shrink_clause(cref c, std::uint32_t new_size) {
     std::uint32_t hdr = arena_[c];
-    arena_[c] = (new_size << 2) | (hdr & 3U);
+    arena_[c] = (new_size << 3) | (hdr & 7U);
 }
 
 // ---- watches ----------------------------------------------------------------
@@ -230,6 +230,78 @@ solver::probe_outcome solver::probe_literal(lit l) {
     return out;
 }
 
+// ---- clause sharing -------------------------------------------------------------
+
+unsigned solver::compute_lbd(const clause_lits& lits) {
+    // Stamp-based distinct-level count; the stamp array is lazily grown and
+    // never cleared (a fresh stamp value invalidates old entries).
+    ++lbd_stamp_;
+    if (lbd_seen_.size() < trail_lim_.size() + 2) lbd_seen_.resize(trail_lim_.size() + 2, 0);
+    unsigned lbd = 0;
+    for (lit l : lits) {
+        auto lvl = static_cast<std::size_t>(level_of(var_of(l)));
+        if (lbd_seen_.size() <= lvl) lbd_seen_.resize(lvl + 1, 0);
+        if (lbd_seen_[lvl] != lbd_stamp_) {
+            lbd_seen_[lvl] = lbd_stamp_;
+            ++lbd;
+        }
+    }
+    return lbd;
+}
+
+void solver::export_learnt(const clause_lits& lits, unsigned lbd) {
+    if (!export_fn_) return;
+    if (export_fn_(lits, lbd)) ++stats_.exported_clauses;
+}
+
+bool solver::integrate_import(const clause_lits& lits) {
+    // Same top-level simplification as add_clause, but the survivor joins
+    // the learnt database flagged as imported (so reduce_db may drop it
+    // again and the useful-import counter can recognize it).
+    clause_lits sorted = lits;
+    std::sort(sorted.begin(), sorted.end());
+    clause_lits out;
+    lit prev = lit_undef;
+    for (lit l : sorted) {
+        if (value(l) == lbool::l_true || l == ~prev) return false;  // satisfied or tautology
+        if (value(l) == lbool::l_false || l == prev) continue;      // falsified or duplicate
+        out.push_back(l);
+        prev = l;
+    }
+    if (out.empty()) {
+        ok_ = false;
+        return true;
+    }
+    if (out.size() == 1) {
+        enqueue(out[0], cref_undef);
+        ok_ = propagate() == cref_undef;
+        return true;
+    }
+    cref c = alloc_clause(out, /*learnt=*/true, /*imported=*/true);
+    learnts_.push_back(c);
+    attach_clause(c);
+    cla_bump_activity(c);
+    return true;
+}
+
+std::size_t solver::import_clauses(const std::vector<clause_lits>& clauses) {
+    if (decision_level() != 0) throw std::logic_error("import_clauses: only at decision level 0");
+    std::size_t integrated = 0;
+    for (const clause_lits& c : clauses) {
+        if (!ok_) break;
+        if (integrate_import(c)) ++integrated;
+    }
+    stats_.imported_clauses += integrated;
+    return integrated;
+}
+
+void solver::pull_imports() {
+    if (!import_fn_ || !ok_) return;
+    import_scratch_.clear();
+    import_fn_(import_scratch_);
+    if (!import_scratch_.empty()) import_clauses(import_scratch_);
+}
+
 std::vector<std::uint32_t> solver::occurrence_counts() const {
     std::vector<std::uint32_t> counts(assigns_.size(), 0);
     for (cref c : clauses_) {
@@ -252,6 +324,7 @@ void solver::analyze(cref confl, clause_lits& out_learnt, int& out_btlevel) {
     do {
         cref c = confl;
         if (clause_learnt(c)) cla_bump_activity(c);
+        if (clause_imported(c)) ++stats_.useful_imports;
         std::uint32_t start = (p == lit_undef) ? 0U : 1U;
         std::uint32_t sz = clause_size(c);
         for (std::uint32_t k = start; k < sz; ++k) {
@@ -518,7 +591,12 @@ void solver::simplify() {
 // ---- search ---------------------------------------------------------------------
 
 lbool solver::search(std::uint64_t conflicts_before_restart) {
-    std::uint64_t conflicts_here = 0;
+    // Resume mid-interval after a conflict-pause: without this, an interval
+    // longer than the pause slice could never complete and the solver would
+    // stop restarting (degrading search and starving restart-boundary
+    // clause imports). Zero except immediately after a pause.
+    std::uint64_t conflicts_here = resume_interval_conflicts_;
+    resume_interval_conflicts_ = 0;
     clause_lits learnt;
     for (;;) {
         if (interrupt_ != nullptr && interrupt_->load(std::memory_order_relaxed)) {
@@ -539,6 +617,12 @@ lbool solver::search(std::uint64_t conflicts_before_restart) {
             }
             int btlevel = 0;
             analyze(confl, learnt, btlevel);
+            // LBD must be read before backtracking invalidates the levels.
+            unsigned lbd = 0;
+            if (lbd_active()) {
+                lbd = compute_lbd(learnt);
+                stats_.lbd_sum += lbd;
+            }
             backtrack_to(btlevel);
             if (learnt.size() == 1) {
                 enqueue(learnt[0], cref_undef);
@@ -549,8 +633,15 @@ lbool solver::search(std::uint64_t conflicts_before_restart) {
                 cla_bump_activity(c);
                 enqueue(learnt[0], c);
             }
+            export_learnt(learnt, lbd);
             var_decay_activity();
             cla_decay_activity();
+            if (conflict_pause_ != 0 && stats_.conflicts >= conflict_pause_) {
+                paused_ = true;
+                resume_interval_conflicts_ = conflicts_here;
+                backtrack_to(0);
+                return lbool::l_undef;
+            }
         } else {
             if (conflicts_here >= conflicts_before_restart) {
                 backtrack_to(0);
@@ -608,16 +699,31 @@ solve_result solver::solve(const std::vector<lit>& assumptions) {
     conflict_.clear();
     model_.clear();
     interrupted_ = false;
+    paused_ = false;
+    pull_imports();  // clause sharing: catch up on foreign clauses first
     if (!ok_) return solve_result::unsat;
 
     max_learnts_ = std::max(static_cast<double>(clauses_.size()) * learntsize_factor_, 1000.0);
 
     lbool status = lbool::l_undef;
-    std::uint64_t restarts = 0;
+    // A solve resuming from a conflict-pause continues the Luby sequence
+    // where the paused slice left it; plain solves start afresh (the
+    // historical behaviour, bit-identical when pausing is unused).
+    std::uint64_t restarts = resume_restarts_;
+    resume_restarts_ = 0;
     while (status == lbool::l_undef) {
         double budget = opts_.restart_base * luby(opts_.restart_luby_factor, restarts++);
         status = search(static_cast<std::uint64_t>(budget));
-        if (interrupted_) return solve_result::unknown;
+        if (interrupted_ || paused_) {
+            if (paused_) resume_restarts_ = restarts - 1;
+            return solve_result::unknown;
+        }
+        if (status == lbool::l_undef) {
+            // Restart boundary: the one point where importing foreign
+            // clauses is safe (decision level 0) and cheap.
+            pull_imports();
+            if (!ok_) return solve_result::unsat;
+        }
     }
 
     if (status == lbool::l_true) {

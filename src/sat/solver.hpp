@@ -14,6 +14,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "sat/types.hpp"
@@ -34,6 +35,19 @@ struct solver_stats {
     std::uint64_t learnt_literals = 0;
     std::uint64_t minimized_literals = 0;
     std::uint64_t deleted_clauses = 0;
+    /// Learnt clauses offered to the export hook (clause sharing).
+    std::uint64_t exported_clauses = 0;
+    /// Foreign clauses integrated by import_clauses / the import hook.
+    std::uint64_t imported_clauses = 0;
+    /// Times an imported clause took part in a conflict analysis — the
+    /// "did sharing actually help" signal the exchange benches report.
+    std::uint64_t useful_imports = 0;
+    /// Sum of learnt-clause LBDs (glue); divide by `conflicts` for the
+    /// average. Accumulated only when LBD tracking is active (see
+    /// solver_options::track_lbd and set_clause_export).
+    std::uint64_t lbd_sum = 0;
+
+    bool operator==(const solver_stats&) const = default;
 };
 
 /// `unknown` is only returned when an external interrupt flag (see
@@ -52,6 +66,11 @@ struct solver_options {
     std::uint64_t random_seed = 0;     ///< seed for random branching
     double restart_base = 100.0;       ///< conflicts before the first restart
     double restart_luby_factor = 2.0;  ///< geometric factor of the Luby sequence
+    /// Compute the literal-block distance (LBD, "glue") of every learnt
+    /// clause and accumulate solver_stats::lbd_sum. Implied automatically
+    /// when a clause-export hook is installed (the hook receives the LBD);
+    /// off by default so the plain solver pays nothing.
+    bool track_lbd = false;
 };
 
 class solver {
@@ -69,6 +88,43 @@ public:
     /// flag becomes true, the current solve() returns solve_result::unknown.
     /// Pass nullptr to detach. The flag must outlive the solve call.
     void set_interrupt(const std::atomic<bool>* flag) { interrupt_ = flag; }
+
+    /// Clause-sharing export hook, called once per learnt clause (including
+    /// learnt units) with the clause literals and its LBD; it returns
+    /// whether the clause was accepted (stats().exported_clauses counts
+    /// acceptances). The hook runs on the solving thread in the middle of
+    /// search: it must only copy the literals out (e.g. into a
+    /// substrate::clause_pool) and return quickly. Installing a hook
+    /// implies LBD computation; pass nullptr to detach. Learnt clauses are
+    /// consequences of the clause database alone — assumptions enter the
+    /// search as decisions, never as clauses — so an exported clause is
+    /// sound in any solver over the *same* CNF.
+    using clause_export_fn = std::function<bool(const clause_lits&, unsigned lbd)>;
+    void set_clause_export(clause_export_fn fn) { export_fn_ = std::move(fn); }
+
+    /// Clause-sharing import hook, polled at every restart boundary and at
+    /// the start of each solve(): the hook appends foreign clauses to the
+    /// scratch vector (clearing is the solver's job) and the solver
+    /// integrates them at decision level 0. Pass nullptr to detach.
+    using clause_import_fn = std::function<void(std::vector<clause_lits>&)>;
+    void set_clause_import(clause_import_fn fn) { import_fn_ = std::move(fn); }
+
+    /// Integrates foreign clauses at decision level 0 (between solve()
+    /// calls, or from the import hook at a restart boundary). Each clause is
+    /// simplified against the top-level assignment; clauses already
+    /// satisfied are dropped, falsified literals are removed, units are
+    /// enqueued and propagated, and the rest join the learnt database marked
+    /// as imported. Returns the number of clauses actually integrated.
+    /// Imported clauses must be logical consequences of this solver's CNF
+    /// (the clause-exchange replica contract).
+    std::size_t import_clauses(const std::vector<clause_lits>& clauses);
+
+    /// Pauses the search when stats().conflicts reaches `total_conflicts`
+    /// (0 = never): solve() returns solve_result::unknown with all state —
+    /// learnt clauses, phases, activities — intact, so a later solve()
+    /// resumes deterministically. This is the budgeted-portfolio time slice;
+    /// unlike set_conflict_budget it neither throws nor counts as an error.
+    void set_conflict_pause(std::uint64_t total_conflicts) { conflict_pause_ = total_conflicts; }
 
     /// Creates a fresh variable and returns its index.
     var new_var();
@@ -130,13 +186,14 @@ public:
 private:
     // ---- clause arena ----------------------------------------------------
     // Layout per clause: [header][act (learnt only)][lit0][lit1]...
-    // header = (size << 2) | (has_extra << 1) | learnt
+    // header = (size << 3) | (imported << 2) | (has_extra << 1) | learnt
     struct clause_ref {
         cref offset;
     };
 
-    [[nodiscard]] std::uint32_t clause_size(cref c) const { return arena_[c] >> 2; }
+    [[nodiscard]] std::uint32_t clause_size(cref c) const { return arena_[c] >> 3; }
     [[nodiscard]] bool clause_learnt(cref c) const { return (arena_[c] & 1U) != 0; }
+    [[nodiscard]] bool clause_imported(cref c) const { return ((arena_[c] >> 2) & 1U) != 0; }
     [[nodiscard]] lit clause_lit(cref c, std::uint32_t i) const {
         return lit{static_cast<std::int32_t>(arena_[c + lit_offset(c) + i])};
     }
@@ -148,7 +205,19 @@ private:
     void set_clause_activity(cref c, float a);
     void shrink_clause(cref c, std::uint32_t new_size);
 
-    cref alloc_clause(const clause_lits& lits, bool learnt);
+    cref alloc_clause(const clause_lits& lits, bool learnt, bool imported = false);
+
+    // ---- clause sharing ---------------------------------------------------
+    [[nodiscard]] bool lbd_active() const { return opts_.track_lbd || export_fn_ != nullptr; }
+    /// Literal-block distance: distinct decision levels among the literals.
+    [[nodiscard]] unsigned compute_lbd(const clause_lits& lits);
+    /// Fires the export hook for a freshly learnt clause (if installed).
+    void export_learnt(const clause_lits& lits, unsigned lbd);
+    /// Polls the import hook and integrates what it returns (level 0 only).
+    void pull_imports();
+    /// Integrates one foreign clause at level 0; returns true if it was
+    /// attached or enqueued (false: dropped as satisfied / duplicate).
+    bool integrate_import(const clause_lits& lits);
 
     // ---- watched literals ------------------------------------------------
     struct watcher {
@@ -243,12 +312,22 @@ private:
     double learntsize_inc_ = 1.1;
 
     std::uint64_t conflict_budget_ = 0;
+    std::uint64_t conflict_pause_ = 0;    // pause threshold on stats_.conflicts (0 = off)
+    std::uint64_t resume_restarts_ = 0;   // Luby index to resume at after a pause
+    std::uint64_t resume_interval_conflicts_ = 0;  // progress within the paused interval
     std::uint64_t simplify_assigns_ = 0;  // #top-level assigns at last simplify
 
     solver_options opts_;
     util::rng random_;
     const std::atomic<bool>* interrupt_ = nullptr;
     bool interrupted_ = false;  // search aborted by the interrupt flag
+    bool paused_ = false;       // search paused by the conflict-pause threshold
+
+    clause_export_fn export_fn_;
+    clause_import_fn import_fn_;
+    std::vector<clause_lits> import_scratch_;  // reused buffer for pull_imports
+    std::vector<std::uint32_t> lbd_seen_;      // per-level stamp for compute_lbd
+    std::uint32_t lbd_stamp_ = 0;
 
     solver_stats stats_;
 };

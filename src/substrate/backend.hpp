@@ -1,15 +1,16 @@
-// The substrate's uniform deductive-engine interface.
-//
-// Every sciduction application (GameTime Sec. 3, OGIS Sec. 4, invariant
-// generation Sec. 2.4.1) hammers a deductive engine D with near-identical
-// oracle queries. solver_backend is the one seam those queries flow
-// through: a *prepared problem instance* that can be decided once,
-// cooperatively cancelled, and read back. Two adapters cover the repo's
-// engines — sat_backend over the CDCL core (CNF level, used by invgen) and
-// smt_backend over the QF_BV bit-blaster (term level, used by GameTime and
-// OGIS). The portfolio (portfolio.hpp) races diversified backends; the
-// query cache (query_cache.hpp) memoizes term-level results; the batch API
-// (engine.hpp) dispatches independent backends concurrently.
+/// \file
+/// The substrate's uniform deductive-engine interface.
+///
+/// Every sciduction application (GameTime Sec. 3, OGIS Sec. 4, invariant
+/// generation Sec. 2.4.1) hammers a deductive engine D with near-identical
+/// oracle queries. solver_backend is the one seam those queries flow
+/// through: a *prepared problem instance* that can be decided once,
+/// cooperatively cancelled, and read back. Two adapters cover the repo's
+/// engines — sat_backend over the CDCL core (CNF level, used by invgen) and
+/// smt_backend over the QF_BV bit-blaster (term level, used by GameTime and
+/// OGIS). The portfolio (portfolio.hpp) races diversified backends; the
+/// query cache (query_cache.hpp) memoizes term-level results; the batch API
+/// (engine.hpp) dispatches independent backends concurrently.
 #pragma once
 
 #include <atomic>
@@ -21,17 +22,32 @@
 #include "sat/solver.hpp"
 #include "smt/solver.hpp"
 
+/// \namespace sciduction
+/// From-scratch C++20 reproduction of "Sciduction: combining induction,
+/// deduction, and structure for verification and synthesis" (Seshia, DAC
+/// 2012), grown toward a production-scale verification/synthesis engine.
+namespace sciduction {}
+
+/// The deductive substrate: uniform solver backends plus the caching and
+/// concurrency strategies (portfolio, cube-and-conquer sharding, batching,
+/// async futures, learnt-clause exchange) every application loop routes its
+/// queries through. See docs/ARCHITECTURE.md.
 namespace sciduction::substrate {
 
-enum class answer : std::uint8_t { sat, unsat, unknown };
+/// Three-valued outcome of a deductive query.
+enum class answer : std::uint8_t {
+    sat,     ///< a satisfying model was found
+    unsat,   ///< the query was refuted
+    unknown  ///< cancelled, paused, or aborted before an answer
+};
 
 /// Uniform result of one deductive query. CNF-level backends populate
 /// sat_model (indexed by sat::var); term-level backends populate model (a
 /// smt::env of the blasted variables, ready for term_manager::evaluate).
 struct backend_result {
-    answer ans = answer::unknown;
-    std::vector<sat::lbool> sat_model;
-    smt::env model;
+    answer ans = answer::unknown;        ///< the verdict
+    std::vector<sat::lbool> sat_model;   ///< CNF-level model (sat answers)
+    smt::env model;                      ///< term-level model (sat answers)
     /// On an unsat answer under assumptions: the assumption literals the
     /// final conflict actually used (CNF level, un-negated). Empty when the
     /// problem is unsat regardless of the assumptions. The shard scheduler
@@ -41,7 +57,9 @@ struct backend_result {
     /// metric the shard benches and stats aggregate.
     std::uint64_t conflicts = 0;
 
+    /// True when the answer is answer::sat.
     [[nodiscard]] bool is_sat() const { return ans == answer::sat; }
+    /// True when the answer is answer::unsat.
     [[nodiscard]] bool is_unsat() const { return ans == answer::unsat; }
 };
 
@@ -54,13 +72,28 @@ struct backend_result {
 /// comes from racing, batching, or sharding *distinct* instances.
 class solver_backend {
 public:
+    /// Virtual destructor: backends are owned polymorphically.
     virtual ~solver_backend() = default;
 
+    /// Human-readable backend name (diversified members carry their index).
     [[nodiscard]] virtual const std::string& name() const = 0;
+    /// Decides the prepared instance under extra CNF-level assumption
+    /// literals (the shard layer's cubes); may be called repeatedly and
+    /// incrementally. A non-null `cancel` set by another thread aborts the
+    /// search with answer::unknown.
     virtual backend_result check_cube(const std::vector<sat::lit>& cube,
                                       const std::atomic<bool>* cancel) = 0;
+    /// Decides the prepared instance (no extra cube literals).
     backend_result check(const std::atomic<bool>* cancel) { return check_cube({}, cancel); }
+    /// Decides the prepared instance without a cancel flag.
     backend_result check() { return check(nullptr); }
+
+    /// The CNF-level CDCL core of this instance, or nullptr for backends
+    /// without one (both shipped adapters have one). The clause-exchange
+    /// layer installs its export/import hooks here and reads the exchange
+    /// counters back; the budgeted portfolio sets its conflict-pause slices
+    /// through it.
+    [[nodiscard]] virtual sat::solver* sat_core() { return nullptr; }
 };
 
 /// CNF-level adapter owning a sat::solver. The caller (or a build callback)
@@ -68,14 +101,18 @@ public:
 /// under the configured assumptions.
 class sat_backend final : public solver_backend {
 public:
+    /// Creates an empty instance with the given search options and name.
     explicit sat_backend(sat::solver_options opts = {}, std::string name = "sat");
 
+    /// The owned CDCL solver, for populating with variables and clauses.
     [[nodiscard]] sat::solver& solver() { return solver_; }
+    /// Persistent assumption literals added to every check_cube call.
     void set_assumptions(std::vector<sat::lit> assumptions);
 
     [[nodiscard]] const std::string& name() const override { return name_; }
     backend_result check_cube(const std::vector<sat::lit>& cube,
                               const std::atomic<bool>* cancel) override;
+    [[nodiscard]] sat::solver* sat_core() override { return &solver_; }
 
 private:
     sat::solver solver_;
@@ -89,6 +126,9 @@ private:
 /// builds new terms meanwhile.
 class smt_backend final : public solver_backend {
 public:
+    /// Prepares an instance deciding the conjunction of `assertions` under
+    /// the (non-persisted) `assumptions`. Blasting is deferred to the first
+    /// check_cube / prepare call; all terms must already exist in `tm`.
     smt_backend(smt::term_manager& tm, std::vector<smt::term> assertions,
                 std::vector<smt::term> assumptions = {}, sat::solver_options opts = {},
                 std::string name = "smt");
@@ -96,9 +136,10 @@ public:
     [[nodiscard]] const std::string& name() const override { return name_; }
     backend_result check_cube(const std::vector<sat::lit>& cube,
                               const std::atomic<bool>* cancel) override;
+    [[nodiscard]] sat::solver* sat_core() override { return &solver_.sat_core(); }
 
-    /// The underlying SAT core (after blasting) — the shard layer's cube
-    /// generator probes it for splitting variables.
+    /// The underlying SMT solver (and through it the blasted SAT core) —
+    /// the shard layer's cube generator probes it for splitting variables.
     [[nodiscard]] smt::smt_solver& solver() { return solver_; }
     /// Blasts the assertions and assumption terms if not yet done. Called
     /// implicitly by check_cube; explicitly by the cube generator, which
@@ -120,9 +161,11 @@ private:
 /// convention as smt::smt_solver::model_value.
 class model_evaluator {
 public:
+    /// Takes the model env once; `tm` must outlive the evaluator.
     model_evaluator(const smt::term_manager& tm, smt::env model)
         : tm_(tm), env_(std::move(model)) {}
 
+    /// Evaluates `t` under the model, defaulting unbound variables to zero.
     std::uint64_t value(smt::term t);
 
 private:

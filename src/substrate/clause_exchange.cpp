@@ -1,0 +1,98 @@
+#include "substrate/clause_exchange.hpp"
+
+namespace sciduction::substrate {
+
+clause_pool::clause_pool(sharing_config cfg) : cfg_(cfg) {}
+
+unsigned clause_pool::register_member() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Cursor starts at 0: a member joining late still imports everything
+    // already pooled (all of it is sound for any replica of the CNF).
+    cursors_.push_back(0);
+    outbox_.emplace_back();
+    return static_cast<unsigned>(cursors_.size() - 1);
+}
+
+void clause_pool::ban_vars(const std::vector<sat::var>& vars) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (sat::var v : vars) {
+        auto idx = static_cast<std::size_t>(v);
+        if (banned_.size() <= idx) banned_.resize(idx + 1, 0);
+        banned_[idx] = 1;
+    }
+}
+
+bool clause_pool::passes_ban_filter(const sat::clause_lits& lits) const {
+    for (sat::lit l : lits) {
+        auto idx = static_cast<std::size_t>(sat::var_of(l));
+        if (idx < banned_.size() && banned_[idx] != 0) return false;
+    }
+    return true;
+}
+
+bool clause_pool::publish(unsigned member, const sat::clause_lits& lits, unsigned lbd) {
+    // The size/LBD filters read only the immutable config, so the common
+    // rejection path stays off the mutex — the hook fires on every conflict
+    // of every member, and this is what keeps the pool "lock-light".
+    if (lits.size() > cfg_.max_clause_size || lbd > cfg_.max_lbd) {
+        filtered_unlocked_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!passes_ban_filter(lits)) {
+        ++stats_.filtered;
+        return false;
+    }
+    ++stats_.published;
+    auto& dest = cfg_.deterministic ? outbox_[member] : visible_;
+    dest.push_back({lits, member});
+    return true;
+}
+
+std::size_t clause_pool::fetch(unsigned member, std::vector<sat::clause_lits>& out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t& cursor = cursors_[member];
+    std::size_t appended = 0;
+    const std::size_t cap = cfg_.max_import_per_checkpoint;
+    for (; cursor < visible_.size(); ++cursor) {
+        if (cap != 0 && appended >= cap) break;  // backlog drains next checkpoint
+        const pooled_clause& c = visible_[cursor];
+        if (c.producer == member) continue;  // never re-import your own clause
+        out.push_back(c.lits);
+        ++appended;
+    }
+    stats_.fetched += appended;
+    return appended;
+}
+
+void clause_pool::seal_round() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Merge in member order so the visible list — and hence every member's
+    // next import — is independent of which thread published first.
+    for (auto& box : outbox_) {
+        for (auto& c : box) visible_.push_back(std::move(c));
+        box.clear();
+    }
+}
+
+void clause_pool::attach(sat::solver& s, unsigned member) {
+    s.set_clause_export([this, member](const sat::clause_lits& lits, unsigned lbd) {
+        return publish(member, lits, lbd);
+    });
+    s.set_clause_import(
+        [this, member](std::vector<sat::clause_lits>& out) { fetch(member, out); });
+}
+
+exchange_stats clause_pool::stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    exchange_stats out = stats_;
+    out.filtered += filtered_unlocked_.load(std::memory_order_relaxed);
+    return out;
+}
+
+std::size_t clause_pool::visible() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return visible_.size();
+}
+
+}  // namespace sciduction::substrate

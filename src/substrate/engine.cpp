@@ -28,13 +28,18 @@ backend_result smt_engine::solve_uncached(const smt_query& q, bool allow_portfol
         smt_backend backend(tm_, q.assertions, q.assumptions);
         return backend.check();
     }
-    auto outcome = race(
-        [&](unsigned member) {
-            return std::make_unique<smt_backend>(tm_, q.assertions, q.assumptions,
-                                                 diversified_options(member),
-                                                 "smt#" + std::to_string(member));
-        },
-        members, pool());
+    portfolio_config pcfg;
+    pcfg.members = members;
+    pcfg.sharing = cfg_.sharing;
+    pcfg.sequential = cfg_.sequential_portfolio;
+    auto factory = [&](unsigned member) {
+        return std::make_unique<smt_backend>(tm_, q.assertions, q.assumptions,
+                                             diversified_options(member),
+                                             "smt#" + std::to_string(member));
+    };
+    // The sequential budgeted portfolio runs on the calling thread; the
+    // racing modes share the engine's worker pool.
+    auto outcome = pcfg.sequential ? race(factory, pcfg) : race(factory, pcfg, pool());
     return outcome.result;
 }
 
@@ -151,7 +156,7 @@ backend_result smt_engine::check_sharded(const smt_query& q, shard_stats* stats)
                                                  sat::solver_options{},
                                                  "shard#" + std::to_string(id));
         },
-        plan, pool());
+        plan, pool(), cfg_.sharing);
     if (stats != nullptr) *stats = outcome.stats;
     if (cfg_.use_cache) cache_.insert(q.assertions, q.assumptions, outcome.result);
     return std::move(outcome.result);

@@ -1,18 +1,19 @@
-// smt_engine: the facade the application layers route their deductive
-// queries through.
-//
-// One engine per (term_manager, workload) combines the substrate pieces:
-//   * query cache    — memoizes check() results across the workload's loop
-//                      (optionally capacity-bounded with LRU eviction);
-//   * portfolio      — races diversified solver instances per query;
-//   * batch API      — dispatches independent queries concurrently;
-//   * shard API      — cube-and-conquers one hard query across the pool;
-//   * async API      — futures-based check() whose in-flight duplicates
-//                      coalesce, letting a loop overlap two queries.
-// A default-configured engine (cache on, 1 member, sequential batch, no
-// sharding) is observationally identical to constructing one
-// smt::smt_solver per query, which is what the application modules did
-// before the substrate existed.
+/// \file
+/// smt_engine: the facade the application layers route their deductive
+/// queries through.
+///
+/// One engine per (term_manager, workload) combines the substrate pieces:
+///   * query cache    — memoizes check() results across the workload's loop
+///                      (optionally capacity-bounded with LRU eviction);
+///   * portfolio      — races diversified solver instances per query;
+///   * batch API      — dispatches independent queries concurrently;
+///   * shard API      — cube-and-conquers one hard query across the pool;
+///   * async API      — futures-based check() whose in-flight duplicates
+///                      coalesce, letting a loop overlap two queries.
+/// A default-configured engine (cache on, 1 member, sequential batch, no
+/// sharding) is observationally identical to constructing one
+/// smt::smt_solver per query, which is what the application modules did
+/// before the substrate existed.
 #pragma once
 
 #include <future>
@@ -23,7 +24,10 @@
 
 namespace sciduction::substrate {
 
+/// Per-engine configuration: which substrate pieces a workload's queries
+/// flow through, and how aggressively. See docs/TUNING.md for guidance.
 struct engine_config {
+    /// Memoize term-level check() results in the structural query cache.
     bool use_cache = true;
     /// Query-cache capacity (results retained); 0 = unbounded. Bounded
     /// caches evict least-recently-used entries, keeping long CEGIS runs'
@@ -42,11 +46,22 @@ struct engine_config {
     unsigned shard_depth = 0;
     /// Lookahead probes per check_sharded cube generation.
     unsigned shard_probe_candidates = 16;
+    /// Learnt-clause exchange between portfolio members and between shard
+    /// sibling pairs. Off by default (legacy behaviour, byte-identical);
+    /// sharing.deterministic makes shared runs reproducible across thread
+    /// counts at the cost of checkpoint latency. See docs/TUNING.md.
+    sharing_config sharing{};
+    /// Budgeted sequential portfolio: time-slice the diversified members on
+    /// the calling thread (slice length sharing.slice_conflicts) instead of
+    /// racing them on the pool — the single-core way to exploit member
+    /// diversity, with the shared clause pool inherited across slices.
+    bool sequential_portfolio = false;
 };
 
+/// Engine-level counters, cumulative over the engine's lifetime.
 struct engine_stats {
-    std::uint64_t queries = 0;
-    std::uint64_t cache_hits = 0;
+    std::uint64_t queries = 0;      ///< check/check_async/check_sharded/batch calls
+    std::uint64_t cache_hits = 0;   ///< queries answered from the query cache
     std::uint64_t solver_runs = 0;  ///< backends actually constructed+checked
     std::uint64_t coalesced = 0;    ///< async queries joined to an in-flight duplicate
 };
@@ -54,23 +69,32 @@ struct engine_stats {
 /// An independent term-level query: decide the conjunction of `assertions`
 /// under the (non-persisted) `assumptions`.
 struct smt_query {
-    std::vector<smt::term> assertions;
-    std::vector<smt::term> assumptions;
+    std::vector<smt::term> assertions;   ///< terms asserted true
+    std::vector<smt::term> assumptions;  ///< extra per-check assumption terms
 };
 
+/// The deductive-query facade: one engine per (term_manager, workload)
+/// owning the query cache, the worker pool, and the concurrency strategy
+/// configuration. See the file comment and docs/ARCHITECTURE.md.
 class smt_engine {
 public:
+    /// Binds the engine to `tm` (which must outlive it) with `cfg`.
     explicit smt_engine(smt::term_manager& tm, engine_config cfg = {});
 
+    /// The term manager every query's terms must come from.
     [[nodiscard]] smt::term_manager& manager() { return tm_; }
+    /// The configuration the engine was built with.
     [[nodiscard]] const engine_config& config() const { return cfg_; }
+    /// The structural query cache (shared by all engine APIs).
     [[nodiscard]] query_cache& cache() { return cache_; }
+    /// Snapshot of the engine counters (thread-safe).
     [[nodiscard]] engine_stats stats() const;
 
     /// Decides one query: cache lookup, then a single solve or a portfolio
     /// race on miss, then cache insert. All terms must be built before the
     /// call (backends only read the manager).
     backend_result check(const smt_query& q);
+    /// Convenience overload assembling the smt_query in place.
     backend_result check(const std::vector<smt::term>& assertions,
                          const std::vector<smt::term>& assumptions = {}) {
         return check(smt_query{assertions, assumptions});

@@ -1,5 +1,6 @@
 #include "substrate/portfolio.hpp"
 
+#include <algorithm>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -35,15 +36,22 @@ sat::solver_options diversified_options(unsigned member) {
     return opts;
 }
 
-portfolio_outcome race(const backend_factory& factory, unsigned members, thread_pool& pool) {
-    if (members <= 1) {
-        portfolio_outcome outcome;
-        auto backend = factory(0);
-        outcome.result = backend->check();
-        outcome.winner_name = backend->name();
-        return outcome;
-    }
+namespace {
 
+portfolio_outcome race_single(const backend_factory& factory) {
+    portfolio_outcome outcome;
+    auto backend = factory(0);
+    outcome.result = backend->check();
+    outcome.winner_name = backend->name();
+    outcome.total_conflicts = outcome.result.conflicts;
+    return outcome;
+}
+
+/// Free-running race, optionally with a shared clause pool. With
+/// `exchange == nullptr` this is the pre-sharing race, byte-identical in
+/// answers and per-member solver behaviour.
+portfolio_outcome race_free(const backend_factory& factory, unsigned members, thread_pool& pool,
+                            clause_pool* exchange) {
     struct race_state {
         std::atomic<bool> cancel{false};
         std::mutex mutex;
@@ -51,13 +59,28 @@ portfolio_outcome race(const backend_factory& factory, unsigned members, thread_
         bool decided = false;
     } state;
 
+    if (exchange != nullptr) {
+        // Register every member up front so pool member ids are independent
+        // of which worker thread reaches its member first.
+        for (unsigned m = 0; m < members; ++m) exchange->register_member();
+    }
+
     pool.parallel_for(members, [&](std::size_t member) {
         if (state.cancel.load(std::memory_order_relaxed)) return;
         auto backend = factory(static_cast<unsigned>(member));
+        if (exchange != nullptr) {
+            if (sat::solver* core = backend->sat_core())
+                exchange->attach(*core, static_cast<unsigned>(member));
+        }
         backend_result result = backend->check(&state.cancel);
-        if (result.ans == answer::unknown) return;  // cancelled or aborted
+        const std::uint64_t conflicts = result.conflicts;
+        sat::solver_stats core_stats;
+        if (sat::solver* core = backend->sat_core()) core_stats = core->stats();
+        const bool definite = result.ans != answer::unknown;
         std::lock_guard<std::mutex> lock(state.mutex);
-        if (state.decided) return;
+        state.outcome.total_conflicts += conflicts;
+        state.outcome.sharing.accumulate(core_stats);
+        if (!definite || state.decided) return;  // cancelled, aborted, or lost
         state.decided = true;
         state.outcome.result = std::move(result);
         state.outcome.winner = static_cast<unsigned>(member);
@@ -67,18 +90,102 @@ portfolio_outcome race(const backend_factory& factory, unsigned members, thread_
     return state.outcome;  // all-unknown leaves the default (answer::unknown)
 }
 
+/// Budgeted-rounds driver: members advance in fixed conflict slices with an
+/// exchange barrier between rounds. Every member's work in round r depends
+/// only on its own deterministic search plus the pool content sealed at
+/// round r-1, so the whole outcome is reproducible across thread counts —
+/// and `pool == nullptr` (the sequential budgeted portfolio) is just the
+/// one-thread schedule of the same computation.
+portfolio_outcome race_rounds(const backend_factory& factory, const portfolio_config& cfg,
+                              thread_pool* pool) {
+    const unsigned members = cfg.members == 0 ? 1 : cfg.members;
+    const std::uint64_t slice = cfg.sharing.slice_conflicts == 0 ? default_slice_conflicts
+                                                                 : cfg.sharing.slice_conflicts;
+
+    clause_pool exchange(cfg.sharing);
+    std::vector<std::unique_ptr<solver_backend>> team;
+    team.reserve(members);
+    for (unsigned m = 0; m < members; ++m) {
+        team.push_back(factory(m));
+        if (cfg.sharing.enabled) {
+            exchange.register_member();
+            if (sat::solver* core = team[m]->sat_core()) exchange.attach(*core, m);
+        }
+    }
+
+    std::vector<backend_result> answers(members);
+    std::vector<char> decided(members, 0);
+    portfolio_outcome out;
+    for (;;) {
+        ++out.rounds;
+        auto run_member = [&](std::size_t m) {
+            if (decided[m] != 0) return;
+            sat::solver* core = team[m]->sat_core();
+            if (core != nullptr) core->set_conflict_pause(core->stats().conflicts + slice);
+            backend_result r = team[m]->check(nullptr);
+            if (core != nullptr) core->set_conflict_pause(0);
+            if (r.ans != answer::unknown) {
+                decided[m] = 1;
+                answers[m] = std::move(r);
+            }
+        };
+        // Members are independent within a round (the pool is frozen), so
+        // the parallel and sequential schedules compute the same thing.
+        if (pool != nullptr) {
+            pool->parallel_for(members, run_member);
+        } else {
+            for (unsigned m = 0; m < members; ++m) run_member(m);
+        }
+        if (cfg.sharing.enabled && cfg.sharing.deterministic) exchange.seal_round();
+        // Deterministic winner: the lowest-indexed member with an answer.
+        for (unsigned m = 0; m < members; ++m) {
+            if (decided[m] == 0) continue;
+            out.result = std::move(answers[m]);
+            out.winner = m;
+            out.winner_name = team[m]->name();
+            if (sat::solver* core = team[m]->sat_core()) {
+                // The deciding slice's delta would understate the winner's
+                // whole solve; report its cumulative conflicts, matching
+                // what the single-solve and free-race paths return.
+                out.result.conflicts = core->stats().conflicts;
+            }
+            for (unsigned k = 0; k < members; ++k) {
+                if (sat::solver* core = team[k]->sat_core()) {
+                    out.total_conflicts += core->stats().conflicts;
+                    out.sharing.accumulate(core->stats());
+                }
+            }
+            return out;
+        }
+    }
+}
+
+}  // namespace
+
+portfolio_outcome race(const backend_factory& factory, unsigned members, thread_pool& pool) {
+    if (members <= 1) return race_single(factory);
+    return race_free(factory, members, pool, nullptr);
+}
+
+portfolio_outcome race(const backend_factory& factory, const portfolio_config& cfg,
+                       thread_pool& pool) {
+    const unsigned members = cfg.members == 0 ? 1 : cfg.members;
+    if (members == 1) return race_single(factory);
+    if (cfg.sequential || (cfg.sharing.enabled && cfg.sharing.deterministic))
+        return race_rounds(factory, cfg, cfg.sequential ? nullptr : &pool);
+    if (cfg.sharing.enabled) {
+        clause_pool exchange(cfg.sharing);
+        return race_free(factory, members, pool, &exchange);
+    }
+    return race_free(factory, members, pool, nullptr);
+}
+
 portfolio_outcome race(const backend_factory& factory, const portfolio_config& cfg) {
     const unsigned members = cfg.members == 0 ? 1 : cfg.members;
-    if (members == 1) {
-        portfolio_outcome outcome;
-        auto backend = factory(0);
-        outcome.result = backend->check();
-        outcome.winner_name = backend->name();
-        return outcome;
-    }
-    thread_pool pool(cfg.threads == 0 ? std::min(members, default_concurrency())
-                                      : cfg.threads);
-    return race(factory, members, pool);
+    if (members == 1) return race_single(factory);
+    if (cfg.sequential) return race_rounds(factory, cfg, nullptr);
+    thread_pool pool(cfg.threads == 0 ? std::min(members, default_concurrency()) : cfg.threads);
+    return race(factory, cfg, pool);
 }
 
 }  // namespace sciduction::substrate

@@ -1,49 +1,99 @@
-// Portfolio solving: race N diversified solver instances, return the first
-// answer, cancel the rest.
-//
-// CDCL runtimes are heavy-tailed in the search strategy: two instances of
-// the same solver with different seeds / phases / restart schedules can
-// differ by orders of magnitude on one query. Racing a small, diversified
-// portfolio turns worst-case members into the minimum over members — the
-// classic multi-engine trick (ManySAT / ppfolio lineage) that the ROADMAP's
-// multi-backend north star builds on. Because every member decides the
-// *same* problem, sat/unsat answers are deterministic regardless of which
-// member wins; only the satisfying model (when one exists) depends on the
-// winner.
+/// \file
+/// Portfolio solving: race N diversified solver instances, return the first
+/// answer, cancel the rest.
+///
+/// CDCL runtimes are heavy-tailed in the search strategy: two instances of
+/// the same solver with different seeds / phases / restart schedules can
+/// differ by orders of magnitude on one query. Racing a small, diversified
+/// portfolio turns worst-case members into the minimum over members — the
+/// classic multi-engine trick (ManySAT / ppfolio lineage) that the ROADMAP's
+/// multi-backend north star builds on. Because every member decides the
+/// *same* problem, sat/unsat answers are deterministic regardless of which
+/// member wins; only the satisfying model (when one exists) depends on the
+/// winner.
+///
+/// Three execution disciplines, picked by portfolio_config:
+///  * plain race       — free-running members, first answer wins (the
+///                       pre-sharing behaviour, byte-identical when sharing
+///                       is off);
+///  * shared race      — same, plus a clause_pool: members export short
+///                       learnt clauses and import each other's at restart
+///                       boundaries (sharing.enabled);
+///  * budgeted rounds  — members advance in fixed conflict-budget slices
+///                       with an exchange barrier between rounds. With
+///                       threads this is the deterministic-sharing mode
+///                       (identical answers/stats for 1 vs N threads); on
+///                       one core (sequential = true) it is the budgeted
+///                       sequential portfolio — diversification benefits
+///                       without a second core, pool inherited across
+///                       slices.
 #pragma once
 
 #include <functional>
 #include <memory>
 
 #include "substrate/backend.hpp"
+#include "substrate/clause_exchange.hpp"
 #include "substrate/thread_pool.hpp"
 
 namespace sciduction::substrate {
 
+/// Portfolio shape and execution discipline. See docs/TUNING.md.
 struct portfolio_config {
     /// Member instances to race; 1 degenerates to a single solve.
     unsigned members = 4;
     /// Worker threads (0 = hardware concurrency). Members beyond the thread
     /// count start only if an earlier member finishes without an answer.
     unsigned threads = 0;
+    /// Learnt-clause exchange between members. Off by default (legacy
+    /// behaviour); sharing.deterministic selects the budgeted-rounds
+    /// discipline below.
+    sharing_config sharing{};
+    /// Budgeted *sequential* portfolio: time-slice the members on the
+    /// calling thread instead of racing them on a pool. Diversified member
+    /// strategies (and, with sharing.enabled, the shared clause pool) still
+    /// pay off on single-core hosts. Fully deterministic. The slice length
+    /// is sharing.slice_conflicts (honoured even with sharing disabled).
+    bool sequential = false;
 };
 
 /// Builds the member'th diversified instance of one problem. Member 0 must
 /// be the baseline configuration so a 1-member portfolio reproduces the
-/// single-solver behaviour exactly.
+/// single-solver behaviour exactly. With sharing enabled, every member must
+/// build the *identical* CNF with identical variable numbering (the replica
+/// contract): exported clauses are consequences of that shared CNF.
 using backend_factory = std::function<std::unique_ptr<solver_backend>(unsigned member)>;
 
+/// What a race returns: the winning answer plus aggregate cost/exchange
+/// counters over every member.
 struct portfolio_outcome {
-    backend_result result;
+    backend_result result;     ///< first definite answer (winner's model if sat)
     unsigned winner = 0;       ///< member index that produced the answer
     std::string winner_name;   ///< its backend name
+    /// Total solver conflicts across all members — the scheduling-
+    /// independent cost metric the sharing benches compare (shared vs
+    /// unshared portfolios decide with fewer total conflicts).
+    std::uint64_t total_conflicts = 0;
+    /// Aggregated clause-exchange counters over all members (all zero when
+    /// sharing is off).
+    sharing_counters sharing{};
+    /// Exchange rounds driven (budgeted modes only; 0 in the free races).
+    std::uint64_t rounds = 0;
 };
 
 /// Races cfg.members instances built by `factory` and returns the first
 /// definite answer, cancelling the losers. Answer unknown only if every
 /// member returned unknown. The first overload spins up a transient pool;
-/// callers racing in a loop should hold a pool and use the second.
+/// callers racing in a loop should hold a pool and use the pool-taking
+/// overloads. In the budgeted modes (cfg.sequential or
+/// cfg.sharing.deterministic) the winner is the lowest-indexed member that
+/// answers in the deciding round, which makes the full outcome — answer,
+/// model, stats — reproducible across thread counts.
 portfolio_outcome race(const backend_factory& factory, const portfolio_config& cfg = {});
+/// Same as race(factory, cfg), reusing the caller's worker pool.
+portfolio_outcome race(const backend_factory& factory, const portfolio_config& cfg,
+                       thread_pool& pool);
+/// Legacy convenience: plain race (no sharing) on an existing pool.
 portfolio_outcome race(const backend_factory& factory, unsigned members, thread_pool& pool);
 
 /// Standard diversification for the member'th portfolio slot: member 0 is

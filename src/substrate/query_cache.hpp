@@ -1,18 +1,19 @@
-// Memoization of term-level check() results.
-//
-// The sciduction loops re-issue structurally identical queries: GameTime
-// re-checks the predicted longest path it already proved feasible during
-// basis extraction; houdini-style refinement re-checks shrinking candidate
-// sets; OGIS re-derives the same well-formedness core every iteration. The
-// cache keys a query by the *set* of asserted terms plus the assumption
-// set — order-insensitive, duplicate-insensitive — under a structural hash
-// of the term DAG (variables hash by name, not id, so the hash is stable
-// across construction orders). Because the key is the full assertion set,
-// growing a query never aliases a cached entry: "invalidation" is
-// structural, not temporal.
-//
-// A cache is scoped to one term_manager (term ids are manager-local); all
-// operations are thread-safe so batch workers can share one instance.
+/// \file
+/// Memoization of term-level check() results.
+///
+/// The sciduction loops re-issue structurally identical queries: GameTime
+/// re-checks the predicted longest path it already proved feasible during
+/// basis extraction; houdini-style refinement re-checks shrinking candidate
+/// sets; OGIS re-derives the same well-formedness core every iteration. The
+/// cache keys a query by the *set* of asserted terms plus the assumption
+/// set — order-insensitive, duplicate-insensitive — under a structural hash
+/// of the term DAG (variables hash by name, not id, so the hash is stable
+/// across construction orders). Because the key is the full assertion set,
+/// growing a query never aliases a cached entry: "invalidation" is
+/// structural, not temporal.
+///
+/// A cache is scoped to one term_manager (term ids are manager-local); all
+/// operations are thread-safe so batch workers can share one instance.
 #pragma once
 
 #include <cstdint>
@@ -30,24 +31,31 @@ namespace sciduction::substrate {
 /// the structural hash. Exposed so the engine's async layer can coalesce
 /// in-flight duplicates on exactly the cache's notion of "same query".
 struct query_key {
-    std::uint64_t hash = 0;
-    std::vector<std::uint32_t> assertion_ids;
-    std::vector<std::uint32_t> assumption_ids;
+    std::uint64_t hash = 0;                      ///< combined structural hash
+    std::vector<std::uint32_t> assertion_ids;    ///< sorted, deduplicated term ids
+    std::vector<std::uint32_t> assumption_ids;   ///< sorted, deduplicated term ids
 
+    /// Field-wise equality (hash plus both id sets).
     bool operator==(const query_key&) const = default;
 };
 
+/// Hash functor over query_key for unordered containers.
 struct query_key_hash {
+    /// Uses the precomputed structural hash.
     std::size_t operator()(const query_key& k) const { return static_cast<std::size_t>(k.hash); }
 };
 
+/// Thread-safe memoization of term-level check() results, keyed by the
+/// structural query_key. Scoped to one term_manager; optionally
+/// capacity-bounded with LRU eviction (see the file comment).
 class query_cache {
 public:
+    /// Cache effectiveness counters, cumulative over the cache lifetime.
     struct cache_stats {
-        std::uint64_t hits = 0;
-        std::uint64_t misses = 0;
-        std::uint64_t insertions = 0;
-        std::uint64_t evictions = 0;
+        std::uint64_t hits = 0;        ///< lookups answered from the cache
+        std::uint64_t misses = 0;      ///< lookups that found nothing
+        std::uint64_t insertions = 0;  ///< definite results memoized
+        std::uint64_t evictions = 0;   ///< entries dropped by the LRU bound
     };
 
     /// `capacity` bounds the number of retained results; 0 = unbounded.
@@ -58,6 +66,7 @@ public:
     explicit query_cache(smt::term_manager& tm, std::size_t capacity = 0)
         : tm_(tm), capacity_(capacity) {}
 
+    /// The configured capacity bound (0 = unbounded).
     [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
     /// Returns the memoized result for this (assertion set, assumption set),
@@ -70,9 +79,12 @@ public:
     void insert(const std::vector<smt::term>& assertions,
                 const std::vector<smt::term>& assumptions, const backend_result& result);
 
+    /// Drops every entry (stats are kept).
     void clear();
 
+    /// Snapshot of the hit/miss/insert/evict counters (thread-safe).
     [[nodiscard]] cache_stats stats() const;
+    /// Number of results currently retained.
     [[nodiscard]] std::size_t size() const;
 
     /// Order-independent structural hash of a term DAG (memoized per cache).

@@ -79,7 +79,7 @@ cube_plan generate_cubes(sat::solver& s, const cube_config& cfg) {
 
     // Leaves in lexicographic order: bit j of the cube index (MSB first)
     // picks the sign of split variable j, so cubes 2m and 2m+1 are siblings
-    // differing only in the final literal.
+    // differing only in the sign of the last split variable.
     const std::size_t leaves = std::size_t{1} << depth;
     plan.cubes.resize(leaves);
     for (std::size_t k = 0; k < leaves; ++k) {
@@ -92,15 +92,16 @@ cube_plan generate_cubes(sat::solver& s, const cube_config& cfg) {
     return plan;
 }
 
-shard_outcome solve_cubes(const shard_backend_factory& factory, const cube_plan& plan,
-                          thread_pool& pool) {
+namespace {
+
+/// Free-running scheduler: one task per sibling pair claimed off the pool.
+/// With `exchange != nullptr` the pairs additionally trade learnt clauses;
+/// answers stay deterministic, per-run stats become timing-dependent.
+shard_outcome solve_cubes_free(const shard_backend_factory& factory, const cube_plan& plan,
+                               thread_pool& pool, clause_pool* exchange) {
     shard_outcome out;
     out.stats.cubes = plan.cubes.size();
     out.cube_fates.assign(plan.cubes.size(), cube_status::pending);
-    if (plan.root_unsat) {
-        out.result.ans = answer::unsat;
-        return out;
-    }
 
     struct race_state {
         std::atomic<bool> cancel{false};
@@ -112,9 +113,15 @@ shard_outcome solve_cubes(const shard_backend_factory& factory, const cube_plan&
 
     const std::size_t pairs = (plan.cubes.size() + 1) / 2;
     std::vector<std::uint64_t> pair_conflicts(pairs, 0);
+    std::vector<sat::solver_stats> pair_stats(pairs);
+    if (exchange != nullptr) {
+        // Pair index == pool member id, assigned before any task runs so the
+        // ids are independent of worker scheduling.
+        for (std::size_t p = 0; p < pairs; ++p) exchange->register_member();
+    }
 
     // One task per sibling pair; parallel_for's claim loop is the refill —
-    // idle workers keep pulling the next pair until the tree is drained.
+    // idle workers keep pulling the next pair index until the tree is drained.
     pool.parallel_for(pairs, [&](std::size_t pair) {
         const std::size_t first = 2 * pair;
         const std::size_t last = std::min(first + 2, plan.cubes.size());
@@ -126,6 +133,10 @@ shard_outcome solve_cubes(const shard_backend_factory& factory, const cube_plan&
         // learnt refuting its twin, and the pair's work is scheduling-
         // independent (the all-UNSAT determinism contract).
         auto backend = factory();
+        if (exchange != nullptr) {
+            if (sat::solver* core = backend->sat_core())
+                exchange->attach(*core, static_cast<unsigned>(pair));
+        }
         bool sibling_pruned = false;
         for (std::size_t i = first; i < last; ++i) {
             if (state.cancel.load(std::memory_order_relaxed)) {
@@ -148,6 +159,7 @@ shard_outcome solve_cubes(const shard_backend_factory& factory, const cube_plan&
                 out.cube_fates[i] = cube_status::satisfied;
                 for (std::size_t j = i + 1; j < last; ++j)
                     out.cube_fates[j] = cube_status::skipped;
+                if (sat::solver* core = backend->sat_core()) pair_stats[pair] = core->stats();
                 std::lock_guard<std::mutex> lock(state.mutex);
                 if (!state.decided) {
                     state.decided = true;
@@ -166,6 +178,7 @@ shard_outcome solve_cubes(const shard_backend_factory& factory, const cube_plan&
                     std::find(r.core.begin(), r.core.end(), split) == r.core.end();
             }
         }
+        if (sat::solver* core = backend->sat_core()) pair_stats[pair] = core->stats();
     });
 
     for (std::size_t i = 0; i < out.cube_fates.size(); ++i) {
@@ -177,6 +190,7 @@ shard_outcome solve_cubes(const shard_backend_factory& factory, const cube_plan&
         }
     }
     for (std::uint64_t c : pair_conflicts) out.stats.conflicts += c;
+    for (const sat::solver_stats& s : pair_stats) out.stats.sharing.accumulate(s);
 
     if (state.decided) {
         out.result = std::move(state.winner);
@@ -189,10 +203,162 @@ shard_outcome solve_cubes(const shard_backend_factory& factory, const cube_plan&
     return out;
 }
 
+/// Deterministic-sharing scheduler: every pair holds a persistent solver
+/// and advances in fixed conflict slices; clauses are exchanged only at the
+/// round barriers (clause_pool::seal_round). Each pair's work in round r
+/// depends only on its own deterministic search plus the pool sealed at
+/// round r-1, so answers, per-cube fates and stats are identical for any
+/// thread count. A SAT answer is resolved at the barrier in pair order.
+shard_outcome solve_cubes_rounds(const shard_backend_factory& factory, const cube_plan& plan,
+                                 thread_pool& pool, const sharing_config& sharing) {
+    shard_outcome out;
+    out.stats.cubes = plan.cubes.size();
+    out.cube_fates.assign(plan.cubes.size(), cube_status::pending);
+
+    clause_pool exchange(sharing);
+    exchange.ban_vars(plan.split_vars);
+    const std::size_t pairs = (plan.cubes.size() + 1) / 2;
+    const std::uint64_t slice =
+        sharing.slice_conflicts == 0 ? default_slice_conflicts : sharing.slice_conflicts;
+
+    struct pair_task {
+        std::unique_ptr<solver_backend> backend;
+        std::size_t first = 0;
+        std::size_t last = 0;
+        std::size_t next = 0;  // next cube index to decide
+        bool sibling_pruned = false;
+        bool done = false;
+        bool found_sat = false;
+        backend_result sat_result;
+        std::size_t sat_cube = shard_outcome::no_cube;
+    };
+    std::vector<pair_task> tasks(pairs);
+    for (std::size_t p = 0; p < pairs; ++p) {
+        tasks[p].backend = factory();
+        tasks[p].first = 2 * p;
+        tasks[p].last = std::min(2 * p + 2, plan.cubes.size());
+        tasks[p].next = tasks[p].first;
+        exchange.register_member();
+        if (sat::solver* core = tasks[p].backend->sat_core())
+            exchange.attach(*core, static_cast<unsigned>(p));
+    }
+
+    bool any_sat = false;
+    for (;;) {
+        ++out.stats.rounds;
+        auto run_pair = [&](std::size_t p) {
+            pair_task& t = tasks[p];
+            if (t.done) return;
+            sat::solver* core = t.backend->sat_core();
+            if (core != nullptr) core->set_conflict_pause(core->stats().conflicts + slice);
+            while (t.next < t.last) {
+                if (t.sibling_pruned) {
+                    out.cube_fates[t.next++] = cube_status::pruned;
+                    continue;
+                }
+                std::vector<sat::lit> assumed = plan.cubes[t.next].lits;
+                assumed.insert(assumed.end(), plan.forced.begin(), plan.forced.end());
+                backend_result r = t.backend->check_cube(assumed, nullptr);
+                if (r.ans == answer::unknown) break;  // slice exhausted; resume next round
+                if (r.ans == answer::sat) {
+                    out.cube_fates[t.next] = cube_status::satisfied;
+                    t.found_sat = true;
+                    t.sat_result = std::move(r);
+                    t.sat_cube = t.next;
+                    for (std::size_t j = t.next + 1; j < t.last; ++j)
+                        out.cube_fates[j] = cube_status::skipped;
+                    t.done = true;
+                    break;
+                }
+                out.cube_fates[t.next] = cube_status::refuted;
+                if (t.next + 1 < t.last && !plan.cubes[t.next].lits.empty()) {
+                    const sat::lit split = plan.cubes[t.next].lits.back();
+                    t.sibling_pruned =
+                        std::find(r.core.begin(), r.core.end(), split) == r.core.end();
+                }
+                ++t.next;
+            }
+            if (core != nullptr) core->set_conflict_pause(0);
+            if (t.next >= t.last) t.done = true;
+        };
+        pool.parallel_for(pairs, run_pair);
+        exchange.seal_round();
+        // Barrier resolution, in pair order (deterministic).
+        for (std::size_t p = 0; p < pairs; ++p) {
+            if (tasks[p].found_sat && !any_sat) {
+                any_sat = true;
+                out.result = std::move(tasks[p].sat_result);
+                out.winning_cube = tasks[p].sat_cube;
+            }
+        }
+        if (any_sat) break;
+        bool all_done = true;
+        for (const pair_task& t : tasks) all_done = all_done && t.done;
+        if (all_done) break;
+    }
+
+    // A SAT win abandons every undecided cube of the other pairs.
+    for (pair_task& t : tasks) {
+        if (any_sat) {
+            for (std::size_t i = t.next; i < t.last; ++i)
+                if (out.cube_fates[i] == cube_status::pending)
+                    out.cube_fates[i] = cube_status::skipped;
+        }
+        if (sat::solver* core = t.backend->sat_core()) {
+            out.stats.conflicts += core->stats().conflicts;
+            out.stats.sharing.accumulate(core->stats());
+        }
+    }
+    for (std::size_t i = 0; i < out.cube_fates.size(); ++i) {
+        switch (out.cube_fates[i]) {
+            case cube_status::refuted: ++out.stats.refuted; break;
+            case cube_status::pruned: ++out.stats.pruned; break;
+            case cube_status::skipped: ++out.stats.skipped; break;
+            default: break;
+        }
+    }
+    if (!any_sat) {
+        const bool all_refuted = out.stats.refuted + out.stats.pruned == plan.cubes.size();
+        out.result.ans = all_refuted ? answer::unsat : answer::unknown;
+    }
+    return out;
+}
+
+}  // namespace
+
+shard_outcome solve_cubes(const shard_backend_factory& factory, const cube_plan& plan,
+                          thread_pool& pool, const sharing_config& sharing) {
+    if (plan.root_unsat) {
+        shard_outcome out;
+        out.stats.cubes = plan.cubes.size();
+        out.cube_fates.assign(plan.cubes.size(), cube_status::pending);
+        out.result.ans = answer::unsat;
+        return out;
+    }
+    if (sharing.enabled && sharing.deterministic)
+        return solve_cubes_rounds(factory, plan, pool, sharing);
+    if (sharing.enabled) {
+        clause_pool exchange(sharing);
+        exchange.ban_vars(plan.split_vars);
+        return solve_cubes_free(factory, plan, pool, &exchange);
+    }
+    return solve_cubes_free(factory, plan, pool, nullptr);
+}
+
+shard_outcome solve_cubes(const shard_backend_factory& factory, const cube_plan& plan,
+                          thread_pool& pool) {
+    return solve_cubes(factory, plan, pool, sharing_config{});
+}
+
+shard_outcome solve_cubes(const shard_backend_factory& factory, const cube_plan& plan,
+                          unsigned threads, const sharing_config& sharing) {
+    thread_pool pool(threads == 0 ? default_concurrency() : threads);
+    return solve_cubes(factory, plan, pool, sharing);
+}
+
 shard_outcome solve_cubes(const shard_backend_factory& factory, const cube_plan& plan,
                           unsigned threads) {
-    thread_pool pool(threads == 0 ? default_concurrency() : threads);
-    return solve_cubes(factory, plan, pool);
+    return solve_cubes(factory, plan, threads, sharing_config{});
 }
 
 }  // namespace sciduction::substrate

@@ -1,29 +1,31 @@
-// Cube-and-conquer sharding: split one *hard* query into a balanced tree
-// of cubes and decide the cubes concurrently.
-//
-// Portfolio racing (portfolio.hpp) scales easy-to-diversify instances; it
-// cannot scale a single hard query — every member re-proves the same
-// search space. Cube-and-conquer does: a bounded lookahead pass picks the
-// most constraining variables, the induced assignment tree's leaves (the
-// "cubes") become independent `solve(assumptions)` calls, and a scheduler
-// spreads them over the thread pool. A cube that is satisfiable settles
-// the whole query (first SAT wins, the rest are cancelled); when every
-// cube is refuted the query is UNSAT, and the failed-assumption core of a
-// refuted cube prunes its sibling whenever the split literal took no part
-// in the refutation.
-//
-// Determinism contract: answers are deterministic in all modes. For
-// all-UNSAT trees the full shard_stats are deterministic too — the
-// scheduler's unit of work is a *sibling pair* solved sequentially on one
-// incremental solver instance, so the per-pair work is independent of
-// thread count and scheduling order. SAT races only promise a model
-// satisfying the query; which cube wins is timing-dependent.
+/// \file
+/// Cube-and-conquer sharding: split one *hard* query into a balanced tree
+/// of cubes and decide the cubes concurrently.
+///
+/// Portfolio racing (portfolio.hpp) scales easy-to-diversify instances; it
+/// cannot scale a single hard query — every member re-proves the same
+/// search space. Cube-and-conquer does: a bounded lookahead pass picks the
+/// most constraining variables, the induced assignment tree's leaves (the
+/// "cubes") become independent `solve(assumptions)` calls, and a scheduler
+/// spreads them over the thread pool. A cube that is satisfiable settles
+/// the whole query (first SAT wins, the rest are cancelled); when every
+/// cube is refuted the query is UNSAT, and the failed-assumption core of a
+/// refuted cube prunes its sibling whenever the split literal took no part
+/// in the refutation.
+///
+/// Determinism contract: answers are deterministic in all modes. For
+/// all-UNSAT trees the full shard_stats are deterministic too — the
+/// scheduler's unit of work is a *sibling pair* solved sequentially on one
+/// incremental solver instance, so the per-pair work is independent of
+/// thread count and scheduling order. SAT races only promise a model
+/// satisfying the query; which cube wins is timing-dependent.
 #pragma once
 
 #include <functional>
 #include <memory>
 
 #include "substrate/backend.hpp"
+#include "substrate/clause_exchange.hpp"
 #include "substrate/thread_pool.hpp"
 
 namespace sciduction::substrate {
@@ -31,9 +33,10 @@ namespace sciduction::substrate {
 /// One cube: a conjunction of assumption literals selecting a leaf of the
 /// split tree.
 struct cube {
-    std::vector<sat::lit> lits;
+    std::vector<sat::lit> lits;  ///< the assumption literals, root split first
 };
 
+/// Knobs of the lookahead cube generator.
 struct cube_config {
     /// Split variables; the tree has up to 2^depth leaves. Clamped to 12.
     unsigned depth = 3;
@@ -67,22 +70,31 @@ enum class cube_status : unsigned char {
     skipped     ///< abandoned after another cube won a SAT race
 };
 
+/// Aggregate work breakdown of one solve_cubes run.
 struct shard_stats {
-    std::size_t cubes = 0;
-    std::size_t refuted = 0;
-    std::size_t pruned = 0;
-    std::size_t skipped = 0;
+    std::size_t cubes = 0;        ///< leaves in the dispatched plan
+    std::size_t refuted = 0;      ///< cubes a solver run proved unsat
+    std::size_t pruned = 0;       ///< cubes refuted for free by a sibling's core
+    std::size_t skipped = 0;      ///< cubes abandoned after a SAT race win
     std::uint64_t conflicts = 0;  ///< total solver conflicts across all cube runs
+    /// Aggregated clause-exchange counters across all sibling pairs (all
+    /// zero when sharing is off).
+    sharing_counters sharing{};
+    /// Exchange rounds driven (deterministic sharing only; 0 otherwise).
+    std::uint64_t rounds = 0;
 
+    /// Field-wise equality (the determinism tests compare whole snapshots).
     bool operator==(const shard_stats&) const = default;
 };
 
+/// What solve_cubes returns: the combined answer plus per-cube accounting.
 struct shard_outcome {
+    /// Sentinel for winning_cube when no cube was satisfiable.
     static constexpr std::size_t no_cube = static_cast<std::size_t>(-1);
 
     backend_result result;               ///< sat: winner's model; unsat: empty
     std::size_t winning_cube = no_cube;  ///< index of the SAT cube, if any
-    shard_stats stats;
+    shard_stats stats;                    ///< aggregate work breakdown
     std::vector<cube_status> cube_fates;  ///< per-cube, indexed like plan.cubes
 };
 
@@ -98,11 +110,29 @@ using shard_backend_factory = std::function<std::unique_ptr<solver_backend>()>;
 /// idle workers claim the next pair index until the tree is drained. A
 /// SAT cube cancels everything else; all-UNSAT aggregates deterministically
 /// (see the header comment's determinism contract).
+///
+/// With `sharing.enabled`, sibling pairs exchange learnt clauses through a
+/// shared pool: each pair exports its short, low-LBD clauses — filtered
+/// core-clean, i.e. mentioning no split variable, so a clause learnt under
+/// one cube is meaningful (and already sound: learnt clauses are formula
+/// consequences) in every other — and imports the other pairs' clauses at
+/// cube boundaries and restart boundaries. Free-running sharing keeps
+/// answers deterministic but makes shard_stats timing-dependent;
+/// `sharing.deterministic` switches to conflict-budgeted rounds with
+/// exchange barriers, restoring the full stats determinism contract at the
+/// cost of persistent per-pair solver instances and round latency.
+shard_outcome solve_cubes(const shard_backend_factory& factory, const cube_plan& plan,
+                          thread_pool& pool, const sharing_config& sharing);
+/// Same as above with sharing off (the legacy entry point, bit-identical
+/// to its pre-sharing behaviour).
 shard_outcome solve_cubes(const shard_backend_factory& factory, const cube_plan& plan,
                           thread_pool& pool);
 
 /// Convenience overload spinning up a transient pool (0 = hardware).
 shard_outcome solve_cubes(const shard_backend_factory& factory, const cube_plan& plan,
                           unsigned threads = 0);
+/// Convenience overload: transient pool (0 = hardware) with clause sharing.
+shard_outcome solve_cubes(const shard_backend_factory& factory, const cube_plan& plan,
+                          unsigned threads, const sharing_config& sharing);
 
 }  // namespace sciduction::substrate

@@ -344,6 +344,41 @@ TEST(application_routing, gametime_sharded_wcet_matches_plain) {
     EXPECT_DOUBLE_EQ(expected->predicted_cycles, got->predicted_cycles);
 }
 
+TEST(application_routing, gametime_sharded_wcet_with_sharing_matches_plain) {
+    // Same pipeline as above, but the shard's sibling pairs exchange
+    // core-clean learnt clauses (deterministic discipline). The WCET
+    // verdict must be unchanged — sharing only redistributes proof work.
+    ir::program p = ir::parse_program(modexp_src);
+    ir::function f = ir::resolve_static_branches(
+        ir::unroll_loops(*p.find_function("modexp")), p.width);
+    ir::cfg g = ir::cfg::build(p, f);
+
+    smt::term_manager tm_basis;
+    substrate::smt_engine basis_engine(tm_basis);
+    gametime::basis_info basis = gametime::extract_basis_paths(g, basis_engine);
+    gametime::sarm_platform platform(p, f);
+    gametime::timing_model model = gametime::learn_timing_model(basis, platform);
+
+    smt::term_manager tm_plain;
+    substrate::smt_engine plain(tm_plain);
+    auto expected = gametime::predict_wcet(g, model, plain);
+
+    substrate::engine_config cfg;
+    cfg.threads = 2;
+    cfg.shard_depth = 2;
+    cfg.sharing.enabled = true;
+    cfg.sharing.deterministic = true;
+    cfg.sharing.slice_conflicts = 200;
+    smt::term_manager tm_shared;
+    substrate::smt_engine shared(tm_shared, cfg);
+    auto got = gametime::predict_wcet(g, model, shared);
+
+    ASSERT_TRUE(expected.has_value());
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(expected->longest, got->longest);
+    EXPECT_DOUBLE_EQ(expected->predicted_cycles, got->predicted_cycles);
+}
+
 TEST(application_routing, invgen_sharded_step_proof_matches_sequential) {
     aig::aig circuit;
     auto a = circuit.add_latch(true);
@@ -367,6 +402,17 @@ TEST(application_routing, invgen_sharded_step_proof_matches_sequential) {
                                                      {.shard_depth = 2, .shard_threads = 2});
     EXPECT_EQ(seq_loose, shard_loose);
     EXPECT_FALSE(shard_loose);
+
+    // With pair-to-pair clause sharing on the inductive step, the verdicts
+    // are still identical (sharing is sound: learnt clauses are formula
+    // consequences).
+    invgen::proof_config sharing_cfg;
+    sharing_cfg.shard_depth = 2;
+    sharing_cfg.shard_threads = 2;
+    sharing_cfg.sharing.enabled = true;
+    sharing_cfg.sharing.deterministic = true;
+    EXPECT_TRUE(invgen::prove_with_invariants(circuit, a, result.proven, sharing_cfg));
+    EXPECT_FALSE(invgen::prove_with_invariants(loose, l, {}, sharing_cfg));
 }
 
 TEST(application_routing, ogis_overlapped_pipeline_synthesizes_correct_program) {

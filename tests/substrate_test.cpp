@@ -463,6 +463,14 @@ TEST(application_routing, invgen_portfolio_set_is_inductive) {
     // And the stuck-at-0 latch is proven constant through the portfolio.
     EXPECT_EQ(invgen::prove_with_invariants(circuit, aig::negate(stuck), single.proven),
               invgen::prove_with_invariants(circuit, aig::negate(stuck), raced.proven));
+
+    // Racing with learnt-clause sharing between the members changes how the
+    // work is split, never what is proven.
+    invgen::invgen_config scfg = pcfg;
+    scfg.sharing.enabled = true;
+    scfg.sharing.deterministic = true;
+    auto shared = invgen::generate_invariants(circuit, scfg);
+    EXPECT_EQ(to_strings(single.proven), to_strings(shared.proven));
 }
 
 TEST(application_routing, invgen_batched_proof_matches_sequential) {
