@@ -326,15 +326,16 @@ std::vector<smt::term> feasibility_assertions(smt::term_manager& tm, unsigned mu
     return assertions;
 }
 
-// Cached-vs-cold on a repeated query: cold re-solves every iteration (cache
-// off); warm answers from the substrate query cache after the first solve.
-// The ISSUE acceptance target is >= 10x between these two.
+// Cached-vs-cold on a repeated query: cold re-solves every iteration (the
+// request bypasses the cache); warm answers from the substrate query cache
+// after the first solve. The ISSUE acceptance target is >= 10x between
+// these two.
 void BM_smt_repeated_query_cold(benchmark::State& state) {
     smt::term_manager tm;
     auto assertions = feasibility_assertions(tm, static_cast<unsigned>(state.range(0)));
     substrate::smt_engine engine(tm, {.use_cache = false});
     for (auto _ : state) {
-        auto r = engine.check(assertions);
+        auto r = engine.submit(assertions, substrate::strategy::single()).get();
         if (!r.is_sat()) state.SkipWithError("must be sat");
         benchmark::DoNotOptimize(r.model);
     }
@@ -346,7 +347,7 @@ void BM_smt_repeated_query_cached(benchmark::State& state) {
     auto assertions = feasibility_assertions(tm, static_cast<unsigned>(state.range(0)));
     substrate::smt_engine engine(tm);
     for (auto _ : state) {
-        auto r = engine.check(assertions);
+        auto r = engine.submit(assertions, substrate::strategy::single()).get();
         if (!r.is_sat()) state.SkipWithError("must be sat");
         benchmark::DoNotOptimize(r.model);
     }
@@ -354,7 +355,7 @@ void BM_smt_repeated_query_cached(benchmark::State& state) {
 BENCHMARK(BM_smt_repeated_query_cached)->Arg(8)->Arg(12)->Unit(benchmark::kMicrosecond);
 
 // Batch dispatch of independent queries (the "all basis-path feasibility
-// checks at once" shape) at 1 vs 4 worker threads.
+// checks at once" shape) at 1 vs 4 worker threads: submit-many, await-all.
 void BM_smt_batch_feasibility(benchmark::State& state) {
     const unsigned threads = static_cast<unsigned>(state.range(0));
     smt::term_manager tm;
@@ -369,12 +370,70 @@ void BM_smt_batch_feasibility(benchmark::State& state) {
     }
     for (auto _ : state) {
         substrate::smt_engine engine(tm, {.use_cache = false, .threads = threads});
-        auto results = engine.check_batch(queries);
-        benchmark::DoNotOptimize(results.size());
+        std::vector<substrate::query_handle> handles;
+        handles.reserve(queries.size());
+        for (const auto& q : queries)
+            handles.push_back(engine.submit(
+                {q.assertions, q.assumptions, substrate::strategy::single()}));
+        std::size_t decided = 0;
+        for (auto& h : handles) decided += h.get().ans != substrate::answer::unknown;
+        benchmark::DoNotOptimize(decided);
     }
     state.SetItemsProcessed(state.iterations() * 64);
 }
 BENCHMARK(BM_smt_batch_feasibility)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// The adaptive classifier over a mixed query stream: a tiny query, a
+// multiplier-backed medium query, and a re-submit of the tiny one, all with
+// strategy automatic. The per-kind auto-pick counters are uploaded as a CI
+// artifact (ci.yml, "bench-sharing-counters"): with threads pinned to 4 the
+// classifier's inputs are machine-independent, so the counters record the
+// selection behaviour over time.
+void BM_smt_engine_auto_strategy(benchmark::State& state) {
+    std::uint64_t picked_single = 0;
+    std::uint64_t picked_portfolio = 0;
+    std::uint64_t picked_shard = 0;
+    std::uint64_t picked_sop = 0;
+    std::uint64_t hits = 0;
+    for (auto _ : state) {
+        smt::term_manager tm;
+        substrate::smt_engine engine(tm, {.threads = 4});
+        smt::term t = tm.mk_bv_var("tiny", 8);
+        std::vector<smt::term> tiny{tm.mk_ult(t, tm.mk_bv_const(8, 9))};
+        auto medium = feasibility_assertions(tm, 12);
+        // Wide/huge: cheap to decide (pure propagation) but structurally
+        // large, so the size thresholds — not the solve cost — drive the
+        // classifier into its portfolio and shard regimes.
+        std::vector<smt::term> wide;
+        for (int i = 0; i < 220; ++i)
+            wide.push_back(tm.mk_eq(tm.mk_bv_var("w" + std::to_string(i), 16),
+                                    tm.mk_bv_const(16, 7 * i + 1)));
+        std::vector<smt::term> huge;
+        for (int i = 0; i < 1600; ++i)
+            huge.push_back(tm.mk_eq(tm.mk_bv_var("h" + std::to_string(i), 16),
+                                    tm.mk_bv_const(16, 5 * i + 3)));
+        if (!engine.submit(tiny).get().is_sat()) state.SkipWithError("must be sat");
+        if (!engine.submit(medium).get().is_sat()) state.SkipWithError("must be sat");
+        if (!engine.submit(wide).get().is_sat()) state.SkipWithError("must be sat");
+        if (!engine.submit(huge).get().is_sat()) state.SkipWithError("must be sat");
+        if (!engine.submit(tiny).get().is_sat()) state.SkipWithError("must be sat");
+        auto stats = engine.stats();
+        picked_single += stats.auto_picks.single;
+        picked_portfolio += stats.auto_picks.portfolio;
+        picked_shard += stats.auto_picks.shard;
+        picked_sop += stats.auto_picks.shard_over_portfolio;
+        hits += stats.cache_hits;
+    }
+    const auto iters = static_cast<double>(state.iterations());
+    state.counters["auto_single"] = benchmark::Counter(static_cast<double>(picked_single) / iters);
+    state.counters["auto_portfolio"] =
+        benchmark::Counter(static_cast<double>(picked_portfolio) / iters);
+    state.counters["auto_shard"] = benchmark::Counter(static_cast<double>(picked_shard) / iters);
+    state.counters["auto_shard_over_portfolio"] =
+        benchmark::Counter(static_cast<double>(picked_sop) / iters);
+    state.counters["cache_hits"] = benchmark::Counter(static_cast<double>(hits) / iters);
+}
+BENCHMARK(BM_smt_engine_auto_strategy)->Unit(benchmark::kMillisecond);
 
 void BM_aig_parallel_simulation(benchmark::State& state) {
     // 64-way parallel random simulation of a shift-register + logic mesh.

@@ -1,13 +1,16 @@
 // Quickstart: the sciduction triple <H, I, D> in twenty lines of client
 // code. We synthesize a tiny program from an I/O oracle — the structure
 // hypothesis is a two-component library, the inductive engine learns from
-// distinguishing inputs, the deductive engine is the bundled SMT solver.
+// distinguishing inputs, the deductive engine is the bundled SMT solver —
+// and then talk to the deductive substrate directly through its one entry
+// point, smt_engine::submit(solve_request).
 //
 // Build & run:   ./build/examples/quickstart
 #include <cstdio>
 #include <iostream>
 
 #include "ogis/synthesis.hpp"
+#include "substrate/engine.hpp"
 
 using namespace sciduction;
 
@@ -47,5 +50,19 @@ int main() {
     for (std::uint64_t x : {0ULL, 1ULL, 6ULL, 0x8000ULL, 0xffffULL})
         std::printf("  f(%llu) = %llu\n", (unsigned long long)x,
                     (unsigned long long)outcome.program->eval(config.library, {x})[0]);
+
+    // The deductive substrate, directly: one engine, one submit() entry
+    // point, a strategy per request. strategy{} (automatic) lets the
+    // engine's classifier pick; the handle is awaitable and cancellable.
+    smt::term_manager tm;
+    substrate::smt_engine engine(tm);
+    smt::term v = tm.mk_bv_var("v", 16);
+    substrate::query_handle handle = engine.submit(
+        {{tm.mk_ult(tm.mk_bv_const(16, 100), v)}, {}, substrate::strategy{}});
+    substrate::backend_result result = handle.get();
+    std::printf("\nsubstrate: v > 100 is %s (strategy %s), e.g. v = %llu\n",
+                result.is_sat() ? "sat" : "unsat",
+                substrate::to_string(handle.stats().strategy.kind),
+                (unsigned long long)engine.model_value(v, result.model));
     return 0;
 }

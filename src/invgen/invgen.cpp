@@ -7,8 +7,7 @@
 #include <unordered_map>
 
 #include "sat/gates.hpp"
-#include "substrate/portfolio.hpp"
-#include "substrate/shard.hpp"
+#include "substrate/solve_request.hpp"
 #include "substrate/thread_pool.hpp"
 
 namespace sciduction::invgen {
@@ -147,44 +146,30 @@ bool model_lit_true(const std::vector<sat::lbool>& model, sat::lit l) {
 
 /// One refinement round: returns false when the current candidate set is
 /// consistent (query UNSAT); otherwise drops every candidate violated in
-/// the model and returns true. With cfg.portfolio_members > 1, diversified
-/// solver instances race on the query through the substrate.
+/// the model and returns true. The query routes through the substrate's
+/// unified strategy dispatcher: a single solve, or — with
+/// cfg.portfolio_members > 1 — diversified instances racing.
 bool refine_round(const circuit_t& circuit, std::vector<candidate>& candidates,
                   bool inductive_step, const invgen_config& cfg) {
-    if (cfg.portfolio_members <= 1) {
-        sat::solver solver;
-        std::vector<sat::lit> violations =
-            build_refinement_instance(circuit, candidates, inductive_step, solver);
-        if (solver.solve() == sat::solve_result::unsat) return false;
-        std::vector<candidate> kept;
-        kept.reserve(candidates.size());
-        for (std::size_t i = 0; i < candidates.size(); ++i)
-            if (!solver.model_lit(violations[i])) kept.push_back(candidates[i]);
-        candidates = std::move(kept);
-        return true;
-    }
-
     // Violation literals are identical in every member (deterministic
-    // construction); each factory records its own copy and the winner's is
-    // used to read the model. A member may be skipped entirely when the
-    // race is already decided, so only the winner's slot is guaranteed.
-    std::vector<std::vector<sat::lit>> member_violations(cfg.portfolio_members);
-    substrate::portfolio_config pcfg;
-    pcfg.members = cfg.portfolio_members;
-    pcfg.threads = cfg.portfolio_threads;
-    pcfg.sharing = cfg.sharing;
-    auto outcome = substrate::race(
-        [&](unsigned member) {
-            auto backend = std::make_unique<substrate::sat_backend>(
-                substrate::diversified_options(member), "cnf#" + std::to_string(member));
-            member_violations[member] = build_refinement_instance(
-                circuit, candidates, inductive_step, backend->solver());
-            return backend;
+    // construction); each builder call records its own copy and the
+    // winner's is used to read the model. A member may be skipped entirely
+    // when the race is already decided, so only the winner's slot is
+    // guaranteed.
+    std::vector<std::vector<sat::lit>> member_violations(std::max(1u, cfg.portfolio_members));
+    substrate::strategy strat = cfg.portfolio_members > 1
+                                    ? substrate::strategy::portfolio(cfg.portfolio_members)
+                                    : substrate::strategy::single();
+    strat.sharing = cfg.sharing;
+    auto outcome = substrate::solve_cnf(
+        [&](unsigned member, sat::solver& solver) {
+            member_violations[member] =
+                build_refinement_instance(circuit, candidates, inductive_step, solver);
         },
-        pcfg);
+        strat, cfg.portfolio_threads);
     if (outcome.result.is_unsat()) return false;
     if (!outcome.result.is_sat())
-        throw std::runtime_error("refine_round: portfolio returned unknown");
+        throw std::runtime_error("refine_round: substrate returned unknown");
     const std::vector<sat::lit>& violations = member_violations[outcome.winner];
     std::vector<candidate> kept;
     kept.reserve(candidates.size());
@@ -306,24 +291,17 @@ bool prove_with_invariants(const aig::aig& circuit, aig::literal prop,
         solver.add_clause(~circuit_t::sat_literal(fr.f1, prop));
     };
     auto step_holds = [&] {
-        if (cfg.shard_depth == 0) {
-            sat::solver solver;
-            build_step(solver);
-            return solver.solve() == sat::solve_result::unsat;
-        }
-        // Cube-and-conquer the inductive step: lookahead on a prototype
-        // picks the split variables, then the cube tree races on a pool.
-        sat::solver prototype;
-        build_step(prototype);
-        substrate::cube_plan plan =
-            substrate::generate_cubes(prototype, {.depth = cfg.shard_depth});
-        substrate::shard_outcome outcome = substrate::solve_cubes(
-            [&]() {
-                auto backend = std::make_unique<substrate::sat_backend>();
-                build_step(backend->solver());
-                return backend;
-            },
-            plan, cfg.shard_threads, cfg.sharing);
+        // Route through the substrate's unified strategy dispatcher: a
+        // plain solve, or — with cfg.shard_depth > 0 — cube-and-conquer
+        // (lookahead on a prototype picks the split variables, then the
+        // cube tree races on a pool).
+        substrate::strategy strat = cfg.shard_depth > 0
+                                        ? substrate::strategy::shard(cfg.shard_depth)
+                                        : substrate::strategy::single();
+        strat.sharing = cfg.sharing;
+        auto outcome = substrate::solve_cnf(
+            [&](unsigned, sat::solver& solver) { build_step(solver); }, strat,
+            cfg.shard_threads);
         return outcome.result.is_unsat();
     };
     if (cfg.batch_threads <= 1) return base_holds() && step_holds();

@@ -163,14 +163,10 @@ std::optional<std::vector<std::uint64_t>> feasible_path_witness(const cfg& g, co
     return feasible_path_witness(g, p, engine);
 }
 
-namespace {
-
-std::optional<std::vector<std::uint64_t>> witness_from(const cfg& g, const path& p,
-                                                       substrate::smt_engine& engine,
-                                                       bool sharded) {
+std::optional<std::vector<std::uint64_t>> feasible_path_witness_with(
+    const cfg& g, const path& p, substrate::smt_engine& engine, substrate::strategy strat) {
     path_encoding enc = encode_path(g, p, engine.manager());
-    auto result = sharded ? engine.check_sharded({{enc.path_condition}, {}})
-                          : engine.check({enc.path_condition});
+    auto result = engine.submit({{enc.path_condition}, {}, std::move(strat)}).get();
     if (!result.is_sat()) return std::nullopt;
     substrate::model_evaluator eval(engine.manager(), std::move(result.model));
     std::vector<std::uint64_t> args;
@@ -179,16 +175,14 @@ std::optional<std::vector<std::uint64_t>> witness_from(const cfg& g, const path&
     return args;
 }
 
-}  // namespace
-
 std::optional<std::vector<std::uint64_t>> feasible_path_witness(const cfg& g, const path& p,
                                                                 substrate::smt_engine& engine) {
-    return witness_from(g, p, engine, /*sharded=*/false);
+    return feasible_path_witness_with(g, p, engine, substrate::strategy::portfolio());
 }
 
 std::optional<std::vector<std::uint64_t>> feasible_path_witness_sharded(
     const cfg& g, const path& p, substrate::smt_engine& engine) {
-    return witness_from(g, p, engine, /*sharded=*/true);
+    return feasible_path_witness_with(g, p, engine, substrate::strategy::shard());
 }
 
 }  // namespace sciduction::ir

@@ -42,11 +42,17 @@ std::optional<std::vector<std::uint64_t>> feasible_path_witness(const cfg& g, co
                                                                 substrate::smt_engine& engine);
 
 /// As the engine overload, but routes the decision through the engine's
-/// cube-and-conquer path (smt_engine::check_sharded) — for the single
+/// cube-and-conquer strategy (substrate::strategy::shard) — for the single
 /// *hard* query of a workload, like GameTime's predicted-longest-path
 /// feasibility check. Degrades to a plain (cached) check when sharding is
 /// disabled in the engine config, so callers can use it unconditionally.
 std::optional<std::vector<std::uint64_t>> feasible_path_witness_sharded(
     const cfg& g, const path& p, substrate::smt_engine& engine);
+
+/// The general form both wrappers above delegate to: decide feasibility
+/// under an explicit per-request strategy — pass substrate::strategy{}
+/// (automatic) to let the engine's classifier pick per query shape.
+std::optional<std::vector<std::uint64_t>> feasible_path_witness_with(
+    const cfg& g, const path& p, substrate::smt_engine& engine, substrate::strategy strat);
 
 }  // namespace sciduction::ir

@@ -234,9 +234,15 @@ synthesis_outcome synthesize(const synthesis_config& cfg, spec_oracle& oracle) {
         return assertions;
     };
 
+    // Every query flows through the one submit() entry point; the engine
+    // defaults (cfg.engine) decide members/sharing, exactly as check() did.
+    auto decide = [&](std::vector<term> assertions) {
+        return engine.submit(std::move(assertions), substrate::strategy::portfolio()).get();
+    };
+
     auto synth = [&](const std::vector<example>& examples) -> std::optional<lf_program> {
         ++outcome.stats.synthesis_queries;
-        auto result = engine.check(example_assertions(examples));
+        auto result = decide(example_assertions(examples));
         if (!result.is_sat()) return std::nullopt;
         return extract_program(result.model);
     };
@@ -245,7 +251,7 @@ synthesis_outcome synthesize(const synthesis_config& cfg, spec_oracle& oracle) {
                            const std::vector<example>& examples) -> std::optional<io_vector> {
         ++outcome.stats.distinguish_queries;
         std::vector<term> x = distinguish_input();
-        auto result = engine.check(distinguish_assertions(candidate, examples, x));
+        auto result = decide(distinguish_assertions(candidate, examples, x));
         if (!result.is_sat()) return std::nullopt;
         substrate::model_evaluator eval(tm, std::move(result.model));
         io_vector input;
@@ -309,7 +315,7 @@ synthesis_outcome synthesize(const synthesis_config& cfg, spec_oracle& oracle) {
             bool fresh = false;
             if (!candidate) {
                 ++outcome.stats.synthesis_queries;
-                auto r = engine.check(example_assertions(loop.examples));
+                auto r = decide(example_assertions(loop.examples));
                 if (!r.is_sat()) {
                     loop.status = core::loop_status::unrealizable;
                     break;
@@ -324,19 +330,21 @@ synthesis_outcome synthesize(const synthesis_config& cfg, spec_oracle& oracle) {
             std::vector<term> dist_asserts = distinguish_assertions(*candidate, loop.examples, x);
             std::vector<term> synth_asserts = example_assertions(loop.examples);
             ++outcome.stats.distinguish_queries;
-            auto dist_future = engine.check_async({dist_asserts, {}});
-            std::shared_future<substrate::backend_result> spec_future;
+            auto dist_handle =
+                engine.submit(std::move(dist_asserts), substrate::strategy::portfolio());
+            substrate::query_handle spec_handle;
             const bool speculated = !fresh;
             if (speculated) {
                 // A freshly-synthesized candidate's re-synthesis would be an
                 // instant cache hit of its own query; only a carried-over
                 // candidate makes the speculation a real overlapped solve.
                 ++outcome.stats.speculative_queries;
-                spec_future = engine.check_async({synth_asserts, {}});
+                spec_handle =
+                    engine.submit(std::move(synth_asserts), substrate::strategy::portfolio());
             }
-            substrate::backend_result dist = dist_future.get();
+            substrate::backend_result dist = dist_handle.get();
             if (!dist.is_sat()) {
-                if (speculated) spec_future.wait();
+                if (speculated) spec_handle.wait();
                 loop.status = core::loop_status::success;
                 loop.artifact = std::move(candidate);
                 break;
@@ -349,12 +357,12 @@ synthesis_outcome synthesize(const synthesis_config& cfg, spec_oracle& oracle) {
             if (consistent(*candidate, e)) {
                 // Candidate survives; the speculation (if any) must resolve
                 // before the next round builds terms.
-                if (speculated) spec_future.wait();
+                if (speculated) spec_handle.wait();
                 continue;
             }
             candidate.reset();
             if (speculated) {
-                const substrate::backend_result& spec = spec_future.get();
+                const substrate::backend_result spec = spec_handle.get();
                 if (!spec.is_sat()) {
                     // Defensive: cannot happen while `candidate` witnessed
                     // consistency, but an unsat here would mean even the

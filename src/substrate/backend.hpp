@@ -41,6 +41,27 @@ enum class answer : std::uint8_t {
     unknown  ///< cancelled, paused, or aborted before an answer
 };
 
+/// External control lines a caller threads into a long-running solve. All
+/// fields are optional; a default-constructed solve_controls leaves every
+/// scheduler byte-identical to its uncontrolled behaviour. Pointed-to
+/// objects must outlive the solve.
+struct solve_controls {
+    /// Cooperative cancellation: set the flag from another thread and every
+    /// backend of the solve aborts with answer::unknown. Schedulers that
+    /// race (portfolio, shard SAT race) also *write* this flag when a winner
+    /// cancels the losers, so after a decided race it reads true.
+    std::atomic<bool>* cancel = nullptr;
+    /// Progress line: the shard schedulers increment it once per settled
+    /// cube (refuted / pruned / satisfied / skipped). Other strategies
+    /// leave it untouched.
+    std::atomic<std::size_t>* progress = nullptr;
+    /// Conflict budget per backend instance (per portfolio member, per
+    /// shard sibling pair); a backend that exhausts it answers unknown with
+    /// all state intact. The budgeted-rounds disciplines check it at their
+    /// barriers instead. 0 = unlimited.
+    std::uint64_t conflict_budget = 0;
+};
+
 /// Uniform result of one deductive query. CNF-level backends populate
 /// sat_model (indexed by sat::var); term-level backends populate model (a
 /// smt::env of the blasted variables, ready for term_manager::evaluate).

@@ -1,11 +1,121 @@
 #include "substrate/engine.hpp"
 
+#include <chrono>
+
 #include "substrate/thread_pool.hpp"
 
 namespace sciduction::substrate {
 
+namespace detail {
+
+/// The shared state behind query_handle: the cooperative-cancel line
+/// threaded into the solve, the progress atomics the schedulers bump, and
+/// the accounting the solve fills in (guarded by `mutex` so handles can
+/// snapshot it mid-flight). The result future deliberately lives in the
+/// handles, not here (see the cycle note in query_handle).
+struct query_state {
+    std::atomic<bool> cancel{false};
+    std::atomic<bool> cancel_requested{false};
+    std::atomic<bool> started{false};
+    std::atomic<bool> finished{false};
+    std::atomic<std::size_t> cubes_total{0};
+    std::atomic<std::size_t> cubes_done{0};
+    mutable std::mutex mutex;
+    request_stats stats;
+};
+
+}  // namespace detail
+
+// ---- query_handle -----------------------------------------------------------
+
+bool query_handle::ready() const {
+    return future_.valid() &&
+           future_.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+}
+
+void query_handle::wait() const {
+    if (future_.valid()) future_.wait();
+}
+
+backend_result query_handle::get() {
+    if (!future_.valid()) return {};
+    if (time_budget_ms_ != 0) {
+        if (future_.wait_for(std::chrono::milliseconds(time_budget_ms_)) ==
+            std::future_status::timeout)
+            cancel();
+    }
+    return future_.get();
+}
+
+void query_handle::cancel() {
+    if (state_ == nullptr) return;
+    state_->cancel_requested.store(true, std::memory_order_relaxed);
+    state_->cancel.store(true, std::memory_order_relaxed);
+}
+
+query_progress query_handle::progress() const {
+    query_progress p;
+    if (state_ == nullptr) return p;
+    p.started = state_->started.load(std::memory_order_relaxed);
+    p.finished = state_->finished.load(std::memory_order_relaxed);
+    p.cancel_requested = state_->cancel_requested.load(std::memory_order_relaxed);
+    p.cubes_total = state_->cubes_total.load(std::memory_order_relaxed);
+    p.cubes_done = state_->cubes_done.load(std::memory_order_relaxed);
+    return p;
+}
+
+request_stats query_handle::stats() const {
+    request_stats s;
+    if (state_ == nullptr) return s;
+    {
+        std::lock_guard<std::mutex> lock(state_->mutex);
+        s = state_->stats;
+    }
+    if (coalesced_) s.coalesced = true;
+    return s;
+}
+
+std::shared_future<backend_result> query_handle::share() const { return future_; }
+
+// ---- smt_engine -------------------------------------------------------------
+
+void strategy_picks::count(strategy_kind k) {
+    switch (k) {
+        case strategy_kind::single: ++single; break;
+        case strategy_kind::portfolio: ++portfolio; break;
+        case strategy_kind::shard: ++shard; break;
+        case strategy_kind::shard_over_portfolio: ++shard_over_portfolio; break;
+        case strategy_kind::automatic: break;  // never dispatched
+    }
+}
+
+namespace {
+
+/// Translates the engine configuration into the strategy defaults every
+/// request resolves against.
+resolved_strategy defaults_from(const engine_config& cfg) {
+    resolved_strategy d;
+    d.members = std::max(1u, cfg.portfolio_members);
+    d.sequential = cfg.sequential_portfolio;
+    d.depth = cfg.shard_depth;
+    d.probe_candidates = cfg.shard_probe_candidates;
+    d.sharing = cfg.sharing;
+    d.use_cache = cfg.use_cache;
+    return d;
+}
+
+/// Members the classifier falls back to when it picks a portfolio but
+/// neither the request nor the engine names a member count > 1.
+constexpr unsigned auto_portfolio_members = 4;
+
+/// Coarse bound on the auto-selection history: structural keys are small,
+/// but unbounded loops should not grow the map without limit.
+constexpr std::size_t history_bound = 1 << 16;
+
+}  // namespace
+
 smt_engine::smt_engine(smt::term_manager& tm, engine_config cfg)
-    : tm_(tm), cfg_(cfg), cache_(tm, cfg.cache_capacity) {}
+    : tm_(tm), cfg_(cfg), defaults_(defaults_from(cfg)), cache_(tm, cfg.cache_capacity) {}
 
 engine_stats smt_engine::stats() const {
     std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -18,169 +128,302 @@ thread_pool& smt_engine::pool() {
     return *pool_;
 }
 
-backend_result smt_engine::solve_uncached(const smt_query& q, bool allow_portfolio) {
-    const unsigned members = allow_portfolio ? std::max(1u, cfg_.portfolio_members) : 1;
+backend_result smt_engine::run_request(const smt_query& q, const struct strategy& requested,
+                                       const query_key& key, detail::query_state& state) {
+    resolved_strategy rs;
     {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        stats_.solver_runs += members;
+        std::lock_guard<std::mutex> lock(state.mutex);
+        rs = state.stats.strategy;
     }
-    if (members == 1) {
-        smt_backend backend(tm_, q.assertions, q.assumptions);
-        return backend.check();
-    }
-    portfolio_config pcfg;
-    pcfg.members = members;
-    pcfg.sharing = cfg_.sharing;
-    pcfg.sequential = cfg_.sequential_portfolio;
-    auto factory = [&](unsigned member) {
-        return std::make_unique<smt_backend>(tm_, q.assertions, q.assumptions,
-                                             diversified_options(member),
-                                             "smt#" + std::to_string(member));
+    // The prototype instance serves three masters: the automatic
+    // classifier reads its blasted size, the single path solves it
+    // directly, and the shard path runs the cube lookahead on it — so the
+    // blasting cost is paid once wherever possible.
+    std::unique_ptr<smt_backend> proto;
+    auto make_proto = [&](const char* name) {
+        proto = std::make_unique<smt_backend>(tm_, q.assertions, q.assumptions,
+                                              sat::solver_options{}, name);
+        proto->prepare();
     };
-    // The sequential budgeted portfolio runs on the calling thread; the
-    // racing modes share the engine's worker pool.
-    auto outcome = pcfg.sequential ? race(factory, pcfg) : race(factory, pcfg, pool());
-    return outcome.result;
-}
 
-backend_result smt_engine::check(const smt_query& q) {
+    if (rs.kind == strategy_kind::automatic) {
+        make_proto("smt");
+        query_features f;
+        sat::solver& core = *proto->sat_core();
+        f.variables = static_cast<std::size_t>(core.num_vars());
+        f.clauses = core.num_clauses();
+        f.assumptions = q.assumptions.size();
+        // The thread budget, without forcing the (lazily created) pool
+        // into existence: a classification that picks `single` must not
+        // spawn workers.
+        f.threads = cfg_.threads == 0 ? default_concurrency() : cfg_.threads;
+        {
+            std::lock_guard<std::mutex> lock(history_mutex_);
+            auto it = history_.find(key);
+            if (it != history_.end()) {
+                f.has_history = true;
+                f.prior_conflicts = it->second.conflicts;
+            }
+        }
+        // Explicitly-set request fields survive the classification: the
+        // precedence order is request field > classifier pick > engine
+        // default.
+        struct strategy merged = requested.overriding(strategy::auto_select(f));
+        if (merged.kind == strategy_kind::portfolio && !merged.members && defaults_.members <= 1)
+            merged.members = auto_portfolio_members;
+        rs = merged.resolve(defaults_);
+        {
+            std::lock_guard<std::mutex> lock(state.mutex);
+            state.stats.strategy = rs;
+            state.stats.auto_selected = true;
+        }
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats_.auto_picks.count(rs.kind);
+    }
     {
         std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++stats_.queries;
+        stats_.dispatched.count(rs.kind);
     }
-    if (cfg_.use_cache) {
-        if (auto cached = cache_.lookup(q.assertions, q.assumptions)) {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
-            ++stats_.cache_hits;
-            return *cached;
+
+    solve_controls controls;
+    controls.cancel = &state.cancel;
+    controls.progress = &state.cubes_done;
+    controls.conflict_budget = rs.conflict_budget;
+
+    backend_result result;
+    switch (rs.kind) {
+        case strategy_kind::automatic: break;  // unreachable: resolved above
+        case strategy_kind::single: {
+            {
+                std::lock_guard<std::mutex> lock(stats_mutex_);
+                ++stats_.solver_runs;
+            }
+            if (!proto) make_proto("smt");
+            if (rs.conflict_budget != 0) {
+                sat::solver& core = *proto->sat_core();
+                core.set_conflict_pause(core.stats().conflicts + rs.conflict_budget);
+            }
+            result = proto->check(&state.cancel);
+            std::lock_guard<std::mutex> lock(state.mutex);
+            state.stats.winner_name = proto->name();
+            break;
+        }
+        case strategy_kind::portfolio: {
+            {
+                std::lock_guard<std::mutex> lock(stats_mutex_);
+                stats_.solver_runs += rs.members;
+            }
+            portfolio_config pcfg;
+            pcfg.members = rs.members;
+            pcfg.sharing = rs.sharing;
+            pcfg.sequential = rs.sequential;
+            // Member 0's options are the baseline, so a prototype built for
+            // the classifier is recycled as member 0 instead of re-blasting.
+            auto recycled = std::make_shared<std::unique_ptr<smt_backend>>(std::move(proto));
+            auto factory = [this, &q, recycled](unsigned member) -> std::unique_ptr<solver_backend> {
+                if (member == 0 && *recycled) return std::move(*recycled);
+                return std::make_unique<smt_backend>(tm_, q.assertions, q.assumptions,
+                                                     diversified_options(member),
+                                                     "smt#" + std::to_string(member));
+            };
+            // The sequential budgeted portfolio runs on this worker thread;
+            // the racing modes share the engine's pool.
+            portfolio_outcome outcome = pcfg.sequential ? race(factory, pcfg, controls)
+                                                        : race(factory, pcfg, pool(), controls);
+            result = std::move(outcome.result);
+            std::lock_guard<std::mutex> lock(state.mutex);
+            state.stats.winner = outcome.winner;
+            state.stats.winner_name = std::move(outcome.winner_name);
+            state.stats.rounds = outcome.rounds;
+            break;
+        }
+        case strategy_kind::shard:
+        case strategy_kind::shard_over_portfolio: {
+            // Prototype: blast once (same construction order as every
+            // replica, so cube literals transfer) and run the lookahead
+            // pass on its SAT core.
+            if (!proto) make_proto("shard-proto");
+            cube_plan plan = generate_cubes(
+                *proto->sat_core(),
+                {.depth = rs.depth, .probe_candidates = rs.probe_candidates});
+            state.cubes_total.store(plan.cubes.size(), std::memory_order_relaxed);
+            const bool diversify = rs.kind == strategy_kind::shard_over_portfolio;
+            shard_outcome outcome = solve_cubes(
+                [&](std::size_t pair) {
+                    {
+                        std::lock_guard<std::mutex> lock(stats_mutex_);
+                        ++stats_.solver_runs;
+                    }
+                    return std::make_unique<smt_backend>(
+                        tm_, q.assertions, q.assumptions,
+                        diversify ? diversified_options(static_cast<unsigned>(pair))
+                                  : sat::solver_options{},
+                        "shard#" + std::to_string(pair));
+                },
+                plan, pool(), rs.sharing, controls);
+            result = std::move(outcome.result);
+            std::lock_guard<std::mutex> lock(state.mutex);
+            state.stats.shard = outcome.stats;
+            state.stats.rounds = outcome.stats.rounds;
+            break;
         }
     }
-    backend_result result = solve_uncached(q, /*allow_portfolio=*/true);
-    if (cfg_.use_cache) cache_.insert(q.assertions, q.assumptions, result);
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.stats.conflicts = result.conflicts;
     return result;
 }
 
-std::shared_future<backend_result> smt_engine::check_async(const smt_query& q) {
+backend_result smt_engine::run_and_complete(const smt_query& q, const struct strategy& requested,
+                                            const query_key& key, detail::query_state& state) {
+    state.started.store(true, std::memory_order_relaxed);
+    backend_result result;
+    try {
+        result = run_request(q, requested, key, state);
+        resolved_strategy ran;
+        {
+            std::lock_guard<std::mutex> slock(state.mutex);
+            ran = state.stats.strategy;
+        }
+        if (ran.use_cache) cache_.insert(q.assertions, q.assumptions, result);
+        if (result.ans != answer::unknown) {
+            // Record the outcome for the classifier. Unknown results
+            // (cancelled / budget-exhausted) say nothing about the query's
+            // cost and are not recorded.
+            std::lock_guard<std::mutex> hlock(history_mutex_);
+            if (history_.size() >= history_bound) history_.clear();
+            history_[key] = solve_profile{result.conflicts, ran.kind};
+        }
+    } catch (...) {
+        // The entry must not outlive the attempt, or every later duplicate
+        // coalesces onto this dead future instead of re-solving.
+        {
+            std::lock_guard<std::mutex> ilock(inflight_mutex_);
+            inflight_.erase(key);
+        }
+        state.finished.store(true, std::memory_order_relaxed);
+        throw;
+    }
+    {
+        std::lock_guard<std::mutex> ilock(inflight_mutex_);
+        inflight_.erase(key);
+    }
+    state.finished.store(true, std::memory_order_relaxed);
+    return result;
+}
+
+query_handle smt_engine::do_submit(solve_request req, bool inline_exec) {
     {
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++stats_.queries;
     }
-    if (cfg_.use_cache) {
-        if (auto cached = cache_.lookup(q.assertions, q.assumptions)) {
+    resolved_strategy rs = req.strategy.resolve(defaults_);
+    auto state = std::make_shared<detail::query_state>();
+    state->stats.strategy = rs;
+    smt_query q{std::move(req.assertions), std::move(req.assumptions)};
+
+    auto resolve_ready = [&](backend_result cached) {
+        {
             std::lock_guard<std::mutex> lock(stats_mutex_);
             ++stats_.cache_hits;
-            std::promise<backend_result> ready;
-            ready.set_value(std::move(*cached));
-            return ready.get_future().share();
         }
+        state->stats.cache_hit = true;
+        state->stats.conflicts = cached.conflicts;
+        state->started.store(true, std::memory_order_relaxed);
+        state->finished.store(true, std::memory_order_relaxed);
+        std::promise<backend_result> ready;
+        ready.set_value(std::move(cached));
+        return query_handle(std::move(state), ready.get_future().share(), rs.time_budget_ms,
+                            /*coalesced=*/false);
+    };
+
+    if (rs.use_cache) {
+        if (auto cached = cache_.lookup(q.assertions, q.assumptions))
+            return resolve_ready(std::move(*cached));
     }
     query_key key = cache_.key_for(q.assertions, q.assumptions);
-    thread_pool& workers = pool();  // created outside the inflight lock
-    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    // The pool is only forced into existence on the async path; inline
+    // execution (the shims' path) stays thread-free unless the strategy
+    // itself needs workers.
+    thread_pool* workers = inline_exec ? nullptr : &pool();
+    std::unique_lock<std::mutex> lock(inflight_mutex_);
     if (auto it = inflight_.find(key); it != inflight_.end()) {
         std::lock_guard<std::mutex> slock(stats_mutex_);
         ++stats_.coalesced;
-        return it->second;
+        // The duplicate shares the first submission's solve (and conflict
+        // budget) but keeps its own await-side time budget.
+        return query_handle(it->second.state, it->second.future, rs.time_budget_ms,
+                            /*coalesced=*/true);
     }
-    if (cfg_.use_cache) {
+    if (rs.use_cache) {
         // Re-check under the inflight lock: an in-flight duplicate may have
         // completed between the optimistic lookup above and here. Its
         // completion inserts into the cache *before* erasing the inflight
         // entry, so missing both maps really means the query is new.
-        if (auto cached = cache_.lookup(q.assertions, q.assumptions)) {
-            std::lock_guard<std::mutex> slock(stats_mutex_);
-            ++stats_.cache_hits;
-            std::promise<backend_result> ready;
-            ready.set_value(std::move(*cached));
-            return ready.get_future().share();
+        if (auto cached = cache_.lookup(q.assertions, q.assumptions))
+            return resolve_ready(std::move(*cached));
+    }
+    if (inline_exec) {
+        // Publish the in-flight entry (so concurrent duplicates coalesce),
+        // then solve on this thread and fulfil the promise they share.
+        std::promise<backend_result> promise;
+        auto future = promise.get_future().share();
+        inflight_.emplace(key, inflight_entry{state, future});
+        lock.unlock();
+        try {
+            promise.set_value(run_and_complete(q, req.strategy, key, *state));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+            throw;
         }
+        return query_handle(std::move(state), std::move(future), rs.time_budget_ms,
+                            /*coalesced=*/false);
     }
     auto future = workers
-                      .submit([this, q, key]() -> backend_result {
-                          backend_result result;
-                          try {
-                              result = solve_uncached(q, /*allow_portfolio=*/true);
-                              if (cfg_.use_cache)
-                                  cache_.insert(q.assertions, q.assumptions, result);
-                          } catch (...) {
-                              // The entry must not outlive the attempt, or
-                              // every later duplicate coalesces onto this
-                              // dead future instead of re-solving.
-                              std::lock_guard<std::mutex> ilock(inflight_mutex_);
-                              inflight_.erase(key);
-                              throw;
-                          }
-                          std::lock_guard<std::mutex> ilock(inflight_mutex_);
-                          inflight_.erase(key);
-                          return result;
+                      ->submit([this, q = std::move(q), key, state,
+                                requested = std::move(req.strategy)]() -> backend_result {
+                          return run_and_complete(q, requested, key, *state);
                       })
                       .share();
     // The map entry is published under the same lock that the completion
     // lambda needs to erase it, so a fast worker cannot race past us.
-    inflight_.emplace(std::move(key), future);
-    return future;
+    inflight_.emplace(std::move(key), inflight_entry{state, future});
+    return query_handle(std::move(state), std::move(future), rs.time_budget_ms,
+                        /*coalesced=*/false);
+}
+
+query_handle smt_engine::submit(solve_request req) {
+    return do_submit(std::move(req), /*inline_exec=*/false);
+}
+
+// ---- legacy shims -----------------------------------------------------------
+
+backend_result smt_engine::check(const smt_query& q) {
+    return do_submit(solve_request{q.assertions, q.assumptions, strategy::portfolio()},
+                     /*inline_exec=*/true)
+        .get();
+}
+
+std::shared_future<backend_result> smt_engine::check_async(const smt_query& q) {
+    return submit(solve_request{q.assertions, q.assumptions, strategy::portfolio()}).share();
 }
 
 backend_result smt_engine::check_sharded(const smt_query& q, shard_stats* stats) {
-    if (stats != nullptr) *stats = {};
-    if (cfg_.shard_depth == 0) return check(q);
-    {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++stats_.queries;
-    }
-    if (cfg_.use_cache) {
-        if (auto cached = cache_.lookup(q.assertions, q.assumptions)) {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
-            ++stats_.cache_hits;
-            return *cached;
-        }
-    }
-    // Prototype instance: blast once (same construction order as every
-    // replica, so cube literals transfer) and run the lookahead pass on its
-    // SAT core.
-    smt_backend prototype(tm_, q.assertions, q.assumptions, {}, "shard-proto");
-    prototype.prepare();
-    cube_plan plan = generate_cubes(
-        prototype.solver().sat_core(),
-        {.depth = cfg_.shard_depth, .probe_candidates = cfg_.shard_probe_candidates});
-    unsigned replica = 0;
-    shard_outcome outcome = solve_cubes(
-        [&]() {
-            unsigned id;
-            {
-                std::lock_guard<std::mutex> lock(stats_mutex_);
-                id = replica++;
-                ++stats_.solver_runs;
-            }
-            return std::make_unique<smt_backend>(tm_, q.assertions, q.assumptions,
-                                                 sat::solver_options{},
-                                                 "shard#" + std::to_string(id));
-        },
-        plan, pool(), cfg_.sharing);
-    if (stats != nullptr) *stats = outcome.stats;
-    if (cfg_.use_cache) cache_.insert(q.assertions, q.assumptions, outcome.result);
-    return std::move(outcome.result);
+    query_handle handle =
+        do_submit(solve_request{q.assertions, q.assumptions, strategy::shard()},
+                  /*inline_exec=*/true);
+    backend_result result = handle.get();
+    if (stats != nullptr) *stats = handle.stats().shard;
+    return result;
 }
 
 std::vector<backend_result> smt_engine::check_batch(const std::vector<smt_query>& queries) {
-    {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        stats_.queries += queries.size();
-    }
-    std::vector<backend_result> results(queries.size());
-    pool().parallel_for(queries.size(), [&](std::size_t i) {
-        const smt_query& q = queries[i];
-        if (cfg_.use_cache) {
-            if (auto cached = cache_.lookup(q.assertions, q.assumptions)) {
-                std::lock_guard<std::mutex> lock(stats_mutex_);
-                ++stats_.cache_hits;
-                results[i] = *cached;
-                return;
-            }
-        }
-        results[i] = solve_uncached(q, /*allow_portfolio=*/false);
-        if (cfg_.use_cache) cache_.insert(q.assertions, q.assumptions, results[i]);
-    });
+    std::vector<query_handle> handles;
+    handles.reserve(queries.size());
+    for (const smt_query& q : queries)
+        handles.push_back(submit(solve_request{q.assertions, q.assumptions, strategy::single()}));
+    std::vector<backend_result> results;
+    results.reserve(queries.size());
+    for (query_handle& handle : handles) results.push_back(handle.get());
     return results;
 }
 

@@ -2,16 +2,28 @@
 /// smt_engine: the facade the application layers route their deductive
 /// queries through.
 ///
-/// One engine per (term_manager, workload) combines the substrate pieces:
-///   * query cache    — memoizes check() results across the workload's loop
+/// One engine per (term_manager, workload) combines the substrate pieces
+/// behind a single entry point: `submit(solve_request)` accepts the
+/// assertions plus a per-request `strategy` descriptor (solve_request.hpp)
+/// and returns a `query_handle` — awaitable, cooperatively cancellable,
+/// progress- and stats-readable. Every execution discipline flows through
+/// it:
+///   * query cache    — memoizes results across the workload's loop
 ///                      (optionally capacity-bounded with LRU eviction);
-///   * portfolio      — races diversified solver instances per query;
-///   * batch API      — dispatches independent queries concurrently;
-///   * shard API      — cube-and-conquers one hard query across the pool;
-///   * async API      — futures-based check() whose in-flight duplicates
-///                      coalesce, letting a loop overlap two queries.
-/// A default-configured engine (cache on, 1 member, sequential batch, no
-/// sharding) is observationally identical to constructing one
+///   * single         — one solver instance;
+///   * portfolio      — races diversified instances (threaded or budgeted
+///                      sequential);
+///   * shard          — cube-and-conquers one hard query across the pool
+///                      (shard_over_portfolio diversifies the pairs);
+///   * automatic      — `strategy::auto_select` classifies the query on
+///                      cheap structural features and per-key history;
+///   * coalescing     — a submit equal to one already in flight shares its
+///                      handle instead of re-solving.
+/// The legacy entry points (`check`, `check_batch`, `check_async`,
+/// `check_sharded`) survive as thin shims over submit with bit-equivalent
+/// behaviour (tests/solve_request_test.cpp pins the equivalence); new code
+/// should submit. A default-configured engine running single-strategy
+/// requests is observationally identical to constructing one
 /// smt::smt_solver per query, which is what the application modules did
 /// before the substrate existed.
 #pragma once
@@ -20,62 +32,173 @@
 
 #include "substrate/portfolio.hpp"
 #include "substrate/query_cache.hpp"
-#include "substrate/shard.hpp"
+#include "substrate/solve_request.hpp"
 
 namespace sciduction::substrate {
 
-/// Per-engine configuration: which substrate pieces a workload's queries
-/// flow through, and how aggressively. See docs/TUNING.md for guidance.
+/// Per-engine configuration: the *defaults* a request's unset strategy
+/// fields resolve against (per-request fields always win — the precedence
+/// contract). See docs/TUNING.md for guidance.
 struct engine_config {
-    /// Memoize term-level check() results in the structural query cache.
+    /// Memoize term-level results in the structural query cache.
     bool use_cache = true;
     /// Query-cache capacity (results retained); 0 = unbounded. Bounded
     /// caches evict least-recently-used entries, keeping long CEGIS runs'
     /// memory flat while the hot re-checks stay resident.
     std::size_t cache_capacity = 0;
-    /// Portfolio members raced per query; 1 = single solver (deterministic
-    /// models), >1 = racing (deterministic answers, winner's model).
+    /// Default portfolio members raced per query; 1 = single solver
+    /// (deterministic models), >1 = racing (deterministic answers, winner's
+    /// model).
     unsigned portfolio_members = 1;
-    /// Worker threads for portfolio racing, check_batch, check_sharded and
-    /// check_async (0 = hardware).
+    /// Worker threads for every strategy and for batch/async dispatch
+    /// (0 = hardware).
     unsigned threads = 0;
-    /// Cube-and-conquer split depth for check_sharded: up to 2^depth cubes
-    /// per query. 0 degrades check_sharded to a plain check() — callers can
-    /// route their hardest query through check_sharded unconditionally and
-    /// let the config decide.
+    /// Default cube-and-conquer split depth for shard requests: up to
+    /// 2^depth cubes per query. 0 degrades a shard request to the portfolio
+    /// resolution — callers can route their hardest query through a shard
+    /// strategy unconditionally and let the config decide.
     unsigned shard_depth = 0;
-    /// Lookahead probes per check_sharded cube generation.
+    /// Default lookahead probes per cube generation.
     unsigned shard_probe_candidates = 16;
-    /// Learnt-clause exchange between portfolio members and between shard
-    /// sibling pairs. Off by default (legacy behaviour, byte-identical);
-    /// sharing.deterministic makes shared runs reproducible across thread
-    /// counts at the cost of checkpoint latency. See docs/TUNING.md.
+    /// Default learnt-clause exchange between portfolio members and between
+    /// shard sibling pairs. Off by default (legacy behaviour,
+    /// byte-identical); sharing.deterministic makes shared runs
+    /// reproducible across thread counts. See docs/TUNING.md.
     sharing_config sharing{};
-    /// Budgeted sequential portfolio: time-slice the diversified members on
-    /// the calling thread (slice length sharing.slice_conflicts) instead of
-    /// racing them on the pool — the single-core way to exploit member
-    /// diversity, with the shared clause pool inherited across slices.
+    /// Default for the budgeted sequential portfolio: time-slice the
+    /// diversified members (slice length sharing.slice_conflicts) instead
+    /// of racing them on the pool — the single-core way to exploit member
+    /// diversity. Applies to portfolio-kind requests only; a shard request
+    /// shards regardless (the precedence rule solve_request_test.cpp pins).
     bool sequential_portfolio = false;
+};
+
+/// Per-strategy dispatch counters (how often each concrete kind ran).
+struct strategy_picks {
+    std::uint64_t single = 0;                ///< single-instance solves
+    std::uint64_t portfolio = 0;             ///< portfolio races (incl. sequential)
+    std::uint64_t shard = 0;                 ///< cube-and-conquer dispatches
+    std::uint64_t shard_over_portfolio = 0;  ///< diversified-pair shard dispatches
+
+    /// Sum over all kinds.
+    [[nodiscard]] std::uint64_t total() const {
+        return single + portfolio + shard + shard_over_portfolio;
+    }
+    /// Bumps the counter matching `k` (automatic is never dispatched).
+    void count(strategy_kind k);
 };
 
 /// Engine-level counters, cumulative over the engine's lifetime.
 struct engine_stats {
-    std::uint64_t queries = 0;      ///< check/check_async/check_sharded/batch calls
+    std::uint64_t queries = 0;      ///< submits (incl. every legacy shim call)
     std::uint64_t cache_hits = 0;   ///< queries answered from the query cache
     std::uint64_t solver_runs = 0;  ///< backends actually constructed+checked
-    std::uint64_t coalesced = 0;    ///< async queries joined to an in-flight duplicate
+    std::uint64_t coalesced = 0;    ///< submits joined to an in-flight duplicate
+    strategy_picks dispatched;      ///< executed strategies, by concrete kind
+    strategy_picks auto_picks;      ///< the subset chosen by strategy::auto_select
 };
 
 /// An independent term-level query: decide the conjunction of `assertions`
-/// under the (non-persisted) `assumptions`.
+/// under the (non-persisted) `assumptions`. The strategy-less half of a
+/// solve_request, kept for the legacy shims and batch call sites.
 struct smt_query {
     std::vector<smt::term> assertions;   ///< terms asserted true
     std::vector<smt::term> assumptions;  ///< extra per-check assumption terms
 };
 
+/// Mid-flight progress snapshot of one submitted request.
+struct query_progress {
+    bool started = false;           ///< a worker picked the request up
+    bool finished = false;          ///< the result is ready
+    bool cancel_requested = false;  ///< cancel() was called on a handle
+    std::size_t cubes_total = 0;    ///< shard kinds: cubes in the dispatched plan
+    std::size_t cubes_done = 0;     ///< shard kinds: cubes settled so far
+};
+
+/// Post-hoc accounting of one submitted request, readable from its handle.
+/// Fully populated once the handle is ready; mid-flight reads see the
+/// resolved strategy and whatever the solve has filled in so far.
+struct request_stats {
+    /// The strategy that actually ran (kind automatic only if the request
+    /// was answered from the cache before classification).
+    resolved_strategy strategy;
+    bool auto_selected = false;  ///< strategy::auto_select made the pick
+    bool cache_hit = false;      ///< answered from the query cache
+    bool coalesced = false;      ///< this handle joined an in-flight duplicate
+    unsigned winner = 0;         ///< portfolio kinds: member that answered
+    std::string winner_name;     ///< its backend name (empty otherwise)
+    std::uint64_t conflicts = 0; ///< conflicts of the returned result
+    std::uint64_t rounds = 0;    ///< budgeted-discipline exchange rounds
+    shard_stats shard;           ///< shard kinds: work breakdown (else zeroed)
+};
+
+/// Implementation detail of the engine (not part of the public API).
+namespace detail {
+/// Shared state behind query_handle; defined in engine.cpp.
+struct query_state;
+}  // namespace detail
+
+/// A submitted query: awaitable (get/wait/ready), cooperatively
+/// cancellable (cancel), and progress/stats-readable mid-flight. Handles
+/// are cheap shared references — copies (and handles returned for
+/// coalesced duplicate submits) observe the same underlying solve, so
+/// cancelling any of them cancels the shared solve. A request's
+/// `time_budget_ms` is enforced at get(): on expiry the solve is
+/// cancelled and the handle yields answer::unknown. The budget is
+/// per-handle — a coalesced duplicate keeps its own time budget even
+/// though the solve (and its conflict budget) belong to the first
+/// submission.
+class query_handle {
+public:
+    /// An empty handle; valid() is false until assigned from submit().
+    query_handle() = default;
+
+    /// Whether this handle refers to a submitted request.
+    [[nodiscard]] bool valid() const { return state_ != nullptr; }
+    /// Whether the result is ready (never blocks).
+    [[nodiscard]] bool ready() const;
+    /// Blocks until the result is ready (ignores the time budget).
+    void wait() const;
+    /// Awaits and returns the result, enforcing the request's time budget:
+    /// on expiry the solve is cooperatively cancelled and the (unknown)
+    /// result of the aborted solve is returned.
+    [[nodiscard]] backend_result get();
+    /// Requests cooperative cancellation: every backend of the solve aborts
+    /// at its next check and the result becomes answer::unknown (unless the
+    /// solve already decided). Idempotent; safe from any thread.
+    void cancel();
+    /// Progress snapshot (thread-safe, never blocks).
+    [[nodiscard]] query_progress progress() const;
+    /// Accounting snapshot (thread-safe; complete once ready()).
+    [[nodiscard]] request_stats stats() const;
+    /// The underlying shared future — the bridge the check_async shim
+    /// returns. Waiting on it ignores the time budget.
+    [[nodiscard]] std::shared_future<backend_result> share() const;
+
+private:
+    friend class smt_engine;
+    query_handle(std::shared_ptr<detail::query_state> state,
+                 std::shared_future<backend_result> future, std::uint64_t time_budget_ms,
+                 bool coalesced)
+        : state_(std::move(state)),
+          future_(std::move(future)),
+          time_budget_ms_(time_budget_ms),
+          coalesced_(coalesced) {}
+
+    // The future lives in the handle, NOT in the shared query_state: the
+    // solve task's closure owns a reference to the state, and the future's
+    // shared state owns the closure — storing the future inside
+    // query_state would close a shared_ptr cycle and leak every request.
+    std::shared_ptr<detail::query_state> state_;
+    std::shared_future<backend_result> future_;
+    std::uint64_t time_budget_ms_ = 0;  // per-handle: survives coalescing
+    bool coalesced_ = false;
+};
+
 /// The deductive-query facade: one engine per (term_manager, workload)
-/// owning the query cache, the worker pool, and the concurrency strategy
-/// configuration. See the file comment and docs/ARCHITECTURE.md.
+/// owning the query cache, the worker pool, the per-key outcome history
+/// that feeds strategy::auto_select, and the strategy defaults. See the
+/// file comment and docs/ARCHITECTURE.md.
 class smt_engine {
 public:
     /// Binds the engine to `tm` (which must outlive it) with `cfg`.
@@ -85,66 +208,106 @@ public:
     [[nodiscard]] smt::term_manager& manager() { return tm_; }
     /// The configuration the engine was built with.
     [[nodiscard]] const engine_config& config() const { return cfg_; }
-    /// The structural query cache (shared by all engine APIs).
+    /// The structural query cache (shared by all strategies).
     [[nodiscard]] query_cache& cache() { return cache_; }
     /// Snapshot of the engine counters (thread-safe).
     [[nodiscard]] engine_stats stats() const;
 
-    /// Decides one query: cache lookup, then a single solve or a portfolio
-    /// race on miss, then cache insert. All terms must be built before the
-    /// call (backends only read the manager).
+    /// THE entry point: submits one request and returns its handle. The
+    /// request's strategy resolves against the engine defaults (set fields
+    /// override, unset inherit; `automatic` classifies via
+    /// strategy::auto_select once the features are known). The solve runs
+    /// on the engine's pool; a cache hit resolves the handle immediately,
+    /// and a submit equal to an in-flight one coalesces onto its handle.
+    /// All terms must be built before the call, and no thread may create
+    /// terms until the handle is ready (backends read the shared manager
+    /// while solving).
+    query_handle submit(solve_request req);
+    /// Convenience overload assembling the solve_request in place.
+    query_handle submit(std::vector<smt::term> assertions, struct strategy strategy = {}) {
+        return submit(solve_request{std::move(assertions), {}, std::move(strategy)});
+    }
+
+    /// \deprecated Legacy shim: submit + await with the engine-default
+    /// portfolio strategy — bit-equivalent to the pre-submit check().
     backend_result check(const smt_query& q);
-    /// Convenience overload assembling the smt_query in place.
+    /// \deprecated Convenience overload assembling the smt_query in place.
     backend_result check(const std::vector<smt::term>& assertions,
                          const std::vector<smt::term>& assumptions = {}) {
         return check(smt_query{assertions, assumptions});
     }
 
-    /// Decides many independent queries concurrently on cfg.threads workers
-    /// (each query a single solver instance; no nested portfolio), sharing
-    /// the cache. Results are in query order, so the output is independent
-    /// of scheduling. No thread may create terms while this runs.
+    /// \deprecated Legacy shim: submit-many with strategy::single() (the
+    /// batch contract: one solver per query, no nested portfolio), then
+    /// await-all. Results are in query order, independent of scheduling.
+    /// Duplicate queries within one batch now coalesce onto one solve.
     std::vector<backend_result> check_batch(const std::vector<smt_query>& queries);
 
-    /// Decides one query asynchronously on the engine's pool, composing
-    /// with the cache: a hit resolves immediately, a miss solves in the
-    /// background and lands in the cache, and an async query equal to one
-    /// already in flight coalesces onto the same future instead of
-    /// re-solving. No thread may create terms until the future is ready
-    /// (backends read the shared manager while solving).
+    /// \deprecated Legacy shim: submit with the engine-default portfolio
+    /// strategy, returning the handle's shared future. In-flight
+    /// duplicates coalesce exactly as before (now for *every* entry point,
+    /// not just this one).
     std::shared_future<backend_result> check_async(const smt_query& q);
 
-    /// Decides one *hard* query by cube-and-conquer: bounded lookahead on a
-    /// prototype instance picks splitting variables, the cube tree is
-    /// dispatched across the pool (first SAT wins; all-UNSAT aggregates
-    /// deterministically), and the result composes with the cache exactly
-    /// like check(). With cfg.shard_depth == 0 this *is* check(). The
-    /// optional out-param reports the shard work breakdown.
+    /// \deprecated Legacy shim: submit with strategy::shard() (engine-
+    /// default depth; depth 0 degrades to the portfolio resolution, i.e.
+    /// plain check()). The optional out-param receives the shard work
+    /// breakdown from the handle's stats.
     backend_result check_sharded(const smt_query& q, shard_stats* stats = nullptr);
 
-    /// Evaluates t under a model returned by check(), defaulting unblasted
+    /// Evaluates t under a model returned by a solve, defaulting unblasted
     /// variables to zero.
     [[nodiscard]] std::uint64_t model_value(smt::term t, const smt::env& model) const {
         return eval_model(tm_, t, model);
     }
 
 private:
-    backend_result solve_uncached(const smt_query& q, bool allow_portfolio);
-    /// The engine's worker pool, created on first concurrent use and then
-    /// shared by every portfolio race, batch, shard and async query — loops
-    /// issuing thousands of queries pay thread spawn/teardown once.
+    /// Shared body of submit(): resolve, cache-lookup, coalesce, then
+    /// either dispatch to the pool (async) or — for the synchronous shim
+    /// path — execute inline on the calling thread, which keeps
+    /// sequential workloads free of worker threads entirely (duplicates
+    /// arriving meanwhile still coalesce onto the published future).
+    query_handle do_submit(solve_request req, bool inline_exec);
+    /// Executes one resolved request on the calling (worker) thread.
+    backend_result run_request(const smt_query& q, const struct strategy& requested,
+                               const query_key& key, detail::query_state& state);
+    /// run_request plus the completion protocol: cache insert, history
+    /// record, inflight erase, finished flag — exception-safe.
+    backend_result run_and_complete(const smt_query& q, const struct strategy& requested,
+                                    const query_key& key, detail::query_state& state);
+    /// The engine's worker pool, created on first use and then shared by
+    /// every race, batch, shard and async query — loops issuing thousands
+    /// of queries pay thread spawn/teardown once.
     thread_pool& pool();
+
+    /// An in-flight request, as the coalescing map tracks it: the shared
+    /// state plus the future later duplicates attach to (kept out of the
+    /// state itself — see the cycle note in query_handle).
+    struct inflight_entry {
+        std::shared_ptr<detail::query_state> state;
+        std::shared_future<backend_result> future;
+    };
 
     smt::term_manager& tm_;
     engine_config cfg_;
+    resolved_strategy defaults_;  // cfg_ translated into strategy defaults
     query_cache cache_;
     std::mutex inflight_mutex_;
-    std::unordered_map<query_key, std::shared_future<backend_result>, query_key_hash> inflight_;
+    std::unordered_map<query_key, inflight_entry, query_key_hash> inflight_;
+    // Per-key outcome history feeding strategy::auto_select (survives cache
+    // bypass and eviction; coarsely bounded, see engine.cpp).
+    struct solve_profile {
+        std::uint64_t conflicts = 0;
+        strategy_kind kind = strategy_kind::single;
+    };
+    std::mutex history_mutex_;
+    std::unordered_map<query_key, solve_profile, query_key_hash> history_;
     mutable std::mutex stats_mutex_;
     engine_stats stats_;
-    // The pool is declared last on purpose: async tasks touch cache_,
-    // inflight_ and stats_, so ~smt_engine must drain the pool (members are
-    // destroyed in reverse declaration order) before any of those die.
+    // The pool is declared last on purpose: submitted tasks touch cache_,
+    // inflight_, history_ and stats_, so ~smt_engine must drain the pool
+    // (members are destroyed in reverse declaration order) before any of
+    // those die.
     std::mutex pool_mutex_;
     std::unique_ptr<thread_pool> pool_;
 };

@@ -38,10 +38,20 @@ sat::solver_options diversified_options(unsigned member) {
 
 namespace {
 
-portfolio_outcome race_single(const backend_factory& factory) {
+/// Arms the per-instance conflict budget on a freshly built backend: the
+/// pause threshold is absolute, so a fresh core pauses after exactly
+/// `budget` conflicts and answers unknown with its state intact.
+void arm_budget(solver_backend& backend, std::uint64_t budget) {
+    if (budget == 0) return;
+    if (sat::solver* core = backend.sat_core())
+        core->set_conflict_pause(core->stats().conflicts + budget);
+}
+
+portfolio_outcome race_single(const backend_factory& factory, const solve_controls& controls) {
     portfolio_outcome outcome;
     auto backend = factory(0);
-    outcome.result = backend->check();
+    arm_budget(*backend, controls.conflict_budget);
+    outcome.result = backend->check(controls.cancel);
     outcome.winner_name = backend->name();
     outcome.total_conflicts = outcome.result.conflicts;
     return outcome;
@@ -49,15 +59,19 @@ portfolio_outcome race_single(const backend_factory& factory) {
 
 /// Free-running race, optionally with a shared clause pool. With
 /// `exchange == nullptr` this is the pre-sharing race, byte-identical in
-/// answers and per-member solver behaviour.
+/// answers and per-member solver behaviour. An external cancel flag in
+/// `controls` doubles as the race's own loser-cancellation line, so a
+/// caller setting it mid-solve aborts every member cooperatively.
 portfolio_outcome race_free(const backend_factory& factory, unsigned members, thread_pool& pool,
-                            clause_pool* exchange) {
+                            clause_pool* exchange, const solve_controls& controls) {
     struct race_state {
-        std::atomic<bool> cancel{false};
+        std::atomic<bool> local_cancel{false};
+        std::atomic<bool>* cancel = nullptr;
         std::mutex mutex;
         portfolio_outcome outcome;
         bool decided = false;
     } state;
+    state.cancel = controls.cancel != nullptr ? controls.cancel : &state.local_cancel;
 
     if (exchange != nullptr) {
         // Register every member up front so pool member ids are independent
@@ -66,13 +80,14 @@ portfolio_outcome race_free(const backend_factory& factory, unsigned members, th
     }
 
     pool.parallel_for(members, [&](std::size_t member) {
-        if (state.cancel.load(std::memory_order_relaxed)) return;
+        if (state.cancel->load(std::memory_order_relaxed)) return;
         auto backend = factory(static_cast<unsigned>(member));
         if (exchange != nullptr) {
             if (sat::solver* core = backend->sat_core())
                 exchange->attach(*core, static_cast<unsigned>(member));
         }
-        backend_result result = backend->check(&state.cancel);
+        arm_budget(*backend, controls.conflict_budget);
+        backend_result result = backend->check(state.cancel);
         const std::uint64_t conflicts = result.conflicts;
         sat::solver_stats core_stats;
         if (sat::solver* core = backend->sat_core()) core_stats = core->stats();
@@ -85,7 +100,7 @@ portfolio_outcome race_free(const backend_factory& factory, unsigned members, th
         state.outcome.result = std::move(result);
         state.outcome.winner = static_cast<unsigned>(member);
         state.outcome.winner_name = backend->name();
-        state.cancel.store(true, std::memory_order_relaxed);
+        state.cancel->store(true, std::memory_order_relaxed);
     });
     return state.outcome;  // all-unknown leaves the default (answer::unknown)
 }
@@ -97,7 +112,7 @@ portfolio_outcome race_free(const backend_factory& factory, unsigned members, th
 /// and `pool == nullptr` (the sequential budgeted portfolio) is just the
 /// one-thread schedule of the same computation.
 portfolio_outcome race_rounds(const backend_factory& factory, const portfolio_config& cfg,
-                              thread_pool* pool) {
+                              thread_pool* pool, const solve_controls& controls) {
     const unsigned members = cfg.members == 0 ? 1 : cfg.members;
     const std::uint64_t slice = cfg.sharing.slice_conflicts == 0 ? default_slice_conflicts
                                                                  : cfg.sharing.slice_conflicts;
@@ -122,7 +137,7 @@ portfolio_outcome race_rounds(const backend_factory& factory, const portfolio_co
             if (decided[m] != 0) return;
             sat::solver* core = team[m]->sat_core();
             if (core != nullptr) core->set_conflict_pause(core->stats().conflicts + slice);
-            backend_result r = team[m]->check(nullptr);
+            backend_result r = team[m]->check(controls.cancel);
             if (core != nullptr) core->set_conflict_pause(0);
             if (r.ans != answer::unknown) {
                 decided[m] = 1;
@@ -137,6 +152,32 @@ portfolio_outcome race_rounds(const backend_factory& factory, const portfolio_co
             for (unsigned m = 0; m < members; ++m) run_member(m);
         }
         if (cfg.sharing.enabled && cfg.sharing.deterministic) exchange.seal_round();
+        // External cancellation and budget exhaustion resolve at the round
+        // barrier (deterministically for the budget: member conflict counts
+        // are scheduling-independent). Either finalizes with unknown.
+        const bool cancelled =
+            controls.cancel != nullptr && controls.cancel->load(std::memory_order_relaxed);
+        bool exhausted = controls.conflict_budget != 0;
+        if (exhausted) {
+            for (unsigned m = 0; m < members && exhausted; ++m) {
+                if (decided[m] != 0) continue;
+                sat::solver* core = team[m]->sat_core();
+                exhausted = core == nullptr || core->stats().conflicts >= controls.conflict_budget;
+            }
+        }
+        if (cancelled || exhausted) {
+            bool any_decided = false;
+            for (unsigned m = 0; m < members; ++m) any_decided = any_decided || decided[m] != 0;
+            if (!any_decided) {
+                for (unsigned k = 0; k < members; ++k) {
+                    if (sat::solver* core = team[k]->sat_core()) {
+                        out.total_conflicts += core->stats().conflicts;
+                        out.sharing.accumulate(core->stats());
+                    }
+                }
+                return out;  // answer stays unknown
+            }
+        }
         // Deterministic winner: the lowest-indexed member with an answer.
         for (unsigned m = 0; m < members; ++m) {
             if (decided[m] == 0) continue;
@@ -163,29 +204,39 @@ portfolio_outcome race_rounds(const backend_factory& factory, const portfolio_co
 }  // namespace
 
 portfolio_outcome race(const backend_factory& factory, unsigned members, thread_pool& pool) {
-    if (members <= 1) return race_single(factory);
-    return race_free(factory, members, pool, nullptr);
+    if (members <= 1) return race_single(factory, {});
+    return race_free(factory, members, pool, nullptr, {});
+}
+
+portfolio_outcome race(const backend_factory& factory, const portfolio_config& cfg,
+                       thread_pool& pool, const solve_controls& controls) {
+    const unsigned members = cfg.members == 0 ? 1 : cfg.members;
+    if (members == 1) return race_single(factory, controls);
+    if (cfg.sequential || (cfg.sharing.enabled && cfg.sharing.deterministic))
+        return race_rounds(factory, cfg, cfg.sequential ? nullptr : &pool, controls);
+    if (cfg.sharing.enabled) {
+        clause_pool exchange(cfg.sharing);
+        return race_free(factory, members, pool, &exchange, controls);
+    }
+    return race_free(factory, members, pool, nullptr, controls);
 }
 
 portfolio_outcome race(const backend_factory& factory, const portfolio_config& cfg,
                        thread_pool& pool) {
+    return race(factory, cfg, pool, {});
+}
+
+portfolio_outcome race(const backend_factory& factory, const portfolio_config& cfg,
+                       const solve_controls& controls) {
     const unsigned members = cfg.members == 0 ? 1 : cfg.members;
-    if (members == 1) return race_single(factory);
-    if (cfg.sequential || (cfg.sharing.enabled && cfg.sharing.deterministic))
-        return race_rounds(factory, cfg, cfg.sequential ? nullptr : &pool);
-    if (cfg.sharing.enabled) {
-        clause_pool exchange(cfg.sharing);
-        return race_free(factory, members, pool, &exchange);
-    }
-    return race_free(factory, members, pool, nullptr);
+    if (members == 1) return race_single(factory, controls);
+    if (cfg.sequential) return race_rounds(factory, cfg, nullptr, controls);
+    thread_pool pool(cfg.threads == 0 ? std::min(members, default_concurrency()) : cfg.threads);
+    return race(factory, cfg, pool, controls);
 }
 
 portfolio_outcome race(const backend_factory& factory, const portfolio_config& cfg) {
-    const unsigned members = cfg.members == 0 ? 1 : cfg.members;
-    if (members == 1) return race_single(factory);
-    if (cfg.sequential) return race_rounds(factory, cfg, nullptr);
-    thread_pool pool(cfg.threads == 0 ? std::min(members, default_concurrency()) : cfg.threads);
-    return race(factory, cfg, pool);
+    return race(factory, cfg, solve_controls{});
 }
 
 }  // namespace sciduction::substrate

@@ -93,6 +93,17 @@ portfolio_outcome race(const backend_factory& factory, const portfolio_config& c
 /// Same as race(factory, cfg), reusing the caller's worker pool.
 portfolio_outcome race(const backend_factory& factory, const portfolio_config& cfg,
                        thread_pool& pool);
+/// Full form: caller's pool plus external control lines — a cooperative
+/// cancel flag (set it and every member aborts; the race then answers
+/// unknown) and a per-member conflict budget (the budgeted-rounds driver
+/// checks it at its barriers; the free race arms each member's
+/// conflict-pause). This is the overload `smt_engine::submit` drives.
+portfolio_outcome race(const backend_factory& factory, const portfolio_config& cfg,
+                       thread_pool& pool, const solve_controls& controls);
+/// Controls without a caller pool: sequential configs run on the calling
+/// thread, threaded ones spin up a transient pool.
+portfolio_outcome race(const backend_factory& factory, const portfolio_config& cfg,
+                       const solve_controls& controls);
 /// Legacy convenience: plain race (no sharing) on an existing pool.
 portfolio_outcome race(const backend_factory& factory, unsigned members, thread_pool& pool);
 

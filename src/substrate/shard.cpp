@@ -94,22 +94,40 @@ cube_plan generate_cubes(sat::solver& s, const cube_config& cfg) {
 
 namespace {
 
+/// Arms the per-pair conflict budget on a freshly built replica (the
+/// threshold is cumulative over the pair's cubes).
+void arm_budget(solver_backend& backend, std::uint64_t budget) {
+    if (budget == 0) return;
+    if (sat::solver* core = backend.sat_core())
+        core->set_conflict_pause(core->stats().conflicts + budget);
+}
+
 /// Free-running scheduler: one task per sibling pair claimed off the pool.
 /// With `exchange != nullptr` the pairs additionally trade learnt clauses;
-/// answers stay deterministic, per-run stats become timing-dependent.
-shard_outcome solve_cubes_free(const shard_backend_factory& factory, const cube_plan& plan,
-                               thread_pool& pool, clause_pool* exchange) {
+/// answers stay deterministic, per-run stats become timing-dependent. An
+/// external cancel flag in `controls` doubles as the SAT race's own
+/// cancellation line, so a caller setting it mid-solve aborts every pair.
+shard_outcome solve_cubes_free(const indexed_shard_factory& factory, const cube_plan& plan,
+                               thread_pool& pool, clause_pool* exchange,
+                               const solve_controls& controls) {
     shard_outcome out;
     out.stats.cubes = plan.cubes.size();
     out.cube_fates.assign(plan.cubes.size(), cube_status::pending);
+    auto settle = [&](std::size_t i, cube_status fate) {
+        out.cube_fates[i] = fate;
+        if (controls.progress != nullptr)
+            controls.progress->fetch_add(1, std::memory_order_relaxed);
+    };
 
     struct race_state {
-        std::atomic<bool> cancel{false};
+        std::atomic<bool> local_cancel{false};
+        std::atomic<bool>* cancel = nullptr;
         std::mutex mutex;
         bool decided = false;
         backend_result winner;
         std::size_t winning_cube = shard_outcome::no_cube;
     } state;
+    state.cancel = controls.cancel != nullptr ? controls.cancel : &state.local_cancel;
 
     const std::size_t pairs = (plan.cubes.size() + 1) / 2;
     std::vector<std::uint64_t> pair_conflicts(pairs, 0);
@@ -125,51 +143,51 @@ shard_outcome solve_cubes_free(const shard_backend_factory& factory, const cube_
     pool.parallel_for(pairs, [&](std::size_t pair) {
         const std::size_t first = 2 * pair;
         const std::size_t last = std::min(first + 2, plan.cubes.size());
-        if (state.cancel.load(std::memory_order_relaxed)) {
-            for (std::size_t i = first; i < last; ++i) out.cube_fates[i] = cube_status::skipped;
+        if (state.cancel->load(std::memory_order_relaxed)) {
+            for (std::size_t i = first; i < last; ++i) settle(i, cube_status::skipped);
             return;
         }
         // One incremental solver per pair: the sibling reuses the clauses
         // learnt refuting its twin, and the pair's work is scheduling-
         // independent (the all-UNSAT determinism contract).
-        auto backend = factory();
+        auto backend = factory(pair);
         if (exchange != nullptr) {
             if (sat::solver* core = backend->sat_core())
                 exchange->attach(*core, static_cast<unsigned>(pair));
         }
+        arm_budget(*backend, controls.conflict_budget);
         bool sibling_pruned = false;
         for (std::size_t i = first; i < last; ++i) {
-            if (state.cancel.load(std::memory_order_relaxed)) {
-                out.cube_fates[i] = cube_status::skipped;
+            if (state.cancel->load(std::memory_order_relaxed)) {
+                settle(i, cube_status::skipped);
                 continue;
             }
             if (sibling_pruned) {
-                out.cube_fates[i] = cube_status::pruned;
+                settle(i, cube_status::pruned);
                 continue;
             }
             std::vector<sat::lit> assumed = plan.cubes[i].lits;
             assumed.insert(assumed.end(), plan.forced.begin(), plan.forced.end());
-            backend_result r = backend->check_cube(assumed, &state.cancel);
+            backend_result r = backend->check_cube(assumed, state.cancel);
             pair_conflicts[pair] += r.conflicts;
-            if (r.ans == answer::unknown) {  // cancelled mid-solve
-                out.cube_fates[i] = cube_status::skipped;
+            if (r.ans == answer::unknown) {  // cancelled or budget-exhausted mid-solve
+                settle(i, cube_status::skipped);
                 continue;
             }
             if (r.ans == answer::sat) {
-                out.cube_fates[i] = cube_status::satisfied;
-                for (std::size_t j = i + 1; j < last; ++j)
-                    out.cube_fates[j] = cube_status::skipped;
+                settle(i, cube_status::satisfied);
+                for (std::size_t j = i + 1; j < last; ++j) settle(j, cube_status::skipped);
                 if (sat::solver* core = backend->sat_core()) pair_stats[pair] = core->stats();
                 std::lock_guard<std::mutex> lock(state.mutex);
                 if (!state.decided) {
                     state.decided = true;
                     state.winner = std::move(r);
                     state.winning_cube = i;
-                    state.cancel.store(true, std::memory_order_relaxed);
+                    state.cancel->store(true, std::memory_order_relaxed);
                 }
                 return;
             }
-            out.cube_fates[i] = cube_status::refuted;
+            settle(i, cube_status::refuted);
             // Sibling pruning: the twin differs only in the last literal; a
             // refutation that never used it refutes the twin as well.
             if (i + 1 < last && !plan.cubes[i].lits.empty()) {
@@ -209,11 +227,17 @@ shard_outcome solve_cubes_free(const shard_backend_factory& factory, const cube_
 /// depends only on its own deterministic search plus the pool sealed at
 /// round r-1, so answers, per-cube fates and stats are identical for any
 /// thread count. A SAT answer is resolved at the barrier in pair order.
-shard_outcome solve_cubes_rounds(const shard_backend_factory& factory, const cube_plan& plan,
-                                 thread_pool& pool, const sharing_config& sharing) {
+shard_outcome solve_cubes_rounds(const indexed_shard_factory& factory, const cube_plan& plan,
+                                 thread_pool& pool, const sharing_config& sharing,
+                                 const solve_controls& controls) {
     shard_outcome out;
     out.stats.cubes = plan.cubes.size();
     out.cube_fates.assign(plan.cubes.size(), cube_status::pending);
+    auto settle = [&](std::size_t i, cube_status fate) {
+        out.cube_fates[i] = fate;
+        if (controls.progress != nullptr)
+            controls.progress->fetch_add(1, std::memory_order_relaxed);
+    };
 
     clause_pool exchange(sharing);
     exchange.ban_vars(plan.split_vars);
@@ -234,7 +258,7 @@ shard_outcome solve_cubes_rounds(const shard_backend_factory& factory, const cub
     };
     std::vector<pair_task> tasks(pairs);
     for (std::size_t p = 0; p < pairs; ++p) {
-        tasks[p].backend = factory();
+        tasks[p].backend = factory(p);
         tasks[p].first = 2 * p;
         tasks[p].last = std::min(2 * p + 2, plan.cubes.size());
         tasks[p].next = tasks[p].first;
@@ -244,6 +268,7 @@ shard_outcome solve_cubes_rounds(const shard_backend_factory& factory, const cub
     }
 
     bool any_sat = false;
+    bool aborted = false;
     for (;;) {
         ++out.stats.rounds;
         auto run_pair = [&](std::size_t p) {
@@ -253,24 +278,24 @@ shard_outcome solve_cubes_rounds(const shard_backend_factory& factory, const cub
             if (core != nullptr) core->set_conflict_pause(core->stats().conflicts + slice);
             while (t.next < t.last) {
                 if (t.sibling_pruned) {
-                    out.cube_fates[t.next++] = cube_status::pruned;
+                    settle(t.next++, cube_status::pruned);
                     continue;
                 }
                 std::vector<sat::lit> assumed = plan.cubes[t.next].lits;
                 assumed.insert(assumed.end(), plan.forced.begin(), plan.forced.end());
-                backend_result r = t.backend->check_cube(assumed, nullptr);
+                backend_result r = t.backend->check_cube(assumed, controls.cancel);
                 if (r.ans == answer::unknown) break;  // slice exhausted; resume next round
                 if (r.ans == answer::sat) {
-                    out.cube_fates[t.next] = cube_status::satisfied;
+                    settle(t.next, cube_status::satisfied);
                     t.found_sat = true;
                     t.sat_result = std::move(r);
                     t.sat_cube = t.next;
                     for (std::size_t j = t.next + 1; j < t.last; ++j)
-                        out.cube_fates[j] = cube_status::skipped;
+                        settle(j, cube_status::skipped);
                     t.done = true;
                     break;
                 }
-                out.cube_fates[t.next] = cube_status::refuted;
+                settle(t.next, cube_status::refuted);
                 if (t.next + 1 < t.last && !plan.cubes[t.next].lits.empty()) {
                     const sat::lit split = plan.cubes[t.next].lits.back();
                     t.sibling_pruned =
@@ -292,17 +317,36 @@ shard_outcome solve_cubes_rounds(const shard_backend_factory& factory, const cub
             }
         }
         if (any_sat) break;
+        // External cancellation resolves at the barrier; budget-exhausted
+        // pairs retire deterministically (their conflict counts are
+        // scheduling-independent) with their remaining cubes skipped.
+        if (controls.cancel != nullptr && controls.cancel->load(std::memory_order_relaxed)) {
+            aborted = true;
+            break;
+        }
+        if (controls.conflict_budget != 0) {
+            for (pair_task& t : tasks) {
+                if (t.done) continue;
+                sat::solver* core = t.backend->sat_core();
+                if (core == nullptr || core->stats().conflicts >= controls.conflict_budget) {
+                    for (std::size_t i = t.next; i < t.last; ++i)
+                        settle(i, cube_status::skipped);
+                    t.next = t.last;
+                    t.done = true;
+                }
+            }
+        }
         bool all_done = true;
         for (const pair_task& t : tasks) all_done = all_done && t.done;
         if (all_done) break;
     }
 
-    // A SAT win abandons every undecided cube of the other pairs.
+    // A SAT win (or an external cancellation) abandons every undecided cube
+    // of the other pairs.
     for (pair_task& t : tasks) {
-        if (any_sat) {
+        if (any_sat || aborted) {
             for (std::size_t i = t.next; i < t.last; ++i)
-                if (out.cube_fates[i] == cube_status::pending)
-                    out.cube_fates[i] = cube_status::skipped;
+                if (out.cube_fates[i] == cube_status::pending) settle(i, cube_status::skipped);
         }
         if (sat::solver* core = t.backend->sat_core()) {
             out.stats.conflicts += core->stats().conflicts;
@@ -326,8 +370,9 @@ shard_outcome solve_cubes_rounds(const shard_backend_factory& factory, const cub
 
 }  // namespace
 
-shard_outcome solve_cubes(const shard_backend_factory& factory, const cube_plan& plan,
-                          thread_pool& pool, const sharing_config& sharing) {
+shard_outcome solve_cubes(const indexed_shard_factory& factory, const cube_plan& plan,
+                          thread_pool& pool, const sharing_config& sharing,
+                          const solve_controls& controls) {
     if (plan.root_unsat) {
         shard_outcome out;
         out.stats.cubes = plan.cubes.size();
@@ -336,13 +381,19 @@ shard_outcome solve_cubes(const shard_backend_factory& factory, const cube_plan&
         return out;
     }
     if (sharing.enabled && sharing.deterministic)
-        return solve_cubes_rounds(factory, plan, pool, sharing);
+        return solve_cubes_rounds(factory, plan, pool, sharing, controls);
     if (sharing.enabled) {
         clause_pool exchange(sharing);
         exchange.ban_vars(plan.split_vars);
-        return solve_cubes_free(factory, plan, pool, &exchange);
+        return solve_cubes_free(factory, plan, pool, &exchange, controls);
     }
-    return solve_cubes_free(factory, plan, pool, nullptr);
+    return solve_cubes_free(factory, plan, pool, nullptr, controls);
+}
+
+shard_outcome solve_cubes(const shard_backend_factory& factory, const cube_plan& plan,
+                          thread_pool& pool, const sharing_config& sharing) {
+    return solve_cubes([&factory](std::size_t) { return factory(); }, plan, pool, sharing,
+                       solve_controls{});
 }
 
 shard_outcome solve_cubes(const shard_backend_factory& factory, const cube_plan& plan,

@@ -105,6 +105,15 @@ struct shard_outcome {
 /// portfolio factories).
 using shard_backend_factory = std::function<std::unique_ptr<solver_backend>()>;
 
+/// Pair-indexed replica factory: like shard_backend_factory, but told which
+/// sibling pair the replica will solve. The CNF must still be identical
+/// across replicas (the contract above); the index exists so the caller can
+/// diversify *search options* per pair — the shard_over_portfolio strategy
+/// runs pair p under diversified_options(p), marrying cube splitting with
+/// the portfolio's min-over-strategies effect. Deterministic: pair p always
+/// receives index p regardless of scheduling.
+using indexed_shard_factory = std::function<std::unique_ptr<solver_backend>(std::size_t pair)>;
+
 /// Decides the problem by dispatching the plan's cubes across `pool`.
 /// Work-stealing-style refill: the unit of work is a sibling pair, and
 /// idle workers claim the next pair index until the tree is drained. A
@@ -123,6 +132,16 @@ using shard_backend_factory = std::function<std::unique_ptr<solver_backend>()>;
 /// cost of persistent per-pair solver instances and round latency.
 shard_outcome solve_cubes(const shard_backend_factory& factory, const cube_plan& plan,
                           thread_pool& pool, const sharing_config& sharing);
+/// Full form: pair-indexed factory plus external control lines — a
+/// cooperative cancel flag (set it and every pair aborts; undecided cubes
+/// are marked skipped and the outcome answers unknown), a progress counter
+/// bumped once per settled cube, and a per-pair conflict budget (armed as
+/// a conflict-pause on the free scheduler, checked at the round barriers
+/// of the deterministic one). This is the overload `smt_engine::submit`
+/// and `solve_cnf` drive.
+shard_outcome solve_cubes(const indexed_shard_factory& factory, const cube_plan& plan,
+                          thread_pool& pool, const sharing_config& sharing,
+                          const solve_controls& controls);
 /// Same as above with sharing off (the legacy entry point, bit-identical
 /// to its pre-sharing behaviour).
 shard_outcome solve_cubes(const shard_backend_factory& factory, const cube_plan& plan,

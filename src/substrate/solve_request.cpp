@@ -1,0 +1,224 @@
+#include "substrate/solve_request.hpp"
+
+#include <algorithm>
+
+#include "substrate/portfolio.hpp"
+#include "substrate/thread_pool.hpp"
+
+namespace sciduction::substrate {
+
+const char* to_string(strategy_kind k) {
+    switch (k) {
+        case strategy_kind::automatic: return "automatic";
+        case strategy_kind::single: return "single";
+        case strategy_kind::portfolio: return "portfolio";
+        case strategy_kind::shard: return "shard";
+        case strategy_kind::shard_over_portfolio: return "shard_over_portfolio";
+    }
+    return "?";
+}
+
+strategy strategy::single() {
+    strategy s;
+    s.kind = strategy_kind::single;
+    return s;
+}
+
+strategy strategy::portfolio(unsigned members) {
+    strategy s;
+    s.kind = strategy_kind::portfolio;
+    if (members > 0) s.members = members;
+    return s;
+}
+
+strategy strategy::shard(unsigned depth) {
+    strategy s;
+    s.kind = strategy_kind::shard;
+    if (depth > 0) s.depth = depth;
+    return s;
+}
+
+strategy strategy::shard_over_portfolio(unsigned depth) {
+    strategy s;
+    s.kind = strategy_kind::shard_over_portfolio;
+    if (depth > 0) s.depth = depth;
+    return s;
+}
+
+namespace {
+
+/// ~log2(threads) clamped to [1, max_depth] — the TUNING.md depth rule.
+unsigned depth_for_threads(unsigned threads, unsigned max_depth) {
+    unsigned d = 1;
+    while ((1u << (d + 1)) <= std::max(1u, threads) && d < max_depth) ++d;
+    return d;
+}
+
+}  // namespace
+
+strategy strategy::auto_select(const query_features& f) {
+    using t = auto_select_thresholds;
+    const unsigned threads = std::max(1u, f.threads);
+    // Prior outcomes for this structural key dominate the size features:
+    // the classifier has *seen* how hard the query is, it need not guess.
+    if (f.has_history) {
+        if (f.prior_conflicts >= t::brutal_conflicts)
+            return shard_over_portfolio(depth_for_threads(threads, 3));
+        if (f.prior_conflicts >= t::hard_conflicts)
+            return shard(depth_for_threads(threads, 2));
+        if (f.prior_conflicts >= t::easy_conflicts) {
+            strategy s = portfolio();
+            if (threads <= 1) s.sequential = true;
+            return s;
+        }
+        return single();
+    }
+    // Size features. Small instances: the solver startup dominates, any
+    // concurrency strategy only adds overhead. Assumption-carrying queries
+    // are the incremental shape (same assertions re-checked under varying
+    // assumptions): keep the instance single so models and per-key history
+    // stay deterministic.
+    if (f.clauses < t::small_clauses && f.variables < t::small_variables) return single();
+    if (f.assumptions > 0) return single();
+    if (f.clauses >= t::large_clauses) return shard(depth_for_threads(threads, 2));
+    strategy s = portfolio();
+    if (threads <= 1) s.sequential = true;
+    return s;
+}
+
+strategy strategy::overriding(strategy pick) const {
+    if (members) pick.members = members;
+    if (sequential) pick.sequential = sequential;
+    if (depth) pick.depth = depth;
+    if (probe_candidates) pick.probe_candidates = probe_candidates;
+    if (sharing) pick.sharing = sharing;
+    if (use_cache) pick.use_cache = use_cache;
+    pick.conflict_budget = conflict_budget;
+    pick.time_budget_ms = time_budget_ms;
+    return pick;
+}
+
+resolved_strategy strategy::resolve(const resolved_strategy& defaults) const {
+    resolved_strategy r = defaults;
+    r.kind = kind;
+    if (members) r.members = *members;
+    if (sequential) r.sequential = *sequential;
+    if (depth) r.depth = *depth;
+    if (probe_candidates) r.probe_candidates = *probe_candidates;
+    if (sharing) r.sharing = *sharing;
+    if (use_cache) r.use_cache = *use_cache;
+    r.conflict_budget = conflict_budget;
+    r.time_budget_ms = time_budget_ms;
+    // Normalize degenerate combinations the way the legacy entry points
+    // did: a shard request with no depth *is* the portfolio path
+    // (check_sharded's depth-0 degradation), and a 1-member portfolio *is*
+    // a single solve. `automatic` keeps its kind — the engine classifies
+    // once features are known — but its fields are resolved so explicit
+    // per-request settings survive the classification.
+    if ((r.kind == strategy_kind::shard || r.kind == strategy_kind::shard_over_portfolio) &&
+        r.depth == 0)
+        r.kind = strategy_kind::portfolio;
+    if (r.kind == strategy_kind::portfolio && r.members <= 1) r.kind = strategy_kind::single;
+    return r;
+}
+
+cnf_outcome solve_cnf(const cnf_builder& build, const strategy& strat, unsigned threads,
+                      const solve_controls& controls) {
+    // Library-level defaults (no engine_config at the CNF level): the
+    // portfolio/cube defaults of portfolio_config / cube_config.
+    resolved_strategy defaults;
+    defaults.members = 4;
+    defaults.depth = 3;
+    resolved_strategy rs = strat.resolve(defaults);
+
+    // The prototype instance is built at most once and recycled: the
+    // automatic classifier reads its size, the single path solves it, and
+    // the shard paths run the cube lookahead on it.
+    std::unique_ptr<sat_backend> proto;
+    auto make_proto = [&] {
+        proto = std::make_unique<sat_backend>(sat::solver_options{}, "cnf#0");
+        build(0, proto->solver());
+    };
+
+    cnf_outcome out;
+    if (rs.kind == strategy_kind::automatic) {
+        // Classify on the prototype's size. No per-key history at this
+        // level: solve_cnf is a free function, callers with a loop hold an
+        // engine.
+        make_proto();
+        query_features f;
+        f.variables = static_cast<std::size_t>(proto->solver().num_vars());
+        f.clauses = proto->solver().num_clauses();
+        f.threads = threads == 0 ? default_concurrency() : threads;
+        // Explicitly-set request fields survive the classification — the
+        // same precedence order as the engine path.
+        rs = strat.overriding(strategy::auto_select(f)).resolve(defaults);
+    }
+    out.executed = rs.kind;
+
+    // The strategy's own budget takes precedence over the caller-supplied
+    // control line (per-request fields override ambient state throughout).
+    solve_controls inner = controls;
+    if (rs.conflict_budget != 0) inner.conflict_budget = rs.conflict_budget;
+
+    if (rs.kind == strategy_kind::single) {
+        if (!proto) make_proto();
+        if (inner.conflict_budget != 0)
+            proto->solver().set_conflict_pause(proto->solver().stats().conflicts +
+                                               inner.conflict_budget);
+        out.result = proto->check(inner.cancel);
+        out.total_conflicts = out.result.conflicts;
+        return out;
+    }
+
+    if (rs.kind == strategy_kind::portfolio) {
+        portfolio_config pcfg;
+        pcfg.members = rs.members;
+        // 0 passes through: race()'s transient pool then clamps to
+        // min(members, hardware) rather than spawning a full-width pool.
+        pcfg.threads = threads;
+        pcfg.sharing = rs.sharing;
+        pcfg.sequential = rs.sequential;
+        // Member 0's options are the baseline, so a prototype built for the
+        // classifier is recycled instead of re-running the builder.
+        auto factory = [&](unsigned member) -> std::unique_ptr<solver_backend> {
+            if (member == 0 && proto) return std::move(proto);
+            auto backend = std::make_unique<sat_backend>(diversified_options(member),
+                                                         "cnf#" + std::to_string(member));
+            build(member, backend->solver());
+            return backend;
+        };
+        portfolio_outcome race_out = race(factory, pcfg, inner);
+        out.result = std::move(race_out.result);
+        out.winner = race_out.winner;
+        out.total_conflicts = race_out.total_conflicts;
+        out.sharing = race_out.sharing;
+        return out;
+    }
+
+    // Shard kinds: lookahead on the prototype picks the split variables,
+    // then the cube tree is dispatched across a pool. shard_over_portfolio
+    // additionally diversifies the sibling-pair replicas by pair index.
+    const bool diversify = rs.kind == strategy_kind::shard_over_portfolio;
+    if (!proto) make_proto();
+    cube_plan plan = generate_cubes(proto->solver(),
+                                    {.depth = rs.depth, .probe_candidates = rs.probe_candidates});
+    thread_pool pool(threads == 0 ? default_concurrency() : threads);
+    shard_outcome shard_out = solve_cubes(
+        [&](std::size_t pair) {
+            auto backend = std::make_unique<sat_backend>(
+                diversify ? diversified_options(static_cast<unsigned>(pair))
+                          : sat::solver_options{},
+                "cnf-shard#" + std::to_string(pair));
+            build(0, backend->solver());
+            return backend;
+        },
+        plan, pool, rs.sharing, inner);
+    out.result = std::move(shard_out.result);
+    out.total_conflicts = shard_out.stats.conflicts;
+    out.sharing = shard_out.stats.sharing;
+    out.shard = shard_out.stats;
+    return out;
+}
+
+}  // namespace sciduction::substrate

@@ -1,0 +1,190 @@
+/// \file
+/// The substrate's unified request model: one `solve_request` describes a
+/// deductive query *and* how to decide it.
+///
+/// Before this header the engine exposed the strategy space as parallel
+/// entry points (`check` vs `check_batch` vs `check_sharded` vs
+/// `check_async`) crossed with engine-global configuration. A
+/// `solve_request` folds that flag soup into data: the assertions plus a
+/// composable `strategy` descriptor — `automatic | single | portfolio |
+/// shard | shard_over_portfolio` with sharing, determinism, conflict/time
+/// budgets and cache policy as per-request fields. `smt_engine::submit`
+/// (engine.hpp) is the one entry point consuming it; `solve_cnf` below is
+/// the CNF-level analogue for workloads (invgen) that build clauses
+/// directly instead of terms.
+///
+/// `strategy::auto_select` closes the ROADMAP "adaptive member selection
+/// per query shape" item: a deterministic classifier over cheap structural
+/// features (variable/clause counts, incrementality, prior outcomes for
+/// the structural key) that picks the strategy and the shard depth.
+#pragma once
+
+#include <optional>
+
+#include "substrate/backend.hpp"
+#include "substrate/clause_exchange.hpp"
+#include "substrate/shard.hpp"
+
+namespace sciduction::substrate {
+
+/// The five ways the substrate can decide one query.
+enum class strategy_kind : std::uint8_t {
+    automatic,           ///< classify the query and pick one of the concrete kinds
+    single,              ///< one solver instance on one thread
+    portfolio,           ///< race N diversified instances (or time-slice them)
+    shard,               ///< cube-and-conquer one hard query across the pool
+    shard_over_portfolio ///< shard, with portfolio-diversified sibling pairs
+};
+
+/// Human-readable name of a strategy kind (bench/stat labels).
+const char* to_string(strategy_kind k);
+
+/// A strategy after resolution against the defaults: every knob concrete,
+/// `kind` never `automatic`. This is what the engine actually executes and
+/// what `query_handle::stats()` reports back.
+struct resolved_strategy {
+    strategy_kind kind = strategy_kind::single;  ///< concrete execution discipline
+    unsigned members = 1;            ///< portfolio members (kind portfolio)
+    bool sequential = false;         ///< budgeted sequential portfolio discipline
+    unsigned depth = 0;              ///< cube split depth (shard kinds)
+    unsigned probe_candidates = 16;  ///< lookahead probes per cube generation
+    sharing_config sharing{};        ///< learnt-clause exchange knobs
+    bool use_cache = true;           ///< consult/populate the query cache
+    std::uint64_t conflict_budget = 0;  ///< per-instance conflict cap (0 = unlimited)
+    std::uint64_t time_budget_ms = 0;   ///< await-side wall-clock cap (0 = unlimited)
+};
+
+/// The cheap structural features `strategy::auto_select` classifies on.
+/// The engine fills them from the blasted prototype instance (whose
+/// construction is paid anyway by the solve) and from its per-key outcome
+/// history; tests construct them directly.
+struct query_features {
+    std::size_t variables = 0;    ///< CNF variables of the blasted instance
+    std::size_t clauses = 0;      ///< CNF problem clauses of the blasted instance
+    std::size_t assumptions = 0;  ///< per-check assumption terms (incremental shape)
+    unsigned threads = 1;         ///< worker threads available to the engine
+    bool has_history = false;     ///< a prior solve of this structural key is on record
+    std::uint64_t prior_conflicts = 0;  ///< conflicts that prior solve spent
+};
+
+/// How to decide one query: the kind plus optional per-request overrides.
+/// Unset fields inherit the engine defaults (`engine_config`), so request
+/// fields always take precedence over engine-global state — the config
+/// precedence contract tested in solve_request_test.cpp.
+struct strategy {
+    /// Requested execution discipline; `automatic` defers to auto_select.
+    strategy_kind kind = strategy_kind::automatic;
+    /// Portfolio members to race (unset = engine default).
+    std::optional<unsigned> members;
+    /// Budgeted sequential portfolio instead of a threaded race (unset =
+    /// engine default).
+    std::optional<bool> sequential;
+    /// Cube split depth for the shard kinds (unset = engine default).
+    std::optional<unsigned> depth;
+    /// Lookahead probes per cube generation (unset = engine default).
+    std::optional<unsigned> probe_candidates;
+    /// Learnt-clause exchange knobs, incl. `sharing_config::deterministic`
+    /// (unset = engine default).
+    std::optional<sharing_config> sharing;
+    /// Consult/populate the query cache for this request (unset = engine
+    /// default). Coalescing of in-flight duplicates is independent of this.
+    std::optional<bool> use_cache;
+    /// Conflict budget per solver instance; exhausting it yields
+    /// answer::unknown. 0 = unlimited.
+    std::uint64_t conflict_budget = 0;
+    /// Wall-clock budget enforced at `query_handle::get()`: on expiry the
+    /// solve is cooperatively cancelled and the handle yields
+    /// answer::unknown. 0 = unlimited.
+    std::uint64_t time_budget_ms = 0;
+
+    /// A strategy left entirely to the classifier.
+    static strategy automatic() { return {}; }
+    /// One solver instance, engine defaults for everything else.
+    static strategy single();
+    /// Portfolio race; `members` 0 inherits the engine default.
+    static strategy portfolio(unsigned members = 0);
+    /// Cube-and-conquer; `depth` 0 inherits the engine default (which may
+    /// degrade the request to portfolio/single, exactly like the legacy
+    /// `check_sharded` with `shard_depth == 0`).
+    static strategy shard(unsigned depth = 0);
+    /// Cube-and-conquer with portfolio-diversified sibling pairs: pair *p*
+    /// runs under `diversified_options(p)`, so the tree gets the
+    /// min-over-strategies effect without re-proving whole queries.
+    static strategy shard_over_portfolio(unsigned depth = 0);
+
+    /// The deterministic per-query classifier (ROADMAP "adaptive member
+    /// selection per query shape"). Pure function of the features: prior
+    /// outcomes for the structural key dominate (a query proven cheap stays
+    /// single; one that burned conflicts escalates to portfolio, shard, or
+    /// shard_over_portfolio), otherwise size thresholds pick between a
+    /// single instance, a (sequential on one thread) portfolio, and a
+    /// shard tree with depth ~ log2(threads). Never returns `automatic`.
+    static strategy auto_select(const query_features& f);
+
+    /// Applies this request's explicitly-set fields over a classifier
+    /// pick and returns the combined strategy — the precedence rule
+    /// "request field > classifier pick" (defaults apply at resolve
+    /// time); budgets always copy from the request. Both automatic
+    /// dispatchers (smt_engine and solve_cnf) route through this.
+    [[nodiscard]] strategy overriding(strategy pick) const;
+
+    /// Resolves this request against concrete defaults: unset optionals
+    /// inherit, set fields override, budgets copy through. Degenerate
+    /// combinations normalize exactly like the legacy entry points did
+    /// (portfolio of 1 member => single; shard of depth 0 => portfolio
+    /// resolution). `automatic` resolves its *fields* but keeps its kind —
+    /// the engine classifies once the features are known.
+    [[nodiscard]] resolved_strategy resolve(const resolved_strategy& defaults) const;
+};
+
+/// Thresholds of `strategy::auto_select`, exposed so tests and docs stay in
+/// sync with the classifier (see docs/TUNING.md).
+struct auto_select_thresholds {
+    static constexpr std::size_t small_clauses = 2000;   ///< below: single
+    static constexpr std::size_t small_variables = 600;  ///< below (and small_clauses): single
+    static constexpr std::size_t large_clauses = 20000;  ///< at/above: shard
+    static constexpr std::uint64_t easy_conflicts = 800;     ///< prior below: single
+    static constexpr std::uint64_t hard_conflicts = 6000;    ///< prior at/above: shard
+    static constexpr std::uint64_t brutal_conflicts = 24000; ///< prior at/above: shard_over_portfolio
+};
+
+/// One term-level deductive request — what `smt_engine::submit` consumes:
+/// the query itself (decide the conjunction of `assertions` under the
+/// non-persisted `assumptions`) plus the strategy deciding it. All terms
+/// must exist before submission (backends only read the term manager).
+struct solve_request {
+    std::vector<smt::term> assertions;   ///< terms asserted true
+    std::vector<smt::term> assumptions;  ///< extra per-check assumption terms
+    /// How to decide the query; default lets the classifier pick.
+    struct strategy strategy;
+};
+
+/// What `solve_cnf` returns: the combined answer plus the per-strategy
+/// accounting the portfolio and shard layers expose.
+struct cnf_outcome {
+    backend_result result;      ///< the verdict (winner's model if sat)
+    unsigned winner = 0;        ///< portfolio member that answered (portfolio kinds)
+    std::uint64_t total_conflicts = 0;  ///< conflicts across all instances
+    sharing_counters sharing{};         ///< aggregated exchange counters
+    shard_stats shard;                  ///< shard work breakdown (shard kinds)
+    strategy_kind executed = strategy_kind::single;  ///< the kind that actually ran
+};
+
+/// Deterministic CNF builder handed to solve_cnf: populate `s` with the
+/// member'th instance of the problem. Every member must build the identical
+/// CNF with identical variable numbering (the replica contract); the member
+/// index exists so callers can record per-member metadata (e.g. invgen's
+/// violation literals), not to vary the formula.
+using cnf_builder = std::function<void(unsigned member, sat::solver& s)>;
+
+/// CNF-level analogue of `smt_engine::submit` for workloads that build
+/// clauses directly (invgen's refinement rounds and inductive-step proof):
+/// resolves `strat` against library defaults (4 members, depth 3) and
+/// dispatches the built instances through the resolved strategy — single
+/// solve, diversified portfolio race, cube-and-conquer, or diversified
+/// cube-and-conquer. `automatic` classifies on a prototype instance's
+/// size (no history at this level). Synchronous; `threads` 0 = hardware.
+cnf_outcome solve_cnf(const cnf_builder& build, const strategy& strat, unsigned threads = 0,
+                      const solve_controls& controls = {});
+
+}  // namespace sciduction::substrate

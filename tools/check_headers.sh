@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Header self-containment check: every public substrate header must compile
+# standalone (all of its includes spelled out, nothing inherited from the
+# including TU). Run from the repository root; CXX overrides the compiler.
+#
+#   sh tools/check_headers.sh [header...]
+#
+# With no arguments, checks every src/substrate/*.hpp.
+set -eu
+cxx="${CXX:-c++}"
+status=0
+headers="$*"
+[ -n "$headers" ] || headers=$(ls src/substrate/*.hpp)
+tu=$(mktemp -t check_headers_XXXXXX.cpp)
+trap 'rm -f "$tu"' EXIT
+for header in $headers; do
+    # A one-line TU including only the header under test: anything the
+    # header forgot to include fails right here.
+    printf '#include "%s"\n' "$header" >"$tu"
+    if "$cxx" -std=c++20 -fsyntax-only -Wall -Wextra -I src -I . "$tu"; then
+        echo "ok: $header"
+    else
+        echo "NOT SELF-CONTAINED: $header" >&2
+        status=1
+    fi
+done
+exit $status
