@@ -5,7 +5,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <memory>
+#include <string>
 
 #include "aig/aig.hpp"
 #include "sat/pigeonhole.hpp"
@@ -434,6 +437,66 @@ void BM_smt_engine_auto_strategy(benchmark::State& state) {
     state.counters["cache_hits"] = benchmark::Counter(static_cast<double>(hits) / iters);
 }
 BENCHMARK(BM_smt_engine_auto_strategy)->Unit(benchmark::kMillisecond);
+
+// The persistent-cache warm start (ISSUE 5): every iteration constructs a
+// FRESH term_manager + engine pointed at one cache_path, issues a small
+// GameTime-shaped query stream, and destroys the engine (which saves the
+// cache). Iteration 1 of a cold file pays the solves; every later
+// iteration — and every later *run* against the same path, which is how
+// the CI warm-cache step drives it — answers from disk with zero solver
+// runs, via structurally remapped, evaluation-verified models (the
+// variable names differ per iteration on purpose). Counters (per
+// iteration): solver_runs, cache_hits, structural_hits, remapped_models,
+// persisted_loads — the JSON artifact's warm-vs-cold evidence is
+// persisted_loads > 0 and solver_runs ~ 0 on the second run.
+// Set SCIDUCTION_BENCH_CACHE_PATH to persist across runs (CI does);
+// otherwise a scratch file is used and removed.
+void BM_smt_engine_persistent_cache(benchmark::State& state) {
+    const char* env_path = std::getenv("SCIDUCTION_BENCH_CACHE_PATH");
+    const std::string path =
+        env_path != nullptr
+            ? std::string(env_path)
+            : (std::filesystem::temp_directory_path() / "bench_persistent_cache.bin").string();
+    std::uint64_t solver_runs = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t structural_hits = 0;
+    std::uint64_t remapped = 0;
+    std::uint64_t persisted = 0;
+    std::uint64_t iteration = 0;
+    for (auto _ : state) {
+        smt::term_manager tm;
+        substrate::smt_engine engine(tm, {.cache_path = path});
+        // Per-iteration variable names: a hit can only come from the
+        // structural key, never from id or name reuse.
+        const std::string salt = "it" + std::to_string(iteration++);
+        smt::term x = tm.mk_bv_var("x" + salt, 16);
+        smt::term y = tm.mk_bv_var("y" + salt, 16);
+        for (std::uint64_t i = 0; i < 8; ++i) {
+            auto r = engine
+                         .submit({tm.mk_eq(tm.mk_bvmul(x, y), tm.mk_bv_const(16, 1 + 3 * i)),
+                                  tm.mk_ult(tm.mk_bv_const(16, 1), x)},
+                                 substrate::strategy::single())
+                         .get();
+            if (r.ans == substrate::answer::unknown) state.SkipWithError("must decide");
+            benchmark::DoNotOptimize(r.model);
+        }
+        auto stats = engine.stats();
+        solver_runs += stats.solver_runs;
+        cache_hits += stats.cache_hits;
+        structural_hits += stats.structural_hits;
+        remapped += stats.remapped_models;
+        persisted += stats.persisted_loads;
+    }
+    const auto iters = static_cast<double>(state.iterations());
+    state.counters["solver_runs"] = benchmark::Counter(static_cast<double>(solver_runs) / iters);
+    state.counters["cache_hits"] = benchmark::Counter(static_cast<double>(cache_hits) / iters);
+    state.counters["structural_hits"] =
+        benchmark::Counter(static_cast<double>(structural_hits) / iters);
+    state.counters["remapped_models"] = benchmark::Counter(static_cast<double>(remapped) / iters);
+    state.counters["persisted_loads"] = benchmark::Counter(static_cast<double>(persisted) / iters);
+    if (env_path == nullptr) std::remove(path.c_str());
+}
+BENCHMARK(BM_smt_engine_persistent_cache)->Unit(benchmark::kMillisecond);
 
 void BM_aig_parallel_simulation(benchmark::State& state) {
     // 64-way parallel random simulation of a shift-register + logic mesh.

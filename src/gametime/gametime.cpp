@@ -151,8 +151,9 @@ basis_info extract_basis_paths(const ir::cfg& g, substrate::smt_engine& engine,
 }
 
 basis_info extract_basis_paths(const ir::cfg& g, smt::term_manager& tm,
-                               std::size_t enumeration_limit) {
-    substrate::smt_engine engine(tm);
+                               std::size_t enumeration_limit,
+                               const substrate::engine_config& engine_cfg) {
+    substrate::smt_engine engine(tm, engine_cfg);
     basis_config cfg;
     cfg.enumeration_limit = enumeration_limit;
     return extract_basis_paths(g, engine, cfg);
@@ -221,8 +222,9 @@ double predict_path_time(const ir::cfg& g, const timing_model& model, const ir::
 }
 
 std::optional<wcet_estimate> predict_wcet(const ir::cfg& g, const timing_model& model,
-                                          smt::term_manager& tm) {
-    substrate::smt_engine engine(tm);
+                                          smt::term_manager& tm,
+                                          const substrate::engine_config& engine_cfg) {
+    substrate::smt_engine engine(tm, engine_cfg);
     return predict_wcet(g, model, engine);
 }
 
@@ -317,13 +319,14 @@ std::optional<wcet_estimate> predict_wcet(const ir::cfg& g, const timing_model& 
 }
 
 ta_answer decide_ta(const ir::cfg& g, const timing_model& model, smt::term_manager& tm,
-                    sarm_platform& platform, double tau) {
+                    sarm_platform& platform, double tau,
+                    const substrate::engine_config& engine_cfg) {
     ta_answer ans;
     ans.report.hypothesis = weight_perturbation_hypothesis();
     ans.report.guarantee = core::guarantee_kind::probabilistically_sound;
     ans.report.confidence = 0.99;  // 1 - delta for the configured trial count
 
-    auto wcet = predict_wcet(g, model, tm);
+    auto wcet = predict_wcet(g, model, tm, engine_cfg);
     if (!wcet) throw std::runtime_error("decide_ta: no feasible path");
     ans.predicted_worst_cycles = wcet->predicted_cycles;
     // Execute the predicted longest path and compare the *measured* time

@@ -85,9 +85,12 @@ struct basis_config {
 /// substrate engine (query cache, optional portfolio).
 basis_info extract_basis_paths(const ir::cfg& g, substrate::smt_engine& engine,
                                const basis_config& cfg = {});
-/// Back-compat convenience: runs on a transient cached engine over `tm`.
+/// Back-compat convenience: runs on a transient cached engine over `tm`,
+/// built from `engine_cfg` — pass an `engine_config::cache_path` to warm-
+/// start repeated runs from a persisted query cache (docs/CACHING.md).
 basis_info extract_basis_paths(const ir::cfg& g, smt::term_manager& tm,
-                               std::size_t enumeration_limit = 1u << 20);
+                               std::size_t enumeration_limit = 1u << 20,
+                               const substrate::engine_config& engine_cfg = {});
 
 /// The learned (w, pi) timing model.
 struct timing_model {
@@ -125,8 +128,13 @@ struct wcet_estimate {
 /// of a basis path is a cache hit.
 std::optional<wcet_estimate> predict_wcet(const ir::cfg& g, const timing_model& model,
                                           substrate::smt_engine& engine);
+/// Back-compat convenience on a transient engine; `engine_cfg` as in
+/// extract_basis_paths (a shared `cache_path` makes the feasibility
+/// re-check of an already-extracted basis path a warm hit even across
+/// processes).
 std::optional<wcet_estimate> predict_wcet(const ir::cfg& g, const timing_model& model,
-                                          smt::term_manager& tm);
+                                          smt::term_manager& tm,
+                                          const substrate::engine_config& engine_cfg = {});
 
 /// The paper's problem <TA> (Sec. 3.1): "is the execution time of P on E
 /// always at most tau?" — answered by predicting the longest path, running
@@ -140,7 +148,8 @@ struct ta_answer {
 };
 
 ta_answer decide_ta(const ir::cfg& g, const timing_model& model, smt::term_manager& tm,
-                    sarm_platform& platform, double tau);
+                    sarm_platform& platform, double tau,
+                    const substrate::engine_config& engine_cfg = {});
 
 /// The structure hypothesis H of this application, for reporting.
 core::structure_hypothesis weight_perturbation_hypothesis();

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "sat/gates.hpp"
+#include "substrate/query_cache.hpp"
 #include "substrate/solve_request.hpp"
 #include "substrate/thread_pool.hpp"
 
@@ -150,7 +151,8 @@ bool model_lit_true(const std::vector<sat::lbool>& model, sat::lit l) {
 /// unified strategy dispatcher: a single solve, or — with
 /// cfg.portfolio_members > 1 — diversified instances racing.
 bool refine_round(const circuit_t& circuit, std::vector<candidate>& candidates,
-                  bool inductive_step, const invgen_config& cfg) {
+                  bool inductive_step, const invgen_config& cfg,
+                  substrate::query_cache* cache) {
     // Violation literals are identical in every member (deterministic
     // construction); each builder call records its own copy and the
     // winner's is used to read the model. A member may be skipped entirely
@@ -166,7 +168,7 @@ bool refine_round(const circuit_t& circuit, std::vector<candidate>& candidates,
             member_violations[member] =
                 build_refinement_instance(circuit, candidates, inductive_step, solver);
         },
-        strat, cfg.portfolio_threads);
+        strat, cfg.portfolio_threads, {}, cache);
     if (outcome.result.is_unsat()) return false;
     if (!outcome.result.is_sat())
         throw std::runtime_error("refine_round: substrate returned unknown");
@@ -253,11 +255,18 @@ invgen_result generate_invariants(const aig::aig& circuit, const invgen_config& 
     result.candidates_after_simulation = candidates.size();
 
     // ---- deductive engine D: base + mutual 1-induction ----
+    // With a cache_path, round results persist across runs under the CNF
+    // fingerprint (loaded here, saved when `cache` dies): the seeded
+    // candidate generation makes a repeated run's query stream identical,
+    // so CI re-runs answer every round from the file.
+    std::unique_ptr<substrate::query_cache> cache;
+    if (!cfg.cache_path.empty())
+        cache = std::make_unique<substrate::query_cache>(cfg.cache_path);
     std::size_t before = candidates.size();
     for (int iter = 0; iter < cfg.max_induction_iterations && !candidates.empty(); ++iter) {
         ++result.induction_iterations;
-        if (!refine_round(circuit, candidates, /*inductive_step=*/false, cfg) &&
-            !refine_round(circuit, candidates, /*inductive_step=*/true, cfg))
+        if (!refine_round(circuit, candidates, /*inductive_step=*/false, cfg, cache.get()) &&
+            !refine_round(circuit, candidates, /*inductive_step=*/true, cfg, cache.get()))
             break;
     }
     result.dropped_by_induction = before - candidates.size();
@@ -268,13 +277,22 @@ invgen_result generate_invariants(const aig::aig& circuit, const invgen_config& 
 bool prove_with_invariants(const aig::aig& circuit, aig::literal prop,
                            const std::vector<candidate>& invariants,
                            const proof_config& cfg) {
+    // With a cache_path, both queries persist across runs under the CNF
+    // fingerprint (the cache is internally locked, so the batched mode's
+    // concurrent base/step proofs share it safely).
+    std::unique_ptr<substrate::query_cache> cache;
+    if (!cfg.cache_path.empty())
+        cache = std::make_unique<substrate::query_cache>(cfg.cache_path);
     // Base: the property holds in the initial state (for all inputs).
     auto base_holds = [&] {
-        sat::solver solver;
-        sat::gate_encoder gates(solver);
-        frames fr = build_frames(circuit, gates, /*init_frame0=*/true);
-        solver.add_clause(~circuit_t::sat_literal(fr.f0, prop));
-        return solver.solve() == sat::solve_result::unsat;
+        auto outcome = substrate::solve_cnf(
+            [&](unsigned, sat::solver& solver) {
+                sat::gate_encoder gates(solver);
+                frames fr = build_frames(circuit, gates, /*init_frame0=*/true);
+                solver.add_clause(~circuit_t::sat_literal(fr.f0, prop));
+            },
+            substrate::strategy::single(), 1, {}, cache.get());
+        return outcome.result.is_unsat();
     };
     // Step: invariants + property in frame 0 imply the property in frame 1.
     // Construction is deterministic, so every shard replica rebuilds the
@@ -301,7 +319,7 @@ bool prove_with_invariants(const aig::aig& circuit, aig::literal prop,
         strat.sharing = cfg.sharing;
         auto outcome = substrate::solve_cnf(
             [&](unsigned, sat::solver& solver) { build_step(solver); }, strat,
-            cfg.shard_threads);
+            cfg.shard_threads, {}, cache.get());
         return outcome.result.is_unsat();
     };
     if (cfg.batch_threads <= 1) return base_holds() && step_holds();

@@ -58,6 +58,12 @@ struct invgen_config {
     /// answers stay deterministic; sharing.deterministic additionally makes
     /// the member stats (and the winning model) reproducible.
     substrate::sharing_config sharing{};
+    /// Warm start: persist the refinement rounds' CNF-level results at
+    /// this path (substrate fingerprint cache, see docs/CACHING.md). The
+    /// candidate generation is seeded, so a repeated run issues the
+    /// identical query stream and answers it from the file instead of
+    /// re-searching. Empty = no persistence.
+    std::string cache_path{};
 };
 
 struct invgen_result {
@@ -91,6 +97,11 @@ struct proof_config {
     /// Learnt-clause exchange between the inductive step's shard pairs
     /// (core-clean filtered; see substrate::solve_cubes).
     substrate::sharing_config sharing{};
+    /// Warm start: persist the base-case and inductive-step results at
+    /// this path (substrate fingerprint cache, see docs/CACHING.md), so
+    /// re-proving the same property under the same invariants answers
+    /// from the file. Empty = no persistence.
+    std::string cache_path{};
 };
 
 /// Checks whether `prop` (an AIG literal that must always be true) can be

@@ -46,6 +46,10 @@ struct synthesis_config {
     /// behaviour; portfolio_members > 1 races diversified solvers per
     /// query (answers unchanged; which satisfying model — and hence which
     /// equivalent candidate program — is found may depend on the winner).
+    /// Setting `engine.cache_path` persists the query cache across runs:
+    /// the cache key is structural, so a re-run (fresh term_manager and
+    /// all) answers its repeated synthesis/distinguish queries from the
+    /// file with remapped, evaluation-verified models (docs/CACHING.md).
     substrate::engine_config engine;
     /// Overlap each round's synthesis and distinguishing queries through
     /// the engine's async API: whenever the current candidate survives an

@@ -95,6 +95,18 @@ void solver::detach_clause(cref c) {
 // ---- adding clauses ----------------------------------------------------------
 
 bool solver::add_clause(clause_lits lits) {
+    // Digest the clause exactly as given, before the early exits and the
+    // sort/simplify below: the digest identifies the *input* stream, which
+    // is what deterministic builders reproduce run to run.
+    for (lit l : lits) {
+        const auto v = static_cast<std::uint64_t>(static_cast<std::uint32_t>(l.x));
+        digest_.lo ^= v + 0x9e3779b97f4a7c15ULL + (digest_.lo << 6) + (digest_.lo >> 2);
+        digest_.hi = (digest_.hi ^ v) * 0x100000001b3ULL;
+    }
+    digest_.lo ^= 0xa55e7a55e7a55e77ULL + (digest_.lo << 6) + (digest_.lo >> 2);  // boundary
+    digest_.hi = (digest_.hi ^ 0x2eULL) * 0x100000001b3ULL;
+    ++digest_.clauses;
+
     if (!ok_) return false;
     if (decision_level() != 0) throw std::logic_error("add_clause: only at decision level 0");
 

@@ -54,6 +54,23 @@ struct solver_stats {
 /// set_interrupt) aborted the search; plain solve() calls stay binary.
 enum class solve_result : std::uint8_t { sat, unsat, unknown };
 
+/// Order-sensitive running digest of the top-level `add_clause` stream
+/// (two independent 64-bit lanes plus the call count), mixed from the
+/// clause literals exactly as given, before any simplification. Because
+/// the substrate's replica contract already requires CNF builders to be
+/// deterministic, two builds of the same problem produce identical
+/// digests across runs and processes — this is the identity the
+/// persistent CNF-level result cache keys on (substrate::cnf_fingerprint).
+/// Learnt and imported clauses never enter the digest: they are
+/// consequences, not part of the problem.
+struct clause_digest {
+    std::uint64_t lo = 0x5c1d0c71a2e4b69dULL;  ///< golden-ratio mix lane
+    std::uint64_t hi = 0xcbf29ce484222325ULL;  ///< FNV-1a lane
+    std::uint64_t clauses = 0;                 ///< add_clause calls digested
+
+    bool operator==(const clause_digest&) const = default;
+};
+
 /// Search-strategy knobs. The defaults reproduce the solver's historical
 /// behaviour bit-for-bit; the substrate's portfolio backend diversifies
 /// them (seed, phase, decay, restarts) to race differently-biased
@@ -140,6 +157,11 @@ public:
     [[nodiscard]] bool okay() const { return ok_; }
     [[nodiscard]] std::size_t num_clauses() const { return clauses_.size(); }
     [[nodiscard]] std::size_t num_learnts() const { return learnts_.size(); }
+
+    /// The running digest of every add_clause call so far (see
+    /// clause_digest). Combined with num_vars() it identifies the built
+    /// problem instance for the substrate's CNF-level result cache.
+    [[nodiscard]] const clause_digest& digest() const { return digest_; }
 
     /// Solves under the given assumptions.
     solve_result solve(const std::vector<lit>& assumptions = {});
@@ -306,6 +328,7 @@ private:
     std::vector<lit> assumptions_;
     std::vector<lit> conflict_;
     std::vector<lbool> model_;
+    clause_digest digest_;
 
     double max_learnts_ = 0.0;
     double learntsize_factor_ = 1.0 / 3.0;

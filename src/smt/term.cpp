@@ -1,5 +1,6 @@
 #include "smt/term.hpp"
 
+#include <atomic>
 #include <sstream>
 #include <stdexcept>
 
@@ -30,6 +31,8 @@ std::size_t term_manager::node_key_hash::operator()(const node_key& n) const {
 }
 
 term_manager::term_manager() {
+    static std::atomic<std::uint64_t> next_uid{0};
+    uid_ = ++next_uid;
     true_term_ = intern({kind::const_bool, 0, {}, 1});
     false_term_ = intern({kind::const_bool, 0, {}, 0});
 }

@@ -140,6 +140,12 @@ public:
     [[nodiscard]] const std::string& var_name(term t) const;
     [[nodiscard]] std::size_t num_terms() const { return nodes_.size(); }
 
+    /// Process-unique identity of this manager instance (monotonically
+    /// assigned at construction, never reused). Lets caches that key
+    /// per-manager scratch detect a new manager reusing a dead one's
+    /// address exactly, instead of by heuristic.
+    [[nodiscard]] std::uint64_t uid() const { return uid_; }
+
     /// Concrete evaluation under an environment mapping variable ids to
     /// values. Throws std::out_of_range on an unbound variable.
     [[nodiscard]] std::uint64_t evaluate(term t, const env& e) const;
@@ -175,6 +181,7 @@ private:
     term fold_binary_bv(kind k, term a, term b);
     [[nodiscard]] const node& at(term t) const { return nodes_[t.id]; }
 
+    std::uint64_t uid_;
     std::vector<node> nodes_;
     std::unordered_map<node_key, std::uint32_t, node_key_hash> table_;
     std::vector<std::string> names_;

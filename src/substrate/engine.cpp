@@ -115,11 +115,27 @@ constexpr std::size_t history_bound = 1 << 16;
 }  // namespace
 
 smt_engine::smt_engine(smt::term_manager& tm, engine_config cfg)
-    : tm_(tm), cfg_(cfg), defaults_(defaults_from(cfg)), cache_(tm, cfg.cache_capacity) {}
+    : tm_(tm),
+      cfg_(std::move(cfg)),
+      defaults_(defaults_from(cfg_)),
+      cache_(cfg_.shared_cache
+                 ? cfg_.shared_cache
+                 : std::make_shared<query_cache>(tm, cfg_.cache_capacity, cfg_.cache_path)) {}
 
 engine_stats smt_engine::stats() const {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    return stats_;
+    engine_stats s;
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        s = stats_;
+    }
+    // The cache-side counters are mirrored here so one stats() snapshot
+    // tells the whole warm-start story (for a shared cache they aggregate
+    // over every engine sharing it).
+    query_cache::cache_stats cs = cache_->stats();
+    s.structural_hits = cs.structural_hits;
+    s.remapped_models = cs.remapped_models;
+    s.persisted_loads = cs.persisted_loads;
+    return s;
 }
 
 thread_pool& smt_engine::pool() {
@@ -274,7 +290,9 @@ backend_result smt_engine::run_request(const smt_query& q, const struct strategy
 }
 
 backend_result smt_engine::run_and_complete(const smt_query& q, const struct strategy& requested,
-                                            const query_key& key, detail::query_state& state) {
+                                            const query_cache::prepared_query& prep,
+                                            detail::query_state& state) {
+    const query_key& key = prep.key;
     state.started.store(true, std::memory_order_relaxed);
     backend_result result;
     try {
@@ -284,7 +302,7 @@ backend_result smt_engine::run_and_complete(const smt_query& q, const struct str
             std::lock_guard<std::mutex> slock(state.mutex);
             ran = state.stats.strategy;
         }
-        if (ran.use_cache) cache_.insert(q.assertions, q.assumptions, result);
+        if (ran.use_cache) cache_->insert_prepared(tm_, prep, result);
         if (result.ans != answer::unknown) {
             // Record the outcome for the classifier. Unknown results
             // (cancelled / budget-exhausted) say nothing about the query's
@@ -336,11 +354,17 @@ query_handle smt_engine::do_submit(solve_request req, bool inline_exec) {
                             /*coalesced=*/false);
     };
 
+    // One canonicalization serves the whole submit (and, via the cache's
+    // per-manager memo, the whole loop): the optimistic cache lookup, the
+    // coalescing key, the locked re-check, and the eventual insert all
+    // reuse it.
+    std::shared_ptr<const query_cache::prepared_query> prep =
+        cache_->prepare(tm_, q.assertions, q.assumptions);
     if (rs.use_cache) {
-        if (auto cached = cache_.lookup(q.assertions, q.assumptions))
+        if (auto cached = cache_->lookup_prepared(tm_, *prep))
             return resolve_ready(std::move(*cached));
     }
-    query_key key = cache_.key_for(q.assertions, q.assumptions);
+    const query_key& key = prep->key;
     // The pool is only forced into existence on the async path; inline
     // execution (the shims' path) stays thread-free unless the strategy
     // itself needs workers.
@@ -359,7 +383,7 @@ query_handle smt_engine::do_submit(solve_request req, bool inline_exec) {
         // completed between the optimistic lookup above and here. Its
         // completion inserts into the cache *before* erasing the inflight
         // entry, so missing both maps really means the query is new.
-        if (auto cached = cache_.lookup(q.assertions, q.assumptions))
+        if (auto cached = cache_->lookup_prepared(tm_, *prep))
             return resolve_ready(std::move(*cached));
     }
     if (inline_exec) {
@@ -370,7 +394,7 @@ query_handle smt_engine::do_submit(solve_request req, bool inline_exec) {
         inflight_.emplace(key, inflight_entry{state, future});
         lock.unlock();
         try {
-            promise.set_value(run_and_complete(q, req.strategy, key, *state));
+            promise.set_value(run_and_complete(q, req.strategy, *prep, *state));
         } catch (...) {
             promise.set_exception(std::current_exception());
             throw;
@@ -379,14 +403,14 @@ query_handle smt_engine::do_submit(solve_request req, bool inline_exec) {
                             /*coalesced=*/false);
     }
     auto future = workers
-                      ->submit([this, q = std::move(q), key, state,
+                      ->submit([this, q = std::move(q), prep, state,
                                 requested = std::move(req.strategy)]() -> backend_result {
-                          return run_and_complete(q, requested, key, *state);
+                          return run_and_complete(q, requested, *prep, *state);
                       })
                       .share();
     // The map entry is published under the same lock that the completion
     // lambda needs to erase it, so a fast worker cannot race past us.
-    inflight_.emplace(std::move(key), inflight_entry{state, future});
+    inflight_.emplace(key, inflight_entry{state, future});
     return query_handle(std::move(state), std::move(future), rs.time_budget_ms,
                         /*coalesced=*/false);
 }

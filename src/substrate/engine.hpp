@@ -29,6 +29,7 @@
 #pragma once
 
 #include <future>
+#include <memory>
 
 #include "substrate/portfolio.hpp"
 #include "substrate/query_cache.hpp"
@@ -71,6 +72,21 @@ struct engine_config {
     /// diversity. Applies to portfolio-kind requests only; a shard request
     /// shards regardless (the precedence rule solve_request_test.cpp pins).
     bool sequential_portfolio = false;
+    /// Persist the query cache at this path: loaded when the engine is
+    /// constructed, saved when it is destroyed (and on explicit
+    /// cache().save()), so repeated CLI/CI runs of the same workload start
+    /// warm — cached entries are keyed structurally, so even a fresh
+    /// term_manager hits them (models are remapped and
+    /// evaluation-verified). Empty = in-process only. Ignored when
+    /// `shared_cache` is set. See docs/CACHING.md.
+    std::string cache_path{};
+    /// Share one query_cache between several engines (each over its own
+    /// term_manager): structurally identical queries submitted through any
+    /// of them are solved once and remapped for the rest. When set,
+    /// `cache_path` / `cache_capacity` of this config are ignored — the
+    /// shared cache was constructed with its own. The cache must outlive
+    /// every engine using it (shared ownership guarantees that).
+    std::shared_ptr<query_cache> shared_cache{};
 };
 
 /// Per-strategy dispatch counters (how often each concrete kind ran).
@@ -88,12 +104,23 @@ struct strategy_picks {
     void count(strategy_kind k);
 };
 
-/// Engine-level counters, cumulative over the engine's lifetime.
+/// Engine-level counters, cumulative over the engine's lifetime. The last
+/// three mirror the cache's own counters (query_cache::cache_stats) — for
+/// an engine on a shared cache they therefore aggregate over every engine
+/// sharing it.
 struct engine_stats {
     std::uint64_t queries = 0;      ///< submits (incl. every legacy shim call)
     std::uint64_t cache_hits = 0;   ///< queries answered from the query cache
     std::uint64_t solver_runs = 0;  ///< backends actually constructed+checked
     std::uint64_t coalesced = 0;    ///< submits joined to an in-flight duplicate
+    /// Cache hits served through the structural (cross-manager or
+    /// disk-loaded) path rather than the verbatim native replay.
+    std::uint64_t structural_hits = 0;
+    /// Satisfying models remapped into the requesting manager's terms and
+    /// verified by evaluation (subset of structural_hits).
+    std::uint64_t remapped_models = 0;
+    /// Entries the cache loaded from its persistence file (warm starts).
+    std::uint64_t persisted_loads = 0;
     strategy_picks dispatched;      ///< executed strategies, by concrete kind
     strategy_picks auto_picks;      ///< the subset chosen by strategy::auto_select
 };
@@ -208,8 +235,9 @@ public:
     [[nodiscard]] smt::term_manager& manager() { return tm_; }
     /// The configuration the engine was built with.
     [[nodiscard]] const engine_config& config() const { return cfg_; }
-    /// The structural query cache (shared by all strategies).
-    [[nodiscard]] query_cache& cache() { return cache_; }
+    /// The structural query cache (shared by all strategies; possibly
+    /// shared with other engines via engine_config::shared_cache).
+    [[nodiscard]] query_cache& cache() { return *cache_; }
     /// Snapshot of the engine counters (thread-safe).
     [[nodiscard]] engine_stats stats() const;
 
@@ -272,9 +300,12 @@ private:
     backend_result run_request(const smt_query& q, const struct strategy& requested,
                                const query_key& key, detail::query_state& state);
     /// run_request plus the completion protocol: cache insert, history
-    /// record, inflight erase, finished flag — exception-safe.
+    /// record, inflight erase, finished flag — exception-safe. `prep` is
+    /// the query's one-time canonicalization (key + structural form),
+    /// computed by do_submit and reused for the cache insert.
     backend_result run_and_complete(const smt_query& q, const struct strategy& requested,
-                                    const query_key& key, detail::query_state& state);
+                                    const query_cache::prepared_query& prep,
+                                    detail::query_state& state);
     /// The engine's worker pool, created on first use and then shared by
     /// every race, batch, shard and async query — loops issuing thousands
     /// of queries pay thread spawn/teardown once.
@@ -291,7 +322,10 @@ private:
     smt::term_manager& tm_;
     engine_config cfg_;
     resolved_strategy defaults_;  // cfg_ translated into strategy defaults
-    query_cache cache_;
+    // Owned (constructed from cfg_.cache_capacity / cache_path) unless the
+    // config supplied a shared_cache, in which case that one is used and
+    // kept alive by this reference.
+    std::shared_ptr<query_cache> cache_;
     std::mutex inflight_mutex_;
     std::unordered_map<query_key, inflight_entry, query_key_hash> inflight_;
     // Per-key outcome history feeding strategy::auto_select (survives cache

@@ -1,14 +1,17 @@
-// Memoizing wrapper for non-solver oracles.
-//
-// The substrate's query_cache covers term-level solver queries; this is the
-// same idea for the paper's other oracle shapes (core/oracles.hpp): label
-// oracles backed by numerical simulation (Sec. 5), measurement oracles,
-// I/O oracles. Adaptive learners re-probe the same points — the hyperbox
-// learner's seed scan and per-dimension bisections revisit snapped grid
-// coordinates — and a deterministic oracle answers identically every time,
-// so memoization is exact. Scope a cache to one oracle *semantics*: if the
-// oracle's meaning changes (e.g. between fixpoint iterations), use a fresh
-// cache.
+/// \file
+/// Memoizing wrapper for non-solver oracles.
+///
+/// The substrate's query_cache covers term-level solver queries; this is
+/// the same idea for the paper's other oracle shapes (core/oracles.hpp):
+/// label oracles backed by numerical simulation (Sec. 5), measurement
+/// oracles, I/O oracles. Adaptive learners re-probe the same points — the
+/// hyperbox learner's seed scan and per-dimension bisections revisit
+/// snapped grid coordinates — and a deterministic oracle answers
+/// identically every time, so memoization is exact. Scope a cache to one
+/// oracle *semantics*: if the oracle's meaning changes (e.g. between
+/// fixpoint iterations), use a fresh cache. Unlike query_cache, this
+/// wrapper is deliberately minimal: single-threaded, unbounded, and
+/// in-process only (hybrid's learner owns one per fixpoint round).
 #pragma once
 
 #include <cstdint>
@@ -24,6 +27,7 @@ namespace sciduction::substrate {
 /// hash equal: -0.0 == +0.0 but their bytes differ (x + 0 maps -0.0 to
 /// +0.0 and changes nothing else).
 struct byte_vector_hash {
+    /// Hashes the canonicalized bytes of every element in order.
     template <typename Vec>
     std::size_t operator()(const Vec& v) const {
         using elem = typename Vec::value_type;
@@ -41,12 +45,17 @@ struct byte_vector_hash {
     }
 };
 
+/// Exact memoization of a deterministic oracle: get_or_compute returns the
+/// stored value for a repeated key without re-invoking the oracle. Not
+/// thread-safe (see the file comment — the parallel labelling paths
+/// partition their keys instead of sharing a cache).
 template <typename Key, typename Value, typename Hash = std::hash<Key>>
 class oracle_cache {
 public:
+    /// Hit/miss counters, cumulative until clear().
     struct cache_stats {
-        std::uint64_t hits = 0;
-        std::uint64_t misses = 0;
+        std::uint64_t hits = 0;    ///< lookups answered from the cache
+        std::uint64_t misses = 0;  ///< lookups that invoked the oracle
     };
 
     /// Returns the memoized value for `key`, invoking `compute` on miss.
@@ -62,12 +71,15 @@ public:
         return v;
     }
 
+    /// Drops every entry and resets the counters.
     void clear() {
         entries_.clear();
         stats_ = {};
     }
 
+    /// Snapshot of the hit/miss counters.
     [[nodiscard]] const cache_stats& stats() const { return stats_; }
+    /// Number of memoized values.
     [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
 private:

@@ -1,37 +1,75 @@
 /// \file
-/// Memoization of term-level check() results.
+/// Structural, cross-manager, optionally persistent memoization of
+/// deductive check() results.
 ///
 /// The sciduction loops re-issue structurally identical queries: GameTime
 /// re-checks the predicted longest path it already proved feasible during
 /// basis extraction; houdini-style refinement re-checks shrinking candidate
-/// sets; OGIS re-derives the same well-formedness core every iteration. The
-/// cache keys a query by the *set* of asserted terms plus the assumption
-/// set — order-insensitive, duplicate-insensitive — under a structural hash
-/// of the term DAG (variables hash by name, not id, so the hash is stable
-/// across construction orders). Because the key is the full assertion set,
-/// growing a query never aliases a cached entry: "invalidation" is
-/// structural, not temporal.
+/// sets; OGIS re-derives the same well-formedness core every iteration —
+/// and CI re-runs whole workloads whose query streams are identical from
+/// run to run. The cache keys a query by a *canonical structural form* of
+/// its term DAG:
 ///
-/// A cache is scoped to one term_manager (term ids are manager-local); all
-/// operations are thread-safe so batch workers can share one instance.
+///   * variables are numbered de-Bruijn-style by first occurrence in a
+///     canonical traversal (names never enter the key, so renamed
+///     variables match);
+///   * commutative operands are sorted, so `x + y` and `y + x` coincide;
+///   * the key is the full flattened DAG, not just a hash — two queries
+///     match only when their canonical forms are *identical*, which makes
+///     every hit a genuine alpha-equivalence (a bijection between the two
+///     queries' variables under which the DAGs are the same). Hash
+///     collisions can therefore never produce a wrong answer, and the
+///     commutative sort being best-effort (ties between structurally
+///     identical subterms keep construction order) can only cost hits,
+///     never correctness.
+///
+/// Because the form is manager-independent, two `term_manager` instances
+/// that build the same assertion set hit the same entry. Satisfying models
+/// are stored in *structural* coordinates (de Bruijn variable index →
+/// value) and remapped into the requesting manager's terms on a hit; a
+/// remapped model is verified by evaluating every assertion and assumption
+/// under it before it is returned, and a failed verification is treated as
+/// a miss (the caller falls back to a fresh solve). Results produced and
+/// re-requested under the *same* variable table short-circuit through a
+/// native fast path that replays the original `backend_result` verbatim
+/// (including the CNF-level `sat_model`/`core`, which do not survive the
+/// structural path).
+///
+/// With a non-empty `path`, entries additionally persist across processes:
+/// the cache loads the file on construction and saves on destruction (and
+/// on explicit save()), so CI and repeated CLI runs start warm. The file
+/// format is versioned and per-record checksummed; a corrupt, truncated or
+/// version-mismatched file degrades to a cold start, never to a wrong
+/// answer. See docs/CACHING.md for the key semantics, the remapping
+/// contract, the file format, and the warm-CI recipe.
+///
+/// Because the key is the full assertion set, growing a query never
+/// aliases a cached entry: "invalidation" is structural, not temporal.
+/// All operations are thread-safe so batch workers (and multiple engines
+/// sharing one cache) can share one instance.
 #pragma once
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "substrate/backend.hpp"
 
 namespace sciduction::substrate {
 
-/// The canonical identity of a query: sorted, deduplicated term ids plus
-/// the structural hash. Exposed so the engine's async layer can coalesce
-/// in-flight duplicates on exactly the cache's notion of "same query".
+/// The per-manager identity of a query: sorted, deduplicated term ids plus
+/// the canonical structural hash. Exposed so the engine's async layer can
+/// coalesce in-flight duplicates on exactly the cache's notion of "same
+/// query" (ids are manager-local, which is what coalescing wants — two
+/// renamed-variable queries are distinct solves but share cache entries).
 struct query_key {
-    std::uint64_t hash = 0;                      ///< combined structural hash
+    std::uint64_t hash = 0;                      ///< canonical structural hash
     std::vector<std::uint32_t> assertion_ids;    ///< sorted, deduplicated term ids
     std::vector<std::uint32_t> assumption_ids;   ///< sorted, deduplicated term ids
 
@@ -45,74 +83,304 @@ struct query_key_hash {
     std::size_t operator()(const query_key& k) const { return static_cast<std::size_t>(k.hash); }
 };
 
-/// Thread-safe memoization of term-level check() results, keyed by the
-/// structural query_key. Scoped to one term_manager; optionally
-/// capacity-bounded with LRU eviction (see the file comment).
+/// One node of a canonical query form: a term with its variables replaced
+/// by de Bruijn indices (carried in `payload`) and its commutative operand
+/// lists sorted. Manager-independent by construction.
+struct structural_node {
+    smt::kind k = smt::kind::const_bool;  ///< the term's kind
+    std::uint32_t width = 0;              ///< bit-vector width (0 = bool)
+    std::uint64_t payload = 0;  ///< const value / extract bounds / ext width; de Bruijn index for vars
+    std::vector<std::uint32_t> kids;  ///< child node indices (always lower than this node's)
+
+    /// Field-wise equality.
+    bool operator==(const structural_node&) const = default;
+};
+
+/// The canonical, manager-independent form of one query: a flattened,
+/// deduplicated term DAG plus the (sorted) root-node sets of the
+/// assertions and assumptions. Two queries with equal forms are
+/// alpha-equivalent — identical up to the variable bijection induced by
+/// the de Bruijn numbering — so form equality is a sound cache key.
+struct structural_form {
+    std::vector<structural_node> nodes;      ///< emission (post-) order, deduplicated
+    std::vector<std::uint32_t> assertions;   ///< sorted unique root node indices
+    std::vector<std::uint32_t> assumptions;  ///< sorted unique root node indices
+    std::uint32_t num_vars = 0;              ///< de Bruijn variables numbered [0, num_vars)
+    std::uint64_t hash = 0;                  ///< hash over all of the above
+
+    /// Deep equality, cheap-hash first.
+    bool operator==(const structural_form& o) const {
+        return hash == o.hash && num_vars == o.num_vars && assertions == o.assertions &&
+               assumptions == o.assumptions && nodes == o.nodes;
+    }
+};
+
+/// Hash functor over structural_form for unordered containers.
+struct structural_form_hash {
+    /// Uses the precomputed form hash.
+    std::size_t operator()(const structural_form& f) const {
+        return static_cast<std::size_t>(f.hash);
+    }
+};
+
+/// Identity of one CNF-level problem instance, for workloads that build
+/// clauses directly (invgen through `solve_cnf`). Deterministic builders
+/// produce the identical clause stream with identical variable numbering
+/// on every run (the substrate's replica contract), so the CNF itself is
+/// already canonical: the fingerprint is a 128-bit order-sensitive digest
+/// of the `add_clause` stream plus the variable/clause counts, and a
+/// cached model is verified against the live instance by propagation
+/// before it is trusted (see query_cache::lookup_cnf).
+struct cnf_fingerprint {
+    std::uint64_t digest_lo = 0;  ///< first digest lane (golden-ratio mix)
+    std::uint64_t digest_hi = 0;  ///< second digest lane (FNV-1a)
+    std::uint64_t clauses = 0;    ///< top-level add_clause calls digested
+    std::uint32_t vars = 0;       ///< variables allocated in the instance
+
+    /// Field-wise equality.
+    bool operator==(const cnf_fingerprint&) const = default;
+
+    /// Reads the fingerprint off a fully built solver (digest + counts).
+    static cnf_fingerprint of(const sat::solver& s);
+};
+
+/// Hash functor over cnf_fingerprint for unordered containers.
+struct cnf_fingerprint_hash {
+    /// Combines both digest lanes.
+    std::size_t operator()(const cnf_fingerprint& f) const {
+        return static_cast<std::size_t>(f.digest_lo ^ (f.digest_hi * 0x9e3779b97f4a7c15ULL));
+    }
+};
+
+/// Thread-safe memoization of deductive check() results under the
+/// canonical structural key (term level) and the CNF fingerprint (clause
+/// level), optionally capacity-bounded with LRU eviction and optionally
+/// persisted to disk. See the file comment and docs/CACHING.md.
 class query_cache {
 public:
     /// Cache effectiveness counters, cumulative over the cache lifetime.
+    /// `clear()` resets them along with the entries.
     struct cache_stats {
         std::uint64_t hits = 0;        ///< lookups answered from the cache
-        std::uint64_t misses = 0;      ///< lookups that found nothing
+        std::uint64_t misses = 0;      ///< lookups that found nothing usable
         std::uint64_t insertions = 0;  ///< definite results memoized
-        std::uint64_t evictions = 0;   ///< entries dropped by the LRU bound
+        /// Entries dropped by the LRU capacity bound. The term-level and
+        /// CNF-level maps are bounded (and evict) independently, each to
+        /// `capacity()` entries; an eviction drops the result *and* its
+        /// on-disk persistence (save() writes only current residents).
+        std::uint64_t evictions = 0;
+        /// Hits answered through the structural (cross-manager or
+        /// disk-loaded) path rather than the native fast path.
+        std::uint64_t structural_hits = 0;
+        /// Satisfying models translated from structural coordinates into
+        /// the requesting manager's terms (subset of structural_hits; unsat
+        /// structural hits need no model).
+        std::uint64_t remapped_models = 0;
+        /// Remapped models that failed evaluation-verification and were
+        /// treated as misses (the caller re-solves). Nonzero values point
+        /// at a corrupt persistence file or a hash-colliding entry.
+        std::uint64_t remap_rejects = 0;
+        /// Entries loaded from the persistence file at construction /
+        /// load().
+        std::uint64_t persisted_loads = 0;
+        /// Records in the persistence file skipped as corrupt (checksum or
+        /// framing failure). The rest of the file still loads.
+        std::uint64_t persist_rejects = 0;
     };
 
-    /// `capacity` bounds the number of retained results; 0 = unbounded.
-    /// Past the bound, the least-recently-used entry is evicted — long
-    /// CEGIS runs stop growing without bound while the hot re-checks
-    /// (GameTime's predicted-longest-path, OGIS's well-formedness core)
-    /// stay resident.
-    explicit query_cache(smt::term_manager& tm, std::size_t capacity = 0)
-        : tm_(tm), capacity_(capacity) {}
+    /// A query canonicalized once, reusable for key_for/lookup/insert
+    /// without re-walking the term DAG. Valid only for the manager it was
+    /// prepared against.
+    struct prepared_query {
+        query_key key;                ///< per-manager identity (coalescing key)
+        structural_form form;         ///< canonical cross-manager identity
+        std::vector<smt::term> vars;  ///< de Bruijn index -> this manager's variable term
+    };
+
+    /// Binds the cache's *default* manager (used by the term-level
+    /// overloads that do not name one; `_in` variants accept any manager).
+    /// `capacity` bounds the number of retained results per level; 0 =
+    /// unbounded. Past the bound the least-recently-used entry is evicted,
+    /// so long CEGIS runs stop growing while hot re-checks stay resident.
+    /// A non-empty `path` enables persistence: the file is loaded now and
+    /// saved on destruction.
+    explicit query_cache(smt::term_manager& tm, std::size_t capacity = 0, std::string path = {});
+
+    /// Manager-less construction for CNF-level use (or for a shared cache
+    /// whose users always call the `_in` overloads). Term-level calls that
+    /// rely on the default manager throw std::logic_error.
+    explicit query_cache(std::string path, std::size_t capacity = 0);
+
+    /// Saves to `path()` (if set) and drops the cache. Save failures are
+    /// swallowed — a cache is an accelerator, never a correctness gate.
+    ~query_cache();
+
+    query_cache(const query_cache&) = delete;             ///< non-copyable (share via pointer)
+    query_cache& operator=(const query_cache&) = delete;  ///< non-copyable
 
     /// The configured capacity bound (0 = unbounded).
     [[nodiscard]] std::size_t capacity() const { return capacity_; }
+    /// The persistence file path (empty = persistence disabled).
+    [[nodiscard]] const std::string& path() const { return path_; }
 
-    /// Returns the memoized result for this (assertion set, assumption set),
-    /// or nullopt. Counted as a hit/miss in stats().
+    /// Canonicalizes one query against `tm`: computes the coalescing key,
+    /// the structural form and the variable table in one DAG walk. The
+    /// engine prepares once per submit and passes the result to
+    /// lookup_prepared/insert_prepared. Prepared queries are memoized per
+    /// (manager uid, sorted term-id sets) — sound because terms are
+    /// immutable and manager identity is exact — so a loop re-issuing the
+    /// same query pays the DAG walk once.
+    std::shared_ptr<const prepared_query> prepare(smt::term_manager& tm,
+                                                  const std::vector<smt::term>& assertions,
+                                                  const std::vector<smt::term>& assumptions = {});
+
+    /// Returns the memoized result for this (assertion set, assumption
+    /// set) against the default manager, or nullopt. A structural hit from
+    /// another manager (or from disk) arrives with its model remapped into
+    /// this manager's terms and verified by evaluation; a verification
+    /// failure reads as a miss. Counted in stats().
     std::optional<backend_result> lookup(const std::vector<smt::term>& assertions,
                                          const std::vector<smt::term>& assumptions = {});
+    /// lookup() against an explicit manager.
+    std::optional<backend_result> lookup_in(smt::term_manager& tm,
+                                            const std::vector<smt::term>& assertions,
+                                            const std::vector<smt::term>& assumptions = {});
+    /// lookup() over an already-prepared query (one canonicalization per
+    /// submit; `prep` must have been prepared against `tm`).
+    std::optional<backend_result> lookup_prepared(smt::term_manager& tm,
+                                                  const prepared_query& prep);
 
-    /// Memoizes a definite result. answer::unknown (interrupted) results are
-    /// ignored — they say nothing about the query.
+    /// Memoizes a definite result against the default manager.
+    /// answer::unknown (interrupted) results are ignored — they say
+    /// nothing about the query.
     void insert(const std::vector<smt::term>& assertions,
                 const std::vector<smt::term>& assumptions, const backend_result& result);
+    /// insert() against an explicit manager.
+    void insert_in(smt::term_manager& tm, const std::vector<smt::term>& assertions,
+                   const std::vector<smt::term>& assumptions, const backend_result& result);
+    /// insert() over an already-prepared query.
+    void insert_prepared(smt::term_manager& tm, const prepared_query& prep,
+                         const backend_result& result);
 
-    /// Drops every entry (stats are kept).
+    /// Returns the memoized CNF-level result for `fp`, or nullopt. The
+    /// returned result carries the answer, conflicts, and (for sat) the
+    /// stored `sat_model`; callers must verify a sat model against their
+    /// live instance by propagation before trusting it (solve_cnf does).
+    std::optional<backend_result> lookup_cnf(const cnf_fingerprint& fp);
+    /// Memoizes a definite CNF-level result (answer, conflicts, sat_model).
+    void insert_cnf(const cnf_fingerprint& fp, const backend_result& result);
+
+    /// Drops every entry and resets the counters. The persistence file is
+    /// untouched until the next save().
     void clear();
 
-    /// Snapshot of the hit/miss/insert/evict counters (thread-safe).
+    /// Snapshot of the counters (thread-safe).
     [[nodiscard]] cache_stats stats() const;
-    /// Number of results currently retained.
+    /// Number of term-level results currently retained.
     [[nodiscard]] std::size_t size() const;
+    /// Number of CNF-level results currently retained.
+    [[nodiscard]] std::size_t cnf_size() const;
 
-    /// Order-independent structural hash of a term DAG (memoized per cache).
-    /// Exposed for tests and for keying derived caches.
+    /// Canonical structural hash of a single term against the default
+    /// manager: alpha-invariant (variables are numbered, not named) and
+    /// commutative-operand sorted. Exposed for tests and derived keys.
     std::uint64_t structural_hash(smt::term t);
 
-    /// Canonical key of a query — what the engine's async layer coalesces
-    /// in-flight duplicates on.
+    /// Canonical form of a query against an explicit manager (exposed for
+    /// the structural-equality tests; equal forms == cacheable as equal).
+    structural_form form_of(smt::term_manager& tm, const std::vector<smt::term>& assertions,
+                            const std::vector<smt::term>& assumptions = {});
+
+    /// Canonical key of a query against the default manager — what the
+    /// engine's async layer coalesces in-flight duplicates on.
     query_key key_for(const std::vector<smt::term>& assertions,
                       const std::vector<smt::term>& assumptions);
 
+    /// Writes every resident entry to `path()` (atomically, via a temp
+    /// file + rename), least-recently-used first so a later load restores
+    /// the recency order. Returns false when no path is set or the write
+    /// failed.
+    bool save();
+    /// Loads (merges) entries from `path()`. Existing entries win over
+    /// file entries with the same key. Returns false when no path is set
+    /// or the file was missing/unreadable/version-mismatched; individual
+    /// corrupt records are skipped and counted in
+    /// cache_stats::persist_rejects.
+    bool load();
+
 private:
+    // A retained term-level result: the structural coordinates (always)
+    // plus, when produced in-process, the exact original backend_result
+    // and the variable table it is keyed by. The native result is replayed
+    // verbatim whenever a requester's variable table matches (comparing
+    // tables, not manager addresses, keeps the fast path sound across
+    // manager reconstruction); otherwise the structural model is remapped
+    // and verified.
     struct entry {
-        backend_result result;
-        std::list<query_key>::iterator lru_pos;  // position in lru_ (MRU at front)
+        answer ans = answer::unknown;
+        std::uint64_t conflicts = 0;
+        std::vector<std::pair<std::uint32_t, std::uint64_t>> model;  // de Bruijn idx -> value
+        bool has_native = false;
+        std::vector<std::uint32_t> native_vars;  // de Bruijn idx -> origin var term id
+        backend_result native;
+        std::list<structural_form>::iterator lru_pos;  // position in lru_ (MRU at front)
     };
 
-    query_key make_key(const std::vector<smt::term>& assertions,
-                       const std::vector<smt::term>& assumptions);
-    std::uint64_t structural_hash_locked(smt::term t);
-    void touch(entry& e);
+    struct cnf_entry {
+        answer ans = answer::unknown;
+        std::uint64_t conflicts = 0;
+        std::vector<sat::lbool> sat_model;  // sat answers only
+        std::list<cnf_fingerprint>::iterator lru_pos;
+    };
 
-    smt::term_manager& tm_;
+    // The per-manager memo key for prepared queries: the sorted,
+    // deduplicated term-id sets of a query (what make_key derives before
+    // any canonicalization).
+    struct id_key {
+        std::vector<std::uint32_t> assertions;
+        std::vector<std::uint32_t> assumptions;
+        bool operator==(const id_key&) const = default;
+    };
+    struct id_key_hash {
+        std::size_t operator()(const id_key& k) const;
+    };
+
+    // Per-manager canonicalization scratch, keyed by term_manager::uid()
+    // (process-unique, so a new manager reusing a dead one's address can
+    // never see its predecessor's state): memoized shape hashes (the
+    // name-free bottom-up hash that orders roots and commutative
+    // operands) and fully prepared queries per id set — terms are
+    // immutable, so both memos stay valid for the manager's lifetime.
+    struct manager_state {
+        std::unordered_map<std::uint32_t, std::uint64_t> shape;  // term id -> shape hash
+        std::unordered_map<id_key, std::shared_ptr<const prepared_query>, id_key_hash> forms;
+        std::uint64_t last_used = 0;  // manager_clock_ stamp for LRU eviction
+    };
+
+    std::shared_ptr<const prepared_query> prepare_locked(
+        smt::term_manager& tm, const std::vector<smt::term>& assertions,
+        const std::vector<smt::term>& assumptions);
+    std::optional<backend_result> lookup_locked(smt::term_manager& tm,
+                                                const prepared_query& prep);
+    void insert_locked(const prepared_query& prep, const backend_result& result);
+    manager_state& state_for(smt::term_manager& tm);
+    std::uint64_t shape_hash(manager_state& ms, smt::term_manager& tm, smt::term t);
+    void touch(entry& e);
+    void touch_cnf(cnf_entry& e);
+    bool load_locked();
+    bool save_locked() const;
+    smt::term_manager& default_manager() const;
+
+    smt::term_manager* tm_;  // default manager; null for CNF-only caches
     std::size_t capacity_;
+    std::string path_;
     mutable std::mutex mutex_;
-    std::unordered_map<query_key, entry, query_key_hash> entries_;
-    std::list<query_key> lru_;  // most-recently-used first
-    std::unordered_map<std::uint32_t, std::uint64_t> term_hashes_;  // term id -> hash
+    std::unordered_map<structural_form, entry, structural_form_hash> entries_;
+    std::list<structural_form> lru_;  // most-recently-used first
+    std::unordered_map<cnf_fingerprint, cnf_entry, cnf_fingerprint_hash> cnf_entries_;
+    std::list<cnf_fingerprint> cnf_lru_;  // most-recently-used first
+    std::unordered_map<std::uint64_t, manager_state> managers_;  // keyed by manager uid
+    std::uint64_t manager_clock_ = 0;  // recency ticks for managers_ eviction
     cache_stats stats_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "substrate/portfolio.hpp"
+#include "substrate/query_cache.hpp"
 #include "substrate/thread_pool.hpp"
 
 namespace sciduction::substrate {
@@ -123,7 +124,7 @@ resolved_strategy strategy::resolve(const resolved_strategy& defaults) const {
 }
 
 cnf_outcome solve_cnf(const cnf_builder& build, const strategy& strat, unsigned threads,
-                      const solve_controls& controls) {
+                      const solve_controls& controls, query_cache* cache) {
     // Library-level defaults (no engine_config at the CNF level): the
     // portfolio/cube defaults of portfolio_config / cube_config.
     resolved_strategy defaults;
@@ -132,8 +133,8 @@ cnf_outcome solve_cnf(const cnf_builder& build, const strategy& strat, unsigned 
     resolved_strategy rs = strat.resolve(defaults);
 
     // The prototype instance is built at most once and recycled: the
-    // automatic classifier reads its size, the single path solves it, and
-    // the shard paths run the cube lookahead on it.
+    // fingerprint and the automatic classifier read it, the single path
+    // solves it, and the shard paths run the cube lookahead on it.
     std::unique_ptr<sat_backend> proto;
     auto make_proto = [&] {
         proto = std::make_unique<sat_backend>(sat::solver_options{}, "cnf#0");
@@ -141,11 +142,63 @@ cnf_outcome solve_cnf(const cnf_builder& build, const strategy& strat, unsigned 
     };
 
     cnf_outcome out;
+    cnf_fingerprint fp;
+    const bool use_cnf_cache = cache != nullptr && rs.use_cache;
+    if (use_cnf_cache) {
+        make_proto();
+        fp = cnf_fingerprint::of(proto->solver());
+        if (auto cached = cache->lookup_cnf(fp)) {
+            if (cached->is_unsat()) {
+                // Unsat transfers directly: the fingerprint identifies the
+                // clause stream, and unsatisfiability is a property of the
+                // clauses alone.
+                out.result = std::move(*cached);
+                out.executed = strategy_kind::single;
+                out.cache_hit = true;
+                return out;
+            }
+            // Sat: re-validate on the live instance by assuming every
+            // assigned model literal. With a fully assigned model this is
+            // pure propagation; l_undef gaps leave a (small) residual
+            // search, so the caller's conflict budget is honoured here
+            // exactly as it would be on the real solve. unknown (budget
+            // or cancel) and unsat (stale/corrupt entry) both fall
+            // through to the normal solve path.
+            std::vector<sat::lit> model_lits;
+            model_lits.reserve(cached->sat_model.size());
+            for (std::size_t v = 0; v < cached->sat_model.size(); ++v) {
+                if (static_cast<int>(v) >= proto->solver().num_vars()) break;
+                if (cached->sat_model[v] == sat::lbool::l_undef) continue;
+                model_lits.push_back(sat::mk_lit(static_cast<sat::var>(v),
+                                                 cached->sat_model[v] == sat::lbool::l_false));
+            }
+            const std::uint64_t budget =
+                rs.conflict_budget != 0 ? rs.conflict_budget : controls.conflict_budget;
+            if (budget != 0)
+                proto->solver().set_conflict_pause(proto->solver().stats().conflicts + budget);
+            backend_result validated = proto->check_cube(model_lits, controls.cancel);
+            if (budget != 0) proto->solver().set_conflict_pause(0);
+            if (validated.is_sat()) {
+                validated.conflicts = cached->conflicts;
+                out.result = std::move(validated);
+                out.total_conflicts = out.result.conflicts;
+                out.executed = strategy_kind::single;
+                out.cache_hit = true;
+                return out;
+            }
+        }
+    }
+    // Memoizes a definite outcome under the fingerprint computed above
+    // (the digest is stable across the solve: search never re-enters
+    // add_clause).
+    auto memoize = [&](const backend_result& r) {
+        if (use_cnf_cache) cache->insert_cnf(fp, r);
+    };
     if (rs.kind == strategy_kind::automatic) {
         // Classify on the prototype's size. No per-key history at this
         // level: solve_cnf is a free function, callers with a loop hold an
         // engine.
-        make_proto();
+        if (!proto) make_proto();
         query_features f;
         f.variables = static_cast<std::size_t>(proto->solver().num_vars());
         f.clauses = proto->solver().num_clauses();
@@ -168,6 +221,7 @@ cnf_outcome solve_cnf(const cnf_builder& build, const strategy& strat, unsigned 
                                                inner.conflict_budget);
         out.result = proto->check(inner.cancel);
         out.total_conflicts = out.result.conflicts;
+        memoize(out.result);
         return out;
     }
 
@@ -193,6 +247,7 @@ cnf_outcome solve_cnf(const cnf_builder& build, const strategy& strat, unsigned 
         out.winner = race_out.winner;
         out.total_conflicts = race_out.total_conflicts;
         out.sharing = race_out.sharing;
+        memoize(out.result);
         return out;
     }
 
@@ -218,6 +273,7 @@ cnf_outcome solve_cnf(const cnf_builder& build, const strategy& strat, unsigned 
     out.total_conflicts = shard_out.stats.conflicts;
     out.sharing = shard_out.stats.sharing;
     out.shard = shard_out.stats;
+    memoize(out.result);
     return out;
 }
 

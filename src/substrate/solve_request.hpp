@@ -168,6 +168,10 @@ struct cnf_outcome {
     sharing_counters sharing{};         ///< aggregated exchange counters
     shard_stats shard;                  ///< shard work breakdown (shard kinds)
     strategy_kind executed = strategy_kind::single;  ///< the kind that actually ran
+    /// The result came from the CNF-level cache: no search ran (a cached
+    /// sat model is re-validated on the prototype instance by propagation
+    /// only; `executed` then reports `single` and `winner` 0).
+    bool cache_hit = false;
 };
 
 /// Deterministic CNF builder handed to solve_cnf: populate `s` with the
@@ -177,6 +181,10 @@ struct cnf_outcome {
 /// violation literals), not to vary the formula.
 using cnf_builder = std::function<void(unsigned member, sat::solver& s)>;
 
+/// The substrate's result cache (query_cache.hpp); forward-declared here
+/// so solve_cnf can accept one without the header dependency.
+class query_cache;
+
 /// CNF-level analogue of `smt_engine::submit` for workloads that build
 /// clauses directly (invgen's refinement rounds and inductive-step proof):
 /// resolves `strat` against library defaults (4 members, depth 3) and
@@ -184,7 +192,16 @@ using cnf_builder = std::function<void(unsigned member, sat::solver& s)>;
 /// solve, diversified portfolio race, cube-and-conquer, or diversified
 /// cube-and-conquer. `automatic` classifies on a prototype instance's
 /// size (no history at this level). Synchronous; `threads` 0 = hardware.
+///
+/// A non-null `cache` memoizes results under the instance's
+/// `cnf_fingerprint` (the clause-stream digest — sound because the
+/// builder contract already requires deterministic construction). Cached
+/// unsat answers return immediately; a cached sat model is re-validated
+/// against the freshly built prototype by assuming every model literal
+/// (propagation, no search) and falls back to a normal solve if the
+/// propagation refutes it. With a persistent cache (query_cache
+/// constructed with a path) this is invgen's cross-run warm start.
 cnf_outcome solve_cnf(const cnf_builder& build, const strategy& strat, unsigned threads = 0,
-                      const solve_controls& controls = {});
+                      const solve_controls& controls = {}, query_cache* cache = nullptr);
 
 }  // namespace sciduction::substrate

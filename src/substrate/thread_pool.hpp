@@ -1,12 +1,16 @@
-// Fixed-size worker pool shared by the substrate's batch and portfolio
-// dispatchers.
-//
-// The sciduction loops issue thousands of independent oracle queries
-// (basis-path feasibility, candidate checks, invariant refinements); this
-// pool is the single place concurrency lives, so every higher layer stays
-// free of raw thread management. Tasks are type-erased thunks; results flow
-// back through the futures returned by submit() or through the caller's own
-// slots in parallel_for.
+/// \file
+/// Fixed-size worker pool shared by the substrate's batch and portfolio
+/// dispatchers.
+///
+/// The sciduction loops issue thousands of independent oracle queries
+/// (basis-path feasibility, candidate checks, invariant refinements); this
+/// pool is the single place concurrency lives, so every higher layer stays
+/// free of raw thread management. Tasks are type-erased thunks; results
+/// flow back through the futures returned by submit() or through the
+/// caller's own slots in parallel_for. `smt_engine` holds one pool per
+/// workload (created lazily, shared by every race/batch/shard/async
+/// request), so thread spawn cost is paid once; `parallel_map` spins up a
+/// transient pool for one-shot fan-outs.
 #pragma once
 
 #include <condition_variable>
@@ -24,15 +28,21 @@ namespace sciduction::substrate {
 /// concurrency, floored at 1 (hardware_concurrency may return 0).
 unsigned default_concurrency();
 
+/// The substrate's worker pool: a fixed set of threads draining one FIFO
+/// task queue. Thread-safe: any thread (including a worker) may submit.
+/// Destruction drains the queue — every already-submitted task runs before
+/// the workers join (which is why smt_engine declares its pool last).
 class thread_pool {
 public:
     /// Spawns `num_workers` threads (0 = default_concurrency()).
     explicit thread_pool(unsigned num_workers = 0);
+    /// Runs every queued task to completion, then joins the workers.
     ~thread_pool();
 
-    thread_pool(const thread_pool&) = delete;
-    thread_pool& operator=(const thread_pool&) = delete;
+    thread_pool(const thread_pool&) = delete;             ///< non-copyable (owns threads)
+    thread_pool& operator=(const thread_pool&) = delete;  ///< non-copyable
 
+    /// The number of worker threads.
     [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
     /// Enqueues a task; the future resolves with its result (or exception).

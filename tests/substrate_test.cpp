@@ -303,6 +303,14 @@ TEST(batch, shares_cache_across_duplicate_queries) {
     EXPECT_EQ(engine.stats().solver_runs, engine.stats().queries - engine.stats().cache_hits -
                                               engine.stats().coalesced);
     for (const auto& r : again) EXPECT_EQ(r.ans, answer::sat);
+    // The structural-cache counters nest inside the invariant: every
+    // structural hit is a cache hit, every remapped model came from a
+    // structural hit, and nothing loads from disk without a cache_path.
+    EXPECT_LE(engine.stats().structural_hits, engine.stats().cache_hits);
+    EXPECT_LE(engine.stats().remapped_models, engine.stats().structural_hits);
+    EXPECT_EQ(engine.stats().persisted_loads, 0u);
+    // One manager, one engine: every hit here replays natively.
+    EXPECT_EQ(engine.stats().structural_hits, 0u);
 }
 
 // ---- oracle cache -----------------------------------------------------------
