@@ -620,8 +620,11 @@ lbool solver::search(std::uint64_t conflicts_before_restart) {
         if (confl != cref_undef) {
             ++stats_.conflicts;
             ++conflicts_here;
-            if (conflict_budget_ != 0 && stats_.conflicts > conflict_budget_)
-                throw std::runtime_error("sat::solver: conflict budget exceeded");
+            if (conflict_budget_ != 0 && stats_.conflicts > conflict_budget_) {
+                budget_exhausted_ = true;
+                backtrack_to(0);
+                return lbool::l_undef;
+            }
             if (decision_level() == 0) {
                 ok_ = false;
                 conflict_.clear();
@@ -712,6 +715,7 @@ solve_result solver::solve(const std::vector<lit>& assumptions) {
     model_.clear();
     interrupted_ = false;
     paused_ = false;
+    budget_exhausted_ = false;
     pull_imports();  // clause sharing: catch up on foreign clauses first
     if (!ok_) return solve_result::unsat;
 
@@ -726,7 +730,7 @@ solve_result solver::solve(const std::vector<lit>& assumptions) {
     while (status == lbool::l_undef) {
         double budget = opts_.restart_base * luby(opts_.restart_luby_factor, restarts++);
         status = search(static_cast<std::uint64_t>(budget));
-        if (interrupted_ || paused_) {
+        if (interrupted_ || paused_ || budget_exhausted_) {
             if (paused_) resume_restarts_ = restarts - 1;
             return solve_result::unknown;
         }

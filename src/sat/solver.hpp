@@ -200,10 +200,24 @@ public:
 
     [[nodiscard]] const solver_stats& stats() const { return stats_; }
 
-    /// Hard limit on conflicts per solve() call; 0 means unlimited.
-    /// Exceeding the budget returns unsat-free "unknown" mapped to an
-    /// exception to keep the result type binary; callers set generous limits.
+    /// Hard limit on total conflicts across solve() calls; 0 means
+    /// unlimited. Exceeding the budget aborts the search: solve() returns
+    /// solve_result::unknown with budget_exhausted() set (it used to throw —
+    /// exceptions are reserved for programming errors now, and a budget
+    /// running out is an expected outcome the substrate reports as
+    /// solve_status::over_budget).
     void set_conflict_budget(std::uint64_t budget) { conflict_budget_ = budget; }
+
+    /// Whether the last solve() was aborted by the interrupt flag. Cleared
+    /// at the start of every solve; the substrate reads this to classify an
+    /// unknown answer as solve_status::cancelled.
+    [[nodiscard]] bool interrupted() const { return interrupted_; }
+    /// Whether the last solve() stopped at the conflict-pause threshold
+    /// (the budgeted-portfolio slice boundary). Cleared per solve.
+    [[nodiscard]] bool paused() const { return paused_; }
+    /// Whether the last solve() aborted on the hard conflict budget.
+    /// Cleared per solve.
+    [[nodiscard]] bool budget_exhausted() const { return budget_exhausted_; }
 
 private:
     // ---- clause arena ----------------------------------------------------
@@ -345,6 +359,7 @@ private:
     const std::atomic<bool>* interrupt_ = nullptr;
     bool interrupted_ = false;  // search aborted by the interrupt flag
     bool paused_ = false;       // search paused by the conflict-pause threshold
+    bool budget_exhausted_ = false;  // search aborted on the hard conflict budget
 
     clause_export_fn export_fn_;
     clause_import_fn import_fn_;

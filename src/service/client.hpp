@@ -1,0 +1,90 @@
+/// \file
+/// Synchronous client for sciductiond: connects to the daemon's unix
+/// socket, opens a tenant session, and maps the substrate's request
+/// surface onto protocol frames (submit / await / cancel / progress /
+/// stats / drain). One client = one session = one socket; the instance is
+/// not thread-safe (serialize externally, or open one client per thread —
+/// the daemon schedules them fairly).
+///
+/// The client owns nothing of the term DAG: requests reference terms of
+/// the *caller's* term_manager, and submit() serializes the reachable DAG
+/// into the frame. Results arrive as `result_message` — answer, status,
+/// serving metadata, and a name->value model (ids do not survive the trip
+/// between managers).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "service/protocol.hpp"
+
+namespace sciduction::service {
+
+/// Thrown when the daemon is unreachable, closes the connection, or
+/// answers with an `error` frame.
+struct client_error : std::runtime_error {
+    using std::runtime_error::runtime_error;
+};
+
+/// Outcome of one submit(): admitted (await the id) or rejected now.
+struct submit_outcome {
+    std::uint64_t request_id = 0;  ///< the id to await() if accepted
+    bool accepted = false;         ///< admitted into the tenant queue
+    reject_reason reason = reject_reason::protocol;  ///< valid when !accepted
+    std::string detail;                              ///< reject detail line
+    std::uint32_t queue_position = 0;                ///< valid when accepted
+};
+
+class client {
+public:
+    /// Connects and performs the hello handshake. `tm` is the caller's
+    /// term manager (terms submitted later must live in it); it must
+    /// outlive the client. Throws client_error on failure.
+    client(const smt::term_manager& tm, const std::string& socket_path,
+           const std::string& tenant, unsigned weight = 1);
+    ~client();
+
+    client(const client&) = delete;
+    client& operator=(const client&) = delete;
+
+    /// Sends one solve_request under a fresh request id and waits for the
+    /// daemon's admission verdict (submit_ack or reject).
+    submit_outcome submit(const substrate::solve_request& req);
+
+    /// Blocks until the result frame for `request_id` arrives. Results
+    /// arriving out of order (the daemon reaps in completion order) are
+    /// buffered, so await() calls may be issued in any order.
+    result_message await(std::uint64_t request_id);
+
+    /// Requests cooperative cancellation; true if the daemon still knew
+    /// the id (false = already completed or never admitted — the
+    /// cancel-after-completion race is benign by design).
+    bool cancel(std::uint64_t request_id);
+
+    /// Progress snapshot of an in-flight request.
+    progress_message progress(std::uint64_t request_id);
+
+    /// Daemon-wide counters.
+    std::map<std::string, std::uint64_t> stats();
+
+    /// Asks the daemon to drain and waits for the drain_ack. Outstanding
+    /// results (policy `finish`) are delivered before the ack; fetch them
+    /// with await() first if ordering matters.
+    void drain(drain_policy policy = drain_policy::finish);
+
+private:
+    frame read_frame();
+    void write_all(const std::vector<std::uint8_t>& bytes);
+    /// Reads frames until one of `want` arrives; result frames for other
+    /// requests are stashed for their own await().
+    frame read_until(op want);
+
+    const smt::term_manager& tm_;
+    int fd_ = -1;
+    std::uint64_t next_id_ = 1;
+    std::map<std::uint64_t, result_message> stashed_results_;
+};
+
+}  // namespace sciduction::service

@@ -1,0 +1,556 @@
+#include "service/server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+
+#include "substrate/query_cache.hpp"
+
+namespace sciduction::service {
+
+using clock = std::chrono::steady_clock;
+
+namespace {
+
+std::uint64_t ms_between(clock::time_point from, clock::time_point to) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(to - from).count());
+}
+
+bool set_nonblocking(int fd) {
+    const int flags = fcntl(fd, F_GETFL, 0);
+    return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// Best-effort read of the leading request id of an undecoded submit
+/// payload (the ack/reject frames need it before full decode).
+std::uint64_t peek_request_id(const std::vector<std::uint8_t>& payload) {
+    if (payload.size() < 8) return 0;
+    std::uint64_t id = 0;
+    for (int i = 0; i < 8; ++i) id |= static_cast<std::uint64_t>(payload[i]) << (8 * i);
+    return id;
+}
+
+}  // namespace
+
+/// One client connection and — once the hello lands — its tenant session
+/// context: a private term_manager + smt_engine over the daemon's shared
+/// cache and pool, riding a fair-dispatch lane via engine_session.
+struct server::connection {
+    int fd = -1;
+    std::vector<std::uint8_t> inbuf;
+    std::vector<std::uint8_t> outbuf;
+    bool greeted = false;
+    /// Socket is gone but solves are still in flight: the session context
+    /// is kept alive (handles must resolve before the engine may die) and
+    /// reaped silently; the connection object drops once quiescent.
+    bool closing = false;
+    bool wants_drain_ack = false;
+    std::string tenant;
+
+    std::unique_ptr<smt::term_manager> tm;
+    std::unique_ptr<substrate::smt_engine> engine;
+    std::shared_ptr<substrate::engine_session> session;
+
+    /// Admitted but not yet decoded (the decode barrier): raw payloads
+    /// wait here until the tenant has zero solves in flight.
+    struct pending_submit {
+        std::uint64_t request_id = 0;
+        std::vector<std::uint8_t> payload;
+        clock::time_point enqueued;
+    };
+    std::deque<pending_submit> pending;
+
+    struct inflight_request {
+        substrate::query_handle handle;
+        clock::time_point enqueued;
+        clock::time_point dispatched;
+        /// Daemon-side wall-clock deadline from the request's
+        /// time_budget_ms (nobody blocks in get() serverside, so the
+        /// reaper enforces it by cooperative cancel).
+        std::optional<clock::time_point> deadline;
+        bool deadline_cancelled = false;
+    };
+    std::map<std::uint64_t, inflight_request> inflight;
+
+    [[nodiscard]] std::size_t load() const { return pending.size() + inflight.size(); }
+
+    void send(const frame& f) {
+        if (closing) return;
+        const std::vector<std::uint8_t> bytes = pack_frame(f);
+        outbuf.insert(outbuf.end(), bytes.begin(), bytes.end());
+    }
+};
+
+server::server(server_config cfg) : cfg_(std::move(cfg)) {
+    pool_ = std::make_shared<substrate::thread_pool>(cfg_.threads);
+    cache_ = std::make_shared<substrate::query_cache>(cfg_.cache_path, cfg_.cache_capacity);
+}
+
+server::~server() {
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+std::uint64_t server::run() {
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw std::runtime_error("sciductiond: socket() failed");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (cfg_.socket_path.size() >= sizeof(addr.sun_path))
+        throw std::runtime_error("sciductiond: socket path too long");
+    std::strncpy(addr.sun_path, cfg_.socket_path.c_str(), sizeof(addr.sun_path) - 1);
+    ::unlink(cfg_.socket_path.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 16) != 0)
+        throw std::runtime_error("sciductiond: cannot bind " + cfg_.socket_path);
+    set_nonblocking(listen_fd_);
+    serving_.store(true, std::memory_order_release);
+
+    while (true) {
+        if (stop_requested_.load(std::memory_order_relaxed) && !draining_)
+            begin_drain(drain_policy::finish);
+
+        std::vector<pollfd> fds;
+        if (!draining_) fds.push_back({listen_fd_, POLLIN, 0});
+        const std::size_t conn_base = fds.size();
+        for (const auto& conn : connections_) {
+            short events = 0;
+            if (!conn->closing) events |= POLLIN;
+            if (!conn->outbuf.empty()) events |= POLLOUT;
+            fds.push_back({conn->fd, events, 0});
+        }
+        bool busy = false;
+        for (const auto& conn : connections_)
+            if (conn->load() != 0) busy = true;
+        // Completion is observed by polling ready(); tick fast only while
+        // work is in flight.
+        const int timeout_ms = busy ? 5 : 100;
+        const int rc = ::poll(fds.data(), fds.size(), timeout_ms);
+        if (rc < 0 && errno != EINTR) break;
+
+        // Only the connections that existed when fds was built were polled;
+        // accept_clients() may append more (they are served next tick).
+        const std::size_t polled = connections_.size();
+        if (!draining_ && (fds[0].revents & POLLIN) != 0) accept_clients();
+        for (std::size_t i = 0; i < polled; ++i) {
+            const short revents = fds[conn_base + i].revents;
+            connection& conn = *connections_[i];
+            if ((revents & POLLOUT) != 0 && !conn.outbuf.empty()) {
+                const ssize_t n = ::write(conn.fd, conn.outbuf.data(), conn.outbuf.size());
+                if (n > 0) {
+                    conn.outbuf.erase(conn.outbuf.begin(), conn.outbuf.begin() + n);
+                } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+                    conn.closing = true;
+                    conn.outbuf.clear();
+                }
+            }
+            if ((revents & (POLLIN | POLLERR | POLLHUP)) != 0 && !conn.closing)
+                handle_readable(conn);
+        }
+        for (auto& conn : connections_) {
+            reap(*conn);
+            schedule(*conn);
+        }
+        for (std::size_t i = connections_.size(); i-- > 0;) {
+            connection& conn = *connections_[i];
+            // A closing connection is dropped only once its last frames
+            // (the error/result that explains the close) have flushed.
+            if (conn.closing && conn.inflight.empty() && conn.outbuf.empty()) drop_connection(i);
+        }
+
+        if (draining_) {
+            bool quiescent = true;
+            for (const auto& conn : connections_)
+                if (conn->load() != 0) quiescent = false;
+            if (quiescent) break;
+        }
+    }
+
+    // Acknowledge the drain and flush what can be flushed (bounded: the
+    // daemon is exiting, a stuck client must not wedge shutdown).
+    for (auto& conn : connections_)
+        if (conn->wants_drain_ack) conn->send({op::drain_ack, {}});
+    const clock::time_point flush_deadline = clock::now() + std::chrono::seconds(2);
+    for (auto& conn : connections_) {
+        while (!conn->outbuf.empty() && !conn->closing && clock::now() < flush_deadline) {
+            const ssize_t n = ::write(conn->fd, conn->outbuf.data(), conn->outbuf.size());
+            if (n > 0) {
+                conn->outbuf.erase(conn->outbuf.begin(), conn->outbuf.begin() + n);
+            } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+                pollfd pfd{conn->fd, POLLOUT, 0};
+                ::poll(&pfd, 1, 50);
+            } else {
+                break;
+            }
+        }
+    }
+
+    // Session contexts die before the shared cache/pool; then persist.
+    connections_.clear();
+    cache_->save();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(cfg_.socket_path.c_str());
+    serving_.store(false, std::memory_order_release);
+    return results_;
+}
+
+void server::accept_clients() {
+    while (true) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) return;
+        set_nonblocking(fd);
+        auto conn = std::make_unique<connection>();
+        conn->fd = fd;
+        connections_.push_back(std::move(conn));
+    }
+}
+
+void server::handle_readable(connection& conn) {
+    std::uint8_t buf[16384];
+    while (true) {
+        const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+        if (n > 0) {
+            conn.inbuf.insert(conn.inbuf.end(), buf, buf + n);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        // EOF or hard error: the client is gone. Cancel its in-flight
+        // solves (reclaiming pool time) and reclaim its queue slots; the
+        // session context lingers until the handles resolve.
+        conn.closing = true;
+        for (auto& [id, req] : conn.inflight) {
+            req.handle.cancel();
+            ++disconnect_cancels_;
+        }
+        conn.pending.clear();
+        return;
+    }
+    // Drain complete frames from the input buffer.
+    while (true) {
+        if (conn.inbuf.size() < 4) return;
+        std::uint32_t len = 0;
+        for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(conn.inbuf[i]) << (8 * i);
+        if (len == 0 || len > max_frame_bytes) {
+            ++protocol_errors_;
+            wire_writer w;
+            w.str(len == 0 ? "empty frame" : "frame exceeds max_frame_bytes");
+            conn.send({op::error, w.take()});
+            conn.closing = true;
+            for (auto& [id, req] : conn.inflight) req.handle.cancel();
+            conn.pending.clear();
+            return;
+        }
+        if (conn.inbuf.size() < 4u + len) return;
+        frame f;
+        f.opcode = static_cast<op>(conn.inbuf[4]);
+        f.payload.assign(conn.inbuf.begin() + 5, conn.inbuf.begin() + 4 + len);
+        conn.inbuf.erase(conn.inbuf.begin(), conn.inbuf.begin() + 4 + len);
+        if (!handle_frame(conn, f)) {
+            conn.closing = true;
+            for (auto& [id, req] : conn.inflight) req.handle.cancel();
+            conn.pending.clear();
+            return;
+        }
+    }
+}
+
+bool server::handle_frame(connection& conn, const frame& f) {
+    try {
+        if (!conn.greeted && f.opcode != op::hello) {
+            ++protocol_errors_;
+            wire_writer w;
+            w.str("expected hello");
+            conn.send({op::error, w.take()});
+            return false;
+        }
+        switch (f.opcode) {
+            case op::hello: {
+                wire_reader r(f.payload);
+                const std::uint32_t version = r.u32();
+                std::string name = r.str();
+                const std::uint32_t weight = r.u32();
+                if (version != protocol_version) {
+                    wire_writer w;
+                    w.str("unsupported protocol version");
+                    conn.send({op::error, w.take()});
+                    return false;
+                }
+                conn.tenant = name.empty() ? "anonymous" : std::move(name);
+                conn.tm = std::make_unique<smt::term_manager>();
+                substrate::engine_config ecfg;
+                ecfg.threads = static_cast<unsigned>(pool_->size());
+                ecfg.shared_cache = cache_;
+                ecfg.shared_pool = pool_;
+                conn.engine = std::make_unique<substrate::smt_engine>(*conn.tm, ecfg);
+                conn.session = conn.engine->open_session(
+                    conn.tenant, weight == 0 ? cfg_.default_weight : weight);
+                conn.greeted = true;
+                ++sessions_opened_;
+                wire_writer w;
+                w.u32(protocol_version);
+                conn.send({op::hello_ok, w.take()});
+                return true;
+            }
+            case op::submit:
+                handle_submit(conn, f.payload);
+                return true;
+            case op::cancel: {
+                wire_reader r(f.payload);
+                const std::uint64_t id = r.u64();
+                bool found = false;
+                if (auto it = conn.inflight.find(id); it != conn.inflight.end()) {
+                    it->second.handle.cancel();
+                    found = true;
+                } else {
+                    // Still queued behind the decode barrier: unqueue and
+                    // answer as a cancelled (never-started) solve.
+                    for (auto it2 = conn.pending.begin(); it2 != conn.pending.end(); ++it2) {
+                        if (it2->request_id != id) continue;
+                        conn.pending.erase(it2);
+                        result_message msg;
+                        msg.request_id = id;
+                        msg.ans = substrate::answer::unknown;
+                        msg.status = substrate::solve_status::cancelled;
+                        msg.status_detail = "cancelled before dispatch";
+                        msg.finish_seq = finish_seq_++;
+                        conn.send({op::result, encode_result(*conn.tm, msg, {})});
+                        ++results_;
+                        found = true;
+                        break;
+                    }
+                }
+                if (found) ++cancels_;
+                wire_writer w;
+                w.u64(id);
+                w.u8(found ? 1 : 0);
+                conn.send({op::cancel_ack, w.take()});
+                return true;
+            }
+            case op::progress: {
+                wire_reader r(f.payload);
+                progress_message msg;
+                msg.request_id = r.u64();
+                if (auto it = conn.inflight.find(msg.request_id); it != conn.inflight.end()) {
+                    const substrate::query_progress p = it->second.handle.progress();
+                    msg.known = true;
+                    msg.started = p.started;
+                    msg.finished = p.finished;
+                    msg.cancel_requested = p.cancel_requested;
+                    msg.cubes_total = p.cubes_total;
+                    msg.cubes_done = p.cubes_done;
+                } else {
+                    for (const auto& pend : conn.pending)
+                        if (pend.request_id == msg.request_id) msg.known = true;
+                }
+                conn.send({op::progress_reply, encode_progress(msg)});
+                return true;
+            }
+            case op::stats:
+                conn.send({op::stats_reply, encode_stats(snapshot_stats())});
+                return true;
+            case op::drain: {
+                wire_reader r(f.payload);
+                const std::uint8_t policy = f.payload.empty() ? 0 : r.u8();
+                conn.wants_drain_ack = true;
+                begin_drain(policy == 1 ? drain_policy::cancel : drain_policy::finish);
+                return true;
+            }
+            default: {
+                ++protocol_errors_;
+                wire_writer w;
+                w.str("unknown opcode");
+                conn.send({op::error, w.take()});
+                return false;
+            }
+        }
+    } catch (const wire_error& e) {
+        ++protocol_errors_;
+        wire_writer w;
+        w.str(std::string("malformed frame: ") + e.what());
+        conn.send({op::error, w.take()});
+        return false;
+    }
+}
+
+void server::handle_submit(connection& conn, const std::vector<std::uint8_t>& payload) {
+    const std::uint64_t id = peek_request_id(payload);
+    auto reject = [&](reject_reason reason, const std::string& detail) {
+        wire_writer w;
+        w.u64(id);
+        w.u8(static_cast<std::uint8_t>(reason));
+        w.str(detail);
+        conn.send({op::reject, w.take()});
+    };
+    if (payload.size() < 8) {
+        ++protocol_errors_;
+        reject(reject_reason::protocol, "submit payload shorter than a request id");
+        return;
+    }
+    if (draining_) {
+        ++rejected_draining_;
+        reject(reject_reason::draining, "daemon is draining");
+        return;
+    }
+    if (conn.load() >= cfg_.queue_depth) {
+        ++rejected_queue_full_;
+        reject(reject_reason::queue_full,
+               "tenant queue at capacity (" + std::to_string(cfg_.queue_depth) + ")");
+        return;
+    }
+    if (conn.inflight.count(id) != 0) {
+        reject(reject_reason::protocol, "duplicate request id");
+        return;
+    }
+    for (const auto& pend : conn.pending)
+        if (pend.request_id == id) {
+            reject(reject_reason::protocol, "duplicate request id");
+            return;
+        }
+    conn.pending.push_back({id, payload, clock::now()});
+    ++submits_;
+    wire_writer w;
+    w.u64(id);
+    w.u32(static_cast<std::uint32_t>(conn.load()));
+    conn.send({op::submit_ack, w.take()});
+}
+
+void server::schedule(connection& conn) {
+    if (!conn.greeted || conn.pending.empty()) return;
+    // The decode barrier: decoding creates terms, and the tenant's manager
+    // is only quiescent (no pool thread reading it) with zero in-flight
+    // solves. Batch-decode everything queued at this idle window.
+    if (!conn.inflight.empty()) return;
+    if (draining_ && drain_policy_ == drain_policy::cancel) {
+        // Cancel-drain: admitted-but-queued work is answered cancelled
+        // without ever dispatching.
+        while (!conn.pending.empty()) {
+            const auto pend = std::move(conn.pending.front());
+            conn.pending.pop_front();
+            result_message msg;
+            msg.request_id = pend.request_id;
+            msg.ans = substrate::answer::unknown;
+            msg.status = substrate::solve_status::cancelled;
+            msg.status_detail = "cancelled by drain";
+            msg.finish_seq = finish_seq_++;
+            conn.send({op::result, encode_result(*conn.tm, msg, {})});
+            ++results_;
+        }
+        return;
+    }
+    std::deque<connection::pending_submit> batch = std::move(conn.pending);
+    conn.pending.clear();
+    const clock::time_point now = clock::now();
+    for (auto& pend : batch) {
+        submit_message msg;
+        try {
+            msg = decode_submit(*conn.tm, pend.payload);
+        } catch (const wire_error& e) {
+            ++protocol_errors_;
+            wire_writer w;
+            w.u64(pend.request_id);
+            w.u8(static_cast<std::uint8_t>(reject_reason::protocol));
+            w.str(std::string("submit failed to decode: ") + e.what());
+            conn.send({op::reject, w.take()});
+            continue;
+        }
+        connection::inflight_request req{conn.session->submit(std::move(msg.request)),
+                                         pend.enqueued, now, std::nullopt, false};
+        if (const std::uint64_t budget = req.handle.stats().strategy.time_budget_ms; budget != 0)
+            req.deadline = now + std::chrono::milliseconds(budget);
+        conn.inflight.emplace(msg.request_id, std::move(req));
+    }
+}
+
+void server::reap(connection& conn) {
+    const clock::time_point now = clock::now();
+    for (auto it = conn.inflight.begin(); it != conn.inflight.end();) {
+        connection::inflight_request& req = it->second;
+        if (!req.handle.ready()) {
+            // Server-side enforcement of the request's wall-clock budget:
+            // no thread blocks in get() here, so the reaper cancels.
+            if (req.deadline && now >= *req.deadline && !req.deadline_cancelled) {
+                req.handle.cancel();
+                req.deadline_cancelled = true;
+            }
+            ++it;
+            continue;
+        }
+        substrate::backend_result result = req.handle.get();
+        result_message msg;
+        msg.request_id = it->first;
+        msg.ans = result.ans;
+        msg.status = result.status;
+        // A cancel the daemon itself issued for an expired time budget is
+        // a timeout from the client's point of view.
+        if (req.deadline_cancelled && result.status == substrate::solve_status::cancelled)
+            msg.status = substrate::solve_status::timeout;
+        msg.status_detail = std::move(result.status_detail);
+        const substrate::request_stats rstats = req.handle.stats();
+        // An all-UNSAT shard verdict is synthesized rather than returned by
+        // one winning instance, so its result carries no conflict count;
+        // report the pairs' aggregate instead.
+        msg.conflicts = result.conflicts != 0 ? result.conflicts : rstats.shard.conflicts;
+        msg.cache_hit = rstats.cache_hit;
+        msg.finish_seq = finish_seq_++;
+        msg.queue_wait_ms = ms_between(req.enqueued, req.dispatched);
+        msg.service_ms = ms_between(req.dispatched, now);
+        conn.send({op::result, encode_result(*conn.tm, msg, result.model)});
+        ++results_;
+        it = conn.inflight.erase(it);
+    }
+}
+
+void server::drop_connection(std::size_t i) {
+    connection& conn = *connections_[i];
+    if (conn.fd >= 0) ::close(conn.fd);
+    connections_.erase(connections_.begin() + static_cast<std::ptrdiff_t>(i));
+}
+
+void server::begin_drain(drain_policy policy) {
+    draining_ = true;
+    drain_policy_ = policy;
+    if (policy == drain_policy::cancel)
+        for (auto& conn : connections_)
+            for (auto& [id, req] : conn->inflight) req.handle.cancel();
+}
+
+std::map<std::string, std::uint64_t> server::snapshot_stats() const {
+    std::map<std::string, std::uint64_t> out;
+    out["sessions_opened"] = sessions_opened_;
+    out["submits"] = submits_;
+    out["results"] = results_;
+    out["rejected_queue_full"] = rejected_queue_full_;
+    out["rejected_draining"] = rejected_draining_;
+    out["cancels"] = cancels_;
+    out["disconnect_cancels"] = disconnect_cancels_;
+    out["protocol_errors"] = protocol_errors_;
+    out["finish_seq"] = finish_seq_;
+    out["pool_threads"] = pool_->size();
+    std::uint64_t inflight = 0;
+    std::uint64_t queued = 0;
+    for (const auto& conn : connections_) {
+        inflight += conn->inflight.size();
+        queued += conn->pending.size();
+    }
+    out["inflight"] = inflight;
+    out["queued"] = queued;
+    const substrate::query_cache::cache_stats cs = cache_->stats();
+    out["cache_hits"] = cs.hits;
+    out["cache_misses"] = cs.misses;
+    out["cache_insertions"] = cs.insertions;
+    out["cache_structural_hits"] = cs.structural_hits;
+    out["persisted_loads"] = cs.persisted_loads;
+    return out;
+}
+
+}  // namespace sciduction::service

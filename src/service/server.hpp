@@ -1,0 +1,114 @@
+/// \file
+/// sciductiond's core: a long-lived solver service multiplexing concurrent
+/// tenants over ONE shared worker pool and ONE persistent structural query
+/// cache. See docs/SERVING.md for the operational contract.
+///
+/// Topology (the multi-tenant shape of docs/ARCHITECTURE.md): every client
+/// connection opens a session context — its own term_manager and
+/// smt_engine layered over the daemon-wide `query_cache`
+/// (engine_config::shared_cache; structural remap serves cross-tenant
+/// hits) and the daemon-wide `thread_pool` (engine_config::shared_pool).
+/// The per-tenant engine rides an engine_session, so its solves run on a
+/// weighted fair-dispatch lane of the shared pool: a tenant monopolizing
+/// the daemon with one greedy shard job cannot starve another tenant's
+/// burst of tiny queries (the fairness property service_test.cpp pins via
+/// `finish_seq`).
+///
+/// Threading: one event-loop thread owns all sockets, all term managers
+/// and the scheduler; solver work runs on the shared pool. Term *creation*
+/// is the only term_manager write, and decoding a submit creates terms —
+/// so the loop applies a per-tenant decode barrier: raw submit payloads
+/// queue undecoded, and are batch-decoded only when that tenant has zero
+/// solves in flight (its manager is then quiescent). Admission control is
+/// a bounded per-tenant queue (queued + in-flight <= queue_depth);
+/// overflow is rejected with `queue_full`, never buffered unboundedly.
+///
+/// Shutdown: SIGTERM (or a drain frame) stops admission, finishes or
+/// cancels in-flight work per the drain policy, delivers the remaining
+/// result frames, saves the cache, and exits the loop.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "service/protocol.hpp"
+#include "substrate/engine.hpp"
+
+namespace sciduction::service {
+
+/// Operational knobs of one daemon instance.
+struct server_config {
+    std::string socket_path;      ///< unix-domain socket to listen on
+    std::string cache_path{};     ///< persistent cache file ("" = in-memory only)
+    std::size_t cache_capacity = 0;  ///< shared-cache LRU bound (0 = unbounded)
+    unsigned threads = 0;            ///< shared pool width (0 = hardware)
+    /// Bounded per-tenant admission queue: queued + in-flight requests per
+    /// session; submits past the bound are rejected with `queue_full`.
+    std::size_t queue_depth = 64;
+    /// Default lane weight for sessions whose hello does not set one.
+    unsigned default_weight = 1;
+};
+
+/// The daemon. Construct, then run() on the serving thread; request_stop()
+/// is async-signal-safe-adjacent (an atomic store) and may be called from
+/// a signal handler or another thread.
+class server {
+public:
+    explicit server(server_config cfg);
+    ~server();
+
+    server(const server&) = delete;
+    server& operator=(const server&) = delete;
+
+    /// Binds the socket and serves until a drain completes or
+    /// request_stop() is observed. Returns the number of requests served.
+    /// Throws std::runtime_error if the socket cannot be bound.
+    std::uint64_t run();
+
+    /// Asks the serving loop to drain (policy `finish`) and exit. Safe
+    /// from signal handlers.
+    void request_stop() { stop_requested_.store(true, std::memory_order_relaxed); }
+
+    /// True once run() has bound the socket and entered the loop (tests
+    /// use this to sequence client connects without sleeping).
+    [[nodiscard]] bool serving() const { return serving_.load(std::memory_order_acquire); }
+
+private:
+    struct connection;
+
+    void accept_clients();
+    void handle_readable(connection& conn);
+    bool handle_frame(connection& conn, const frame& f);  // false = close connection
+    void handle_submit(connection& conn, const std::vector<std::uint8_t>& payload);
+    void schedule(connection& conn);  ///< decode barrier + dispatch
+    void reap(connection& conn);      ///< complete ready handles -> result frames
+    void drop_connection(std::size_t i);
+    void begin_drain(drain_policy policy);
+    [[nodiscard]] std::map<std::string, std::uint64_t> snapshot_stats() const;
+
+    server_config cfg_;
+    std::shared_ptr<substrate::thread_pool> pool_;
+    std::shared_ptr<substrate::query_cache> cache_;
+    int listen_fd_ = -1;
+    std::vector<std::unique_ptr<connection>> connections_;
+    std::atomic<bool> stop_requested_{false};
+    std::atomic<bool> serving_{false};
+    bool draining_ = false;
+    drain_policy drain_policy_ = drain_policy::finish;
+
+    // Daemon-wide counters (event-loop thread only).
+    std::uint64_t finish_seq_ = 0;
+    std::uint64_t sessions_opened_ = 0;
+    std::uint64_t submits_ = 0;
+    std::uint64_t results_ = 0;
+    std::uint64_t rejected_queue_full_ = 0;
+    std::uint64_t rejected_draining_ = 0;
+    std::uint64_t cancels_ = 0;
+    std::uint64_t disconnect_cancels_ = 0;
+    std::uint64_t protocol_errors_ = 0;
+};
+
+}  // namespace sciduction::service

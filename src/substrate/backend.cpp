@@ -22,7 +22,28 @@ answer from_smt(smt::check_result r) {
     return answer::unknown;
 }
 
+/// Classifies an unknown answer from the solver's own abort flags (decided
+/// answers are always solve_status::ok). Reading the flags right after the
+/// solve is the one place the *reason* for an unknown is still known.
+solve_status classify_unknown(const sat::solver& core) {
+    if (core.interrupted()) return solve_status::cancelled;
+    if (core.paused() || core.budget_exhausted()) return solve_status::over_budget;
+    return solve_status::internal;  // no known abort cause: report loudly
+}
+
 }  // namespace
+
+const char* to_string(solve_status s) {
+    switch (s) {
+        case solve_status::ok: return "ok";
+        case solve_status::cancelled: return "cancelled";
+        case solve_status::timeout: return "timeout";
+        case solve_status::over_budget: return "over_budget";
+        case solve_status::malformed: return "malformed";
+        case solve_status::internal: return "internal";
+    }
+    return "?";
+}
 
 // ---- sat_backend ------------------------------------------------------------
 
@@ -57,6 +78,7 @@ backend_result sat_backend::check_cube(const std::vector<sat::lit>& cube,
     result.ans = from_sat(solver_.solve(assumed));
     solver_.set_interrupt(nullptr);
     result.conflicts = solver_.stats().conflicts - conflicts_before;
+    if (result.ans == answer::unknown) result.status = classify_unknown(solver_);
     if (result.ans == answer::sat) {
         result.sat_model.reserve(static_cast<std::size_t>(solver_.num_vars()));
         for (sat::var v = 0; v < solver_.num_vars(); ++v)
@@ -101,6 +123,7 @@ backend_result smt_backend::check_cube(const std::vector<sat::lit>& cube,
     result.ans = from_smt(solver_.check_under(assumed));
     solver_.set_interrupt(nullptr);
     result.conflicts = solver_.sat_core().stats().conflicts - conflicts_before;
+    if (result.ans == answer::unknown) result.status = classify_unknown(solver_.sat_core());
     if (result.ans == answer::sat) result.model = solver_.model_env();
     else if (result.ans == answer::unsat) result.core = failed_assumptions(solver_.conflict_core());
     return result;

@@ -41,6 +41,25 @@ enum class answer : std::uint8_t {
     unknown  ///< cancelled, paused, or aborted before an answer
 };
 
+/// *Why* a query ended the way it did — the regular error model every
+/// substrate entry point reports through (carried on backend_result and
+/// request_stats). A decided query is `ok`; an `unknown` answer always
+/// carries one of the failure statuses, so callers (and the serving
+/// protocol) never have to translate exceptions: exceptions are reserved
+/// for programming errors (invalid terms, misuse of the API), never used
+/// for expected outcomes like budgets or cancellation.
+enum class solve_status : std::uint8_t {
+    ok,           ///< the query was decided (sat or unsat)
+    cancelled,    ///< cooperatively cancelled via the cancel flag
+    timeout,      ///< the await-side time budget expired (handle-level)
+    over_budget,  ///< the conflict budget (or slice budget) ran out
+    malformed,    ///< the request failed validation; nothing ran
+    internal      ///< an internal error was caught and serialized
+};
+
+/// Human-readable name of a solve status (logs, stats, protocol dumps).
+const char* to_string(solve_status s);
+
 /// External control lines a caller threads into a long-running solve. All
 /// fields are optional; a default-constructed solve_controls leaves every
 /// scheduler byte-identical to its uncontrolled behaviour. Pointed-to
@@ -77,6 +96,14 @@ struct backend_result {
     /// Solver conflicts this check spent — the scheduling-independent cost
     /// metric the shard benches and stats aggregate.
     std::uint64_t conflicts = 0;
+    /// Why the query ended this way: `ok` for decided answers; unknown
+    /// answers carry cancelled / timeout / over_budget / malformed /
+    /// internal. Backends classify from the solver's own abort flags;
+    /// schedulers propagate the winning (or aggregated) status.
+    solve_status status = solve_status::ok;
+    /// Detail line for malformed / internal statuses (the validation
+    /// message or the caught exception's what()); empty otherwise.
+    std::string status_detail;
 
     /// True when the answer is answer::sat.
     [[nodiscard]] bool is_sat() const { return ans == answer::sat; }

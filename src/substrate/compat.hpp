@@ -1,0 +1,76 @@
+/// \file
+/// Deprecated pre-`submit` entry points, collected in one place.
+///
+/// Before the unified request model (solve_request.hpp) the engine exposed
+/// its strategy space as parallel entry points: `check` (portfolio),
+/// `check_batch` (one single-strategy solve per query), `check_async`
+/// (portfolio, future-returning) and `check_sharded` (cube-and-conquer).
+/// They survive here as `[[deprecated]]` free functions implemented over
+/// `smt_engine::submit`/`solve` with the same behaviour, so out-of-tree
+/// callers keep compiling with a warning while the serving protocol
+/// (src/service/) has exactly one entry point behind it. No in-tree code
+/// calls these; new code submits a solve_request.
+#pragma once
+
+#include "substrate/engine.hpp"
+
+/// Deprecated pre-submit entry points (see the file comment); everything
+/// here is a one-line shim over smt_engine::submit / smt_engine::solve.
+namespace sciduction::substrate::compat {
+
+/// \deprecated Submit + await with the engine-default portfolio strategy —
+/// the behaviour of the legacy smt_engine::check. Executes on the calling
+/// thread (smt_engine::solve), so sequential callers stay thread-free.
+[[deprecated("use smt_engine::solve with strategy::portfolio()")]]
+inline backend_result check(smt_engine& engine, const smt_query& q) {
+    return engine.solve(solve_request{q.assertions, q.assumptions, strategy::portfolio()});
+}
+
+/// \deprecated Convenience overload assembling the smt_query in place.
+[[deprecated("use smt_engine::solve with strategy::portfolio()")]]
+inline backend_result check(smt_engine& engine, const std::vector<smt::term>& assertions,
+                            const std::vector<smt::term>& assumptions = {}) {
+    return engine.solve(solve_request{assertions, assumptions, strategy::portfolio()});
+}
+
+/// \deprecated Submit-many with strategy::single() (the batch contract:
+/// one solver per query, no nested portfolio), then await-all. Results are
+/// in query order, independent of scheduling; duplicate queries within one
+/// batch coalesce onto one solve.
+[[deprecated("submit each query with strategy::single() and await the handles")]]
+inline std::vector<backend_result> check_batch(smt_engine& engine,
+                                               const std::vector<smt_query>& queries) {
+    std::vector<query_handle> handles;
+    handles.reserve(queries.size());
+    for (const smt_query& q : queries)
+        handles.push_back(
+            engine.submit(solve_request{q.assertions, q.assumptions, strategy::single()}));
+    std::vector<backend_result> results;
+    results.reserve(queries.size());
+    for (query_handle& handle : handles) results.push_back(handle.get());
+    return results;
+}
+
+/// \deprecated Submit with the engine-default portfolio strategy, returning
+/// the handle's shared future — the legacy smt_engine::check_async.
+[[deprecated("use smt_engine::submit and keep the query_handle")]]
+inline std::shared_future<backend_result> check_async(smt_engine& engine, const smt_query& q) {
+    return engine.submit(solve_request{q.assertions, q.assumptions, strategy::portfolio()})
+        .share();
+}
+
+/// \deprecated Solve with strategy::shard() (engine-default depth; depth 0
+/// degrades to the portfolio resolution). The optional out-param receives
+/// the shard work breakdown from the handle's stats — new code reads
+/// query_handle::stats().shard instead.
+[[deprecated("use smt_engine::submit with strategy::shard() and read stats().shard")]]
+inline backend_result check_sharded(smt_engine& engine, const smt_query& q,
+                                    shard_stats* stats = nullptr) {
+    query_handle handle = engine.submit(solve_request{q.assertions, q.assumptions,
+                                                      substrate::strategy::shard()});
+    backend_result result = handle.get();
+    if (stats != nullptr) *stats = handle.stats().shard;
+    return result;
+}
+
+}  // namespace sciduction::substrate::compat

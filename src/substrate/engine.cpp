@@ -1,6 +1,7 @@
 #include "substrate/engine.hpp"
 
 #include <chrono>
+#include <stdexcept>
 
 #include "substrate/thread_pool.hpp"
 
@@ -39,12 +40,22 @@ void query_handle::wait() const {
 
 backend_result query_handle::get() {
     if (!future_.valid()) return {};
+    bool expired = false;
     if (time_budget_ms_ != 0) {
         if (future_.wait_for(std::chrono::milliseconds(time_budget_ms_)) ==
-            std::future_status::timeout)
+            std::future_status::timeout) {
+            expired = true;
             cancel();
+        }
     }
-    return future_.get();
+    backend_result result = future_.get();
+    // A solve aborted because *this handle's* await budget expired reports
+    // timeout, not cancelled — but only on this handle's copy: the shared
+    // solve (and coalesced duplicates with their own budgets) keep the
+    // completion status. A solve that still decided in the cancel window
+    // keeps its answer untouched.
+    if (expired && result.ans == answer::unknown) result.status = solve_status::timeout;
+    return result;
 }
 
 void query_handle::cancel() {
@@ -77,7 +88,62 @@ request_stats query_handle::stats() const {
 
 std::shared_future<backend_result> query_handle::share() const { return future_; }
 
+// ---- engine_session ---------------------------------------------------------
+
+void session_stats::count(solve_status s) {
+    switch (s) {
+        case solve_status::ok: ++ok; break;
+        case solve_status::cancelled: ++cancelled; break;
+        case solve_status::over_budget: ++over_budget; break;
+        case solve_status::malformed: ++malformed; break;
+        case solve_status::internal: ++internal; break;
+        case solve_status::timeout: break;  // handle-level; see session_stats doc
+    }
+}
+
+engine_session::~engine_session() { engine_.release_session_lane(lane_); }
+
+session_stats engine_session::stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+query_handle engine_session::submit(solve_request req) {
+    return engine_.do_submit(std::move(req), /*inline_exec=*/false, shared_from_this());
+}
+
+backend_result engine_session::solve(solve_request req) {
+    return engine_.do_submit(std::move(req), /*inline_exec=*/true, shared_from_this()).get();
+}
+
+void engine_session::note_query(bool cache_hit, bool coalesced) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.queries;
+    if (cache_hit) ++stats_.cache_hits;
+    if (coalesced) ++stats_.coalesced;
+}
+
+void engine_session::note_completed(const backend_result& result) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.completed;
+    stats_.conflicts += result.conflicts;
+    stats_.count(result.status);
+}
+
 // ---- smt_engine -------------------------------------------------------------
+
+std::string engine_config::validate() const {
+    if (portfolio_members == 0) return "portfolio_members must be >= 1";
+    if (portfolio_members > 1024) return "portfolio_members must be <= 1024";
+    if (threads > 1024) return "threads must be <= 1024";
+    if (shard_depth > 12) return "shard_depth must be <= 12 (the cube generator's clamp)";
+    if (shard_probe_candidates == 0) return "shard_probe_candidates must be >= 1";
+    if (sharing.enabled && sharing.max_clause_size == 0)
+        return "sharing.max_clause_size must be >= 1 when sharing is enabled";
+    if (sharing.enabled && sharing.slice_conflicts == 0)
+        return "sharing.slice_conflicts must be >= 1 when sharing is enabled";
+    return {};
+}
 
 void strategy_picks::count(strategy_kind k) {
     switch (k) {
@@ -120,7 +186,12 @@ smt_engine::smt_engine(smt::term_manager& tm, engine_config cfg)
       defaults_(defaults_from(cfg_)),
       cache_(cfg_.shared_cache
                  ? cfg_.shared_cache
-                 : std::make_shared<query_cache>(tm, cfg_.cache_capacity, cfg_.cache_path)) {}
+                 : std::make_shared<query_cache>(tm, cfg_.cache_capacity, cfg_.cache_path)) {
+    // Misconfiguring an engine is a programming error (unlike a malformed
+    // request, which submit reports through solve_status::malformed).
+    if (std::string err = cfg_.validate(); !err.empty())
+        throw std::invalid_argument("engine_config: " + err);
+}
 
 engine_stats smt_engine::stats() const {
     engine_stats s;
@@ -139,9 +210,27 @@ engine_stats smt_engine::stats() const {
 }
 
 thread_pool& smt_engine::pool() {
+    if (cfg_.shared_pool) return *cfg_.shared_pool;
     std::lock_guard<std::mutex> lock(pool_mutex_);
     if (!pool_) pool_ = std::make_unique<thread_pool>(cfg_.threads);
     return *pool_;
+}
+
+std::shared_ptr<engine_session> smt_engine::open_session(std::string name, unsigned weight) {
+    thread_pool::lane_id lane = pool().create_lane(weight);
+    // make_shared needs a public constructor; the session ctor is private
+    // to keep lane creation behind this method.
+    return std::shared_ptr<engine_session>(
+        new engine_session(*this, std::move(name), std::max(1u, weight), lane));
+}
+
+void smt_engine::release_session_lane(thread_pool::lane_id lane) {
+    if (cfg_.shared_pool) {
+        cfg_.shared_pool->release_lane(lane);
+        return;
+    }
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    if (pool_) pool_->release_lane(lane);
 }
 
 backend_result smt_engine::run_request(const smt_query& q, const struct strategy& requested,
@@ -284,6 +373,14 @@ backend_result smt_engine::run_request(const smt_query& q, const struct strategy
             break;
         }
     }
+    // Safety net for schedulers that returned a bare unknown: classify it
+    // from the request's own control lines so no unknown ever reaches a
+    // caller with status ok.
+    if (result.ans == answer::unknown && result.status == solve_status::ok)
+        result.status = state.cancel_requested.load(std::memory_order_relaxed)
+                            ? solve_status::cancelled
+                            : (rs.conflict_budget != 0 ? solve_status::over_budget
+                                                       : solve_status::internal);
     std::lock_guard<std::mutex> lock(state.mutex);
     state.stats.conflicts = result.conflicts;
     return result;
@@ -291,7 +388,8 @@ backend_result smt_engine::run_request(const smt_query& q, const struct strategy
 
 backend_result smt_engine::run_and_complete(const smt_query& q, const struct strategy& requested,
                                             const query_cache::prepared_query& prep,
-                                            detail::query_state& state) {
+                                            detail::query_state& state,
+                                            engine_session* session) {
     const query_key& key = prep.key;
     state.started.store(true, std::memory_order_relaxed);
     backend_result result;
@@ -311,25 +409,38 @@ backend_result smt_engine::run_and_complete(const smt_query& q, const struct str
             if (history_.size() >= history_bound) history_.clear();
             history_[key] = solve_profile{result.conflicts, ran.kind};
         }
+    } catch (const std::exception& e) {
+        // The regular error model: a failure inside the solve is serialized
+        // as a solve_status::internal result, never rethrown into the
+        // future — the daemon (and every other awaiter) reads one shape.
+        result = backend_result{};
+        result.status = solve_status::internal;
+        result.status_detail = e.what();
     } catch (...) {
-        // The entry must not outlive the attempt, or every later duplicate
-        // coalesces onto this dead future instead of re-solving.
-        {
-            std::lock_guard<std::mutex> ilock(inflight_mutex_);
-            inflight_.erase(key);
-        }
-        state.finished.store(true, std::memory_order_relaxed);
-        throw;
+        result = backend_result{};
+        result.status = solve_status::internal;
+        result.status_detail = "unknown internal error";
     }
+    {
+        std::lock_guard<std::mutex> slock(state.mutex);
+        state.stats.status = result.status;
+        state.stats.status_detail = result.status_detail;
+    }
+    // The entry must not outlive the attempt, or every later duplicate
+    // coalesces onto this dead future instead of re-solving; completion
+    // inserts into the cache *before* erasing the entry (do_submit's
+    // locked re-check relies on that order).
     {
         std::lock_guard<std::mutex> ilock(inflight_mutex_);
         inflight_.erase(key);
     }
     state.finished.store(true, std::memory_order_relaxed);
+    if (session != nullptr) session->note_completed(result);
     return result;
 }
 
-query_handle smt_engine::do_submit(solve_request req, bool inline_exec) {
+query_handle smt_engine::do_submit(solve_request req, bool inline_exec,
+                                   std::shared_ptr<engine_session> session) {
     {
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++stats_.queries;
@@ -337,12 +448,34 @@ query_handle smt_engine::do_submit(solve_request req, bool inline_exec) {
     resolved_strategy rs = req.strategy.resolve(defaults_);
     auto state = std::make_shared<detail::query_state>();
     state->stats.strategy = rs;
+
+    if (std::string err = req.validate(); !err.empty()) {
+        // Malformed requests are reported through the status channel, not
+        // thrown: the handle is immediately ready with nothing run.
+        if (session) session->note_query(/*cache_hit=*/false, /*coalesced=*/false);
+        backend_result rejected;
+        rejected.status = solve_status::malformed;
+        rejected.status_detail = std::move(err);
+        state->stats.status = rejected.status;
+        state->stats.status_detail = rejected.status_detail;
+        state->started.store(true, std::memory_order_relaxed);
+        state->finished.store(true, std::memory_order_relaxed);
+        if (session) session->note_completed(rejected);
+        std::promise<backend_result> ready;
+        ready.set_value(std::move(rejected));
+        return query_handle(std::move(state), ready.get_future().share(), rs.time_budget_ms,
+                            /*coalesced=*/false);
+    }
     smt_query q{std::move(req.assertions), std::move(req.assumptions)};
 
     auto resolve_ready = [&](backend_result cached) {
         {
             std::lock_guard<std::mutex> lock(stats_mutex_);
             ++stats_.cache_hits;
+        }
+        if (session) {
+            session->note_query(/*cache_hit=*/true, /*coalesced=*/false);
+            session->note_completed(cached);
         }
         state->stats.cache_hit = true;
         state->stats.conflicts = cached.conflicts;
@@ -366,15 +499,19 @@ query_handle smt_engine::do_submit(solve_request req, bool inline_exec) {
     }
     const query_key& key = prep->key;
     // The pool is only forced into existence on the async path; inline
-    // execution (the shims' path) stays thread-free unless the strategy
+    // execution (the solve() path) stays thread-free unless the strategy
     // itself needs workers.
     thread_pool* workers = inline_exec ? nullptr : &pool();
     std::unique_lock<std::mutex> lock(inflight_mutex_);
     if (auto it = inflight_.find(key); it != inflight_.end()) {
-        std::lock_guard<std::mutex> slock(stats_mutex_);
-        ++stats_.coalesced;
+        {
+            std::lock_guard<std::mutex> slock(stats_mutex_);
+            ++stats_.coalesced;
+        }
+        if (session) session->note_query(/*cache_hit=*/false, /*coalesced=*/true);
         // The duplicate shares the first submission's solve (and conflict
-        // budget) but keeps its own await-side time budget.
+        // budget) but keeps its own await-side time budget. Its completion
+        // stays accounted to the first submitter's session.
         return query_handle(it->second.state, it->second.future, rs.time_budget_ms,
                             /*coalesced=*/true);
     }
@@ -386,28 +523,28 @@ query_handle smt_engine::do_submit(solve_request req, bool inline_exec) {
         if (auto cached = cache_->lookup_prepared(tm_, *prep))
             return resolve_ready(std::move(*cached));
     }
+    if (session) session->note_query(/*cache_hit=*/false, /*coalesced=*/false);
     if (inline_exec) {
         // Publish the in-flight entry (so concurrent duplicates coalesce),
         // then solve on this thread and fulfil the promise they share.
+        // run_and_complete never throws (failures become internal-status
+        // results), so the promise is always fulfilled.
         std::promise<backend_result> promise;
         auto future = promise.get_future().share();
         inflight_.emplace(key, inflight_entry{state, future});
         lock.unlock();
-        try {
-            promise.set_value(run_and_complete(q, req.strategy, *prep, *state));
-        } catch (...) {
-            promise.set_exception(std::current_exception());
-            throw;
-        }
+        promise.set_value(run_and_complete(q, req.strategy, *prep, *state, session.get()));
         return query_handle(std::move(state), std::move(future), rs.time_budget_ms,
                             /*coalesced=*/false);
     }
-    auto future = workers
-                      ->submit([this, q = std::move(q), prep, state,
-                                requested = std::move(req.strategy)]() -> backend_result {
-                          return run_and_complete(q, requested, *prep, *state);
-                      })
-                      .share();
+    // Session submits ride the session's fair dispatch lane, so one
+    // tenant's fan-out cannot starve another's queue (thread_pool.hpp).
+    auto task = [this, q = std::move(q), prep, state, requested = std::move(req.strategy),
+                 session]() -> backend_result {
+        return run_and_complete(q, requested, *prep, *state, session.get());
+    };
+    auto future = session ? workers->submit_in(session->lane_, std::move(task)).share()
+                          : workers->submit(std::move(task)).share();
     // The map entry is published under the same lock that the completion
     // lambda needs to erase it, so a fast worker cannot race past us.
     inflight_.emplace(key, inflight_entry{state, future});
@@ -416,39 +553,11 @@ query_handle smt_engine::do_submit(solve_request req, bool inline_exec) {
 }
 
 query_handle smt_engine::submit(solve_request req) {
-    return do_submit(std::move(req), /*inline_exec=*/false);
+    return do_submit(std::move(req), /*inline_exec=*/false, nullptr);
 }
 
-// ---- legacy shims -----------------------------------------------------------
-
-backend_result smt_engine::check(const smt_query& q) {
-    return do_submit(solve_request{q.assertions, q.assumptions, strategy::portfolio()},
-                     /*inline_exec=*/true)
-        .get();
-}
-
-std::shared_future<backend_result> smt_engine::check_async(const smt_query& q) {
-    return submit(solve_request{q.assertions, q.assumptions, strategy::portfolio()}).share();
-}
-
-backend_result smt_engine::check_sharded(const smt_query& q, shard_stats* stats) {
-    query_handle handle =
-        do_submit(solve_request{q.assertions, q.assumptions, strategy::shard()},
-                  /*inline_exec=*/true);
-    backend_result result = handle.get();
-    if (stats != nullptr) *stats = handle.stats().shard;
-    return result;
-}
-
-std::vector<backend_result> smt_engine::check_batch(const std::vector<smt_query>& queries) {
-    std::vector<query_handle> handles;
-    handles.reserve(queries.size());
-    for (const smt_query& q : queries)
-        handles.push_back(submit(solve_request{q.assertions, q.assumptions, strategy::single()}));
-    std::vector<backend_result> results;
-    results.reserve(queries.size());
-    for (query_handle& handle : handles) results.push_back(handle.get());
-    return results;
+backend_result smt_engine::solve(solve_request req) {
+    return do_submit(std::move(req), /*inline_exec=*/true, nullptr).get();
 }
 
 }  // namespace sciduction::substrate

@@ -19,13 +19,18 @@
 ///                      cheap structural features and per-key history;
 ///   * coalescing     — a submit equal to one already in flight shares its
 ///                      handle instead of re-solving.
-/// The legacy entry points (`check`, `check_batch`, `check_async`,
-/// `check_sharded`) survive as thin shims over submit with bit-equivalent
-/// behaviour (tests/solve_request_test.cpp pins the equivalence); new code
-/// should submit. A default-configured engine running single-strategy
-/// requests is observationally identical to constructing one
-/// smt::smt_solver per query, which is what the application modules did
-/// before the substrate existed.
+/// `submit` is asynchronous; `solve` is its synchronous twin (executed on
+/// the calling thread, so sequential workloads stay free of worker
+/// threads). The legacy entry points (`check`, `check_batch`,
+/// `check_async`, `check_sharded`) live on as `[[deprecated]]` free
+/// functions in compat.hpp, implemented over submit/solve. Multi-tenant
+/// serving opens one `engine_session` per tenant (open_session): session
+/// submits ride a fair dispatch lane of the pool and are accounted in a
+/// per-tenant `session_stats` slice — the scheduling substrate sciductiond
+/// (src/service/) builds on. A default-configured engine running
+/// single-strategy requests is observationally identical to constructing
+/// one smt::smt_solver per query, which is what the application modules
+/// did before the substrate existed.
 #pragma once
 
 #include <future>
@@ -34,6 +39,7 @@
 #include "substrate/portfolio.hpp"
 #include "substrate/query_cache.hpp"
 #include "substrate/solve_request.hpp"
+#include "substrate/thread_pool.hpp"
 
 namespace sciduction::substrate {
 
@@ -87,6 +93,20 @@ struct engine_config {
     /// shared cache was constructed with its own. The cache must outlive
     /// every engine using it (shared ownership guarantees that).
     std::shared_ptr<query_cache> shared_cache{};
+    /// Share one thread_pool between several engines (sciductiond runs one
+    /// pool for every tenant engine). When set, `threads` is ignored and
+    /// the engine never constructs its own pool. Unlike an owned pool, the
+    /// shared pool is *not* drained by ~smt_engine — await every handle
+    /// before destroying the engine (the daemon's drain does exactly that).
+    std::shared_ptr<thread_pool> shared_pool{};
+
+    /// Checks the configuration for nonsense the clamping defaults would
+    /// otherwise paper over (`portfolio_members == 0`, a shard depth beyond
+    /// the cube generator's clamp, sharing that can never share). Returns
+    /// an explanation, or empty when valid. The smt_engine constructor
+    /// throws std::invalid_argument on a failing config — misconfiguring
+    /// an engine is a programming error, unlike a malformed request.
+    [[nodiscard]] std::string validate() const;
 };
 
 /// Per-strategy dispatch counters (how often each concrete kind ran).
@@ -157,6 +177,13 @@ struct request_stats {
     std::uint64_t conflicts = 0; ///< conflicts of the returned result
     std::uint64_t rounds = 0;    ///< budgeted-discipline exchange rounds
     shard_stats shard;           ///< shard kinds: work breakdown (else zeroed)
+    /// Why the solve ended the way it did (mirrors the result's
+    /// solve_status; `ok` until completion). A handle-level timeout is
+    /// reported on the result `get()` returns, not here — the shared solve
+    /// may outlive one handle's await budget.
+    solve_status status = solve_status::ok;
+    /// Detail line for malformed / internal statuses; empty otherwise.
+    std::string status_detail;
 };
 
 /// Implementation detail of the engine (not part of the public API).
@@ -222,6 +249,70 @@ private:
     bool coalesced_ = false;
 };
 
+/// Per-tenant accounting slice of engine_stats: what one session submitted
+/// and how it ended, by solve_status. `completed` counts solves whose
+/// completion ran under this session (a coalesced duplicate's completion is
+/// accounted to the session that submitted first).
+struct session_stats {
+    std::uint64_t queries = 0;      ///< submits through this session
+    std::uint64_t cache_hits = 0;   ///< answered from the query cache
+    std::uint64_t coalesced = 0;    ///< joined an in-flight duplicate
+    std::uint64_t completed = 0;    ///< solves completed under this session
+    std::uint64_t conflicts = 0;    ///< conflicts those solves spent
+    std::uint64_t ok = 0;           ///< completed with a decided answer
+    std::uint64_t cancelled = 0;    ///< completed cancelled
+    std::uint64_t over_budget = 0;  ///< completed with the budget exhausted
+    std::uint64_t malformed = 0;    ///< rejected by validation
+    std::uint64_t internal = 0;     ///< completed with a serialized error
+
+    /// Bumps the by-status counter matching `s` (timeout is handle-level
+    /// and never reaches a session's completion path).
+    void count(solve_status s);
+};
+
+class smt_engine;
+
+/// A tenant's view of one engine — the session context sciductiond opens
+/// per client (smt_engine::open_session). Submits through a session ride
+/// the session's fair dispatch lane of the engine pool (weighted
+/// round-robin against every other lane, so one tenant's shard fan-out
+/// cannot starve another tenant's tiny queries) and are accounted in the
+/// session's own session_stats slice. Sessions are handed out as
+/// shared_ptr and must not outlive their engine; the lane is released when
+/// the last reference drops.
+class engine_session : public std::enable_shared_from_this<engine_session> {
+public:
+    ~engine_session();
+    engine_session(const engine_session&) = delete;             ///< non-copyable (owns a lane)
+    engine_session& operator=(const engine_session&) = delete;  ///< non-copyable
+
+    /// The tenant name the session was opened with.
+    [[nodiscard]] const std::string& name() const { return name_; }
+    /// The round-robin weight of the session's dispatch lane.
+    [[nodiscard]] unsigned weight() const { return weight_; }
+    /// Snapshot of the per-tenant counters (thread-safe).
+    [[nodiscard]] session_stats stats() const;
+    /// smt_engine::submit, on this session's lane and accounting slice.
+    query_handle submit(solve_request req);
+    /// Synchronous submit (smt_engine::solve) on this session's slice.
+    backend_result solve(solve_request req);
+
+private:
+    friend class smt_engine;
+    engine_session(smt_engine& engine, std::string name, unsigned weight,
+                   thread_pool::lane_id lane)
+        : engine_(engine), name_(std::move(name)), weight_(weight), lane_(lane) {}
+    void note_query(bool cache_hit, bool coalesced);
+    void note_completed(const backend_result& result);
+
+    smt_engine& engine_;
+    std::string name_;
+    unsigned weight_;
+    thread_pool::lane_id lane_;
+    mutable std::mutex mutex_;
+    session_stats stats_;
+};
+
 /// The deductive-query facade: one engine per (term_manager, workload)
 /// owning the query cache, the worker pool, the per-key outcome history
 /// that feeds strategy::auto_select, and the strategy defaults. See the
@@ -256,32 +347,21 @@ public:
         return submit(solve_request{std::move(assertions), {}, std::move(strategy)});
     }
 
-    /// \deprecated Legacy shim: submit + await with the engine-default
-    /// portfolio strategy — bit-equivalent to the pre-submit check().
-    backend_result check(const smt_query& q);
-    /// \deprecated Convenience overload assembling the smt_query in place.
-    backend_result check(const std::vector<smt::term>& assertions,
-                         const std::vector<smt::term>& assumptions = {}) {
-        return check(smt_query{assertions, assumptions});
-    }
+    /// Synchronous twin of submit(): resolves, caches, coalesces and
+    /// validates identically, but executes the solve on the *calling*
+    /// thread — sequential workloads stay free of worker threads unless
+    /// the strategy itself needs them. Duplicates arriving meanwhile still
+    /// coalesce onto the published in-flight entry. (The compat.hpp shims
+    /// are one-liners over this.)
+    backend_result solve(solve_request req);
 
-    /// \deprecated Legacy shim: submit-many with strategy::single() (the
-    /// batch contract: one solver per query, no nested portfolio), then
-    /// await-all. Results are in query order, independent of scheduling.
-    /// Duplicate queries within one batch now coalesce onto one solve.
-    std::vector<backend_result> check_batch(const std::vector<smt_query>& queries);
-
-    /// \deprecated Legacy shim: submit with the engine-default portfolio
-    /// strategy, returning the handle's shared future. In-flight
-    /// duplicates coalesce exactly as before (now for *every* entry point,
-    /// not just this one).
-    std::shared_future<backend_result> check_async(const smt_query& q);
-
-    /// \deprecated Legacy shim: submit with strategy::shard() (engine-
-    /// default depth; depth 0 degrades to the portfolio resolution, i.e.
-    /// plain check()). The optional out-param receives the shard work
-    /// breakdown from the handle's stats.
-    backend_result check_sharded(const smt_query& q, shard_stats* stats = nullptr);
+    /// Opens a per-tenant session: submits through it ride a fresh fair
+    /// dispatch lane of the engine pool with the given round-robin
+    /// `weight`, and are accounted in the session's own session_stats
+    /// slice. The session must not outlive the engine; its lane is
+    /// released when the last shared reference drops. Forces the pool into
+    /// existence (serving implies workers).
+    std::shared_ptr<engine_session> open_session(std::string name, unsigned weight = 1);
 
     /// Evaluates t under a model returned by a solve, defaulting unblasted
     /// variables to zero.
@@ -290,26 +370,35 @@ public:
     }
 
 private:
-    /// Shared body of submit(): resolve, cache-lookup, coalesce, then
-    /// either dispatch to the pool (async) or — for the synchronous shim
-    /// path — execute inline on the calling thread, which keeps
-    /// sequential workloads free of worker threads entirely (duplicates
-    /// arriving meanwhile still coalesce onto the published future).
-    query_handle do_submit(solve_request req, bool inline_exec);
+    friend class engine_session;
+    /// Shared body of submit()/solve(): validate, resolve, cache-lookup,
+    /// coalesce, then either dispatch to the pool (async; on the session's
+    /// lane if any) or — for the synchronous solve() path — execute inline
+    /// on the calling thread, which keeps sequential workloads free of
+    /// worker threads entirely (duplicates arriving meanwhile still
+    /// coalesce onto the published future). A request failing validate()
+    /// yields an immediately-ready handle carrying solve_status::malformed.
+    query_handle do_submit(solve_request req, bool inline_exec,
+                           std::shared_ptr<engine_session> session);
     /// Executes one resolved request on the calling (worker) thread.
     backend_result run_request(const smt_query& q, const struct strategy& requested,
                                const query_key& key, detail::query_state& state);
     /// run_request plus the completion protocol: cache insert, history
-    /// record, inflight erase, finished flag — exception-safe. `prep` is
-    /// the query's one-time canonicalization (key + structural form),
-    /// computed by do_submit and reused for the cache insert.
+    /// record, inflight erase, finished flag. Caught exceptions are
+    /// serialized as solve_status::internal results (the regular error
+    /// model), never rethrown into the future. `prep` is the query's
+    /// one-time canonicalization (key + structural form), computed by
+    /// do_submit and reused for the cache insert.
     backend_result run_and_complete(const smt_query& q, const struct strategy& requested,
                                     const query_cache::prepared_query& prep,
-                                    detail::query_state& state);
-    /// The engine's worker pool, created on first use and then shared by
-    /// every race, batch, shard and async query — loops issuing thousands
-    /// of queries pay thread spawn/teardown once.
+                                    detail::query_state& state, engine_session* session);
+    /// The engine's worker pool — the config's shared_pool if set, else an
+    /// owned pool created on first use and then shared by every race,
+    /// batch, shard and async query: loops issuing thousands of queries
+    /// pay thread spawn/teardown once.
     thread_pool& pool();
+    /// Releases a session's dispatch lane (no-op if no pool exists).
+    void release_session_lane(thread_pool::lane_id lane);
 
     /// An in-flight request, as the coalescing map tracks it: the shared
     /// state plus the future later duplicates attach to (kept out of the

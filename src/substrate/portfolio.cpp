@@ -95,6 +95,10 @@ portfolio_outcome race_free(const backend_factory& factory, unsigned members, th
         std::lock_guard<std::mutex> lock(state.mutex);
         state.outcome.total_conflicts += conflicts;
         state.outcome.sharing.accumulate(core_stats);
+        if (!definite && !state.decided)
+            // All-unknown race: report the members' own abort classification
+            // (cancelled / over_budget) instead of a bare unknown.
+            state.outcome.result.status = result.status;
         if (!definite || state.decided) return;  // cancelled, aborted, or lost
         state.decided = true;
         state.outcome.result = std::move(result);
@@ -175,6 +179,8 @@ portfolio_outcome race_rounds(const backend_factory& factory, const portfolio_co
                         out.sharing.accumulate(core->stats());
                     }
                 }
+                out.result.status =
+                    cancelled ? solve_status::cancelled : solve_status::over_budget;
                 return out;  // answer stays unknown
             }
         }

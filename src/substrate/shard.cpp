@@ -218,6 +218,12 @@ shard_outcome solve_cubes_free(const indexed_shard_factory& factory, const cube_
     const bool all_refuted =
         out.stats.refuted + out.stats.pruned == plan.cubes.size();
     out.result.ans = all_refuted ? answer::unsat : answer::unknown;
+    if (!all_refuted)
+        // Skipped cubes mean external cancellation or a per-pair budget
+        // running dry (a SAT win sets the flag too, but then decided above).
+        out.result.status = state.cancel->load(std::memory_order_relaxed)
+                                ? solve_status::cancelled
+                                : solve_status::over_budget;
     return out;
 }
 
@@ -364,6 +370,9 @@ shard_outcome solve_cubes_rounds(const indexed_shard_factory& factory, const cub
     if (!any_sat) {
         const bool all_refuted = out.stats.refuted + out.stats.pruned == plan.cubes.size();
         out.result.ans = all_refuted ? answer::unsat : answer::unknown;
+        if (!all_refuted)
+            out.result.status =
+                aborted ? solve_status::cancelled : solve_status::over_budget;
     }
     return out;
 }

@@ -123,8 +123,38 @@ resolved_strategy strategy::resolve(const resolved_strategy& defaults) const {
     return r;
 }
 
+std::string strategy::validate() const {
+    if (members && *members == 0) return "strategy.members must be >= 1 (0-member portfolio)";
+    if (members && *members > 1024) return "strategy.members must be <= 1024";
+    if (depth && *depth > 12)
+        return "strategy.depth must be <= 12 (the cube generator's clamp)";
+    if (probe_candidates && *probe_candidates == 0)
+        return "strategy.probe_candidates must be >= 1";
+    if (sharing && sharing->enabled && sharing->max_clause_size == 0)
+        return "sharing.max_clause_size must be >= 1 when sharing is enabled";
+    if (sharing && sharing->enabled && sharing->slice_conflicts == 0)
+        return "sharing.slice_conflicts must be >= 1 when sharing is enabled";
+    return {};
+}
+
+std::string solve_request::validate() const {
+    for (smt::term t : assertions)
+        if (!t.valid()) return "assertion is an invalid (default-constructed) term";
+    for (smt::term t : assumptions)
+        if (!t.valid()) return "assumption is an invalid (default-constructed) term";
+    return strategy.validate();
+}
+
 cnf_outcome solve_cnf(const cnf_builder& build, const strategy& strat, unsigned threads,
                       const solve_controls& controls, query_cache* cache) {
+    if (std::string err = strat.validate(); !err.empty()) {
+        // The regular error model: malformed requests are reported through
+        // solve_status, never thrown (exceptions = programming errors only).
+        cnf_outcome out;
+        out.result.status = solve_status::malformed;
+        out.result.status_detail = std::move(err);
+        return out;
+    }
     // Library-level defaults (no engine_config at the CNF level): the
     // portfolio/cube defaults of portfolio_config / cube_config.
     resolved_strategy defaults;

@@ -135,6 +135,14 @@ struct strategy {
     /// resolution). `automatic` resolves its *fields* but keeps its kind —
     /// the engine classifies once the features are known.
     [[nodiscard]] resolved_strategy resolve(const resolved_strategy& defaults) const;
+
+    /// Checks the explicitly-set fields for nonsense the resolve/clamp
+    /// machinery would otherwise paper over (a 0-member portfolio, a cube
+    /// depth beyond the generator's clamp, sharing that can never share).
+    /// Returns an explanation, or empty when valid. `smt_engine::submit`
+    /// and the daemon's admission both call this and report failures as
+    /// solve_status::malformed instead of throwing.
+    [[nodiscard]] std::string validate() const;
 };
 
 /// Thresholds of `strategy::auto_select`, exposed so tests and docs stay in
@@ -157,6 +165,11 @@ struct solve_request {
     std::vector<smt::term> assumptions;  ///< extra per-check assumption terms
     /// How to decide the query; default lets the classifier pick.
     struct strategy strategy;
+
+    /// Checks the request for shapes that cannot be solved: invalid
+    /// (default-constructed) terms plus everything strategy::validate
+    /// rejects. Returns an explanation, or empty when valid.
+    [[nodiscard]] std::string validate() const;
 };
 
 /// What `solve_cnf` returns: the combined answer plus the per-strategy

@@ -1,6 +1,6 @@
 /// \file
 /// Fixed-size worker pool shared by the substrate's batch and portfolio
-/// dispatchers.
+/// dispatchers, with fair dispatch lanes for multi-tenant serving.
 ///
 /// The sciduction loops issue thousands of independent oracle queries
 /// (basis-path feasibility, candidate checks, invariant refinements); this
@@ -11,15 +11,30 @@
 /// workload (created lazily, shared by every race/batch/shard/async
 /// request), so thread spawn cost is paid once; `parallel_map` spins up a
 /// transient pool for one-shot fan-outs.
+///
+/// Dispatch lanes (`create_lane`) are the fairness hook the serving layer
+/// needs: each lane holds its own FIFO queue and workers drain the lanes in
+/// weighted round-robin order (a lane of weight w gets up to w consecutive
+/// pops per turn), so a tenant that queued a thousand shard tasks cannot
+/// starve a tenant with one tiny query — the tiny lane is served on the
+/// very next turn. Tasks submitted from inside a task inherit the
+/// submitter's lane (thread-local), so a shard request's fan-out stays
+/// accounted to its tenant. parallel_for's worker-side claim loops
+/// cooperatively yield between iterations whenever other lanes have queued
+/// work, bounding cross-lane starvation to one work unit. Everything
+/// defaults to one built-in lane, leaving single-tenant users byte-
+/// identical to the pre-lane pool.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 namespace sciduction::substrate {
@@ -28,12 +43,18 @@ namespace sciduction::substrate {
 /// concurrency, floored at 1 (hardware_concurrency may return 0).
 unsigned default_concurrency();
 
-/// The substrate's worker pool: a fixed set of threads draining one FIFO
-/// task queue. Thread-safe: any thread (including a worker) may submit.
-/// Destruction drains the queue — every already-submitted task runs before
-/// the workers join (which is why smt_engine declares its pool last).
+/// The substrate's worker pool: a fixed set of threads draining per-lane
+/// FIFO task queues in weighted round-robin order. Thread-safe: any thread
+/// (including a worker) may submit or manage lanes. Destruction drains
+/// every queue — every already-submitted task runs before the workers join
+/// (which is why smt_engine declares its pool last).
 class thread_pool {
 public:
+    /// Identifies one dispatch lane of this pool (ids are pool-local).
+    using lane_id = std::uint32_t;
+    /// The built-in lane every plain submit() uses; always exists.
+    static constexpr lane_id default_lane = 0;
+
     /// Spawns `num_workers` threads (0 = default_concurrency()).
     explicit thread_pool(unsigned num_workers = 0);
     /// Runs every queued task to completion, then joins the workers.
@@ -45,34 +66,76 @@ public:
     /// The number of worker threads.
     [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
+    /// Creates a dispatch lane served `weight` (floored at 1) consecutive
+    /// pops per round-robin turn. The serving layer opens one per tenant.
+    [[nodiscard]] lane_id create_lane(unsigned weight = 1);
+    /// Releases a lane: already-queued tasks still run (and further submits
+    /// into the id fall back to the default lane); the id is retired once
+    /// its queue drains. Releasing the default lane is a no-op.
+    void release_lane(lane_id id);
+    /// Tasks queued (not yet started) across all lanes.
+    [[nodiscard]] std::size_t pending() const;
+    /// Tasks queued in one lane (0 for unknown/retired ids).
+    [[nodiscard]] std::size_t pending_in(lane_id id) const;
+
     /// Enqueues a task; the future resolves with its result (or exception).
+    /// Called from inside a pool task, the new task joins the submitter's
+    /// lane; otherwise the default lane.
     template <typename Fn>
     auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+        return submit_in(inherited_lane(), std::forward<Fn>(fn));
+    }
+
+    /// Enqueues a task into an explicit lane (unknown or released ids fall
+    /// back to the default lane).
+    template <typename Fn>
+    auto submit_in(lane_id lane, Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
         using result_t = std::invoke_result_t<Fn>;
         auto task = std::make_shared<std::packaged_task<result_t()>>(std::forward<Fn>(fn));
         std::future<result_t> fut = task->get_future();
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            queue_.emplace_back([task] { (*task)(); });
-        }
-        wake_.notify_one();
+        enqueue(lane, [task] { (*task)(); });
         return fut;
     }
 
     /// Runs fn(i) for every i in [0, n), blocking until all complete. The
     /// calling thread participates, so parallel_for on a 1-worker pool (or
-    /// from within a worker) cannot deadlock. The first exception thrown by
+    /// from within a worker) cannot deadlock. Worker-side claim loops yield
+    /// between iterations when other lanes have queued work (fairness);
+    /// the caller claims unconditionally. The first exception thrown by
     /// any iteration is rethrown after all iterations finish.
     void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
 private:
+    /// One dispatch lane: a FIFO queue plus its round-robin bookkeeping.
+    struct lane_state {
+        std::deque<std::function<void()>> queue;
+        unsigned weight = 1;
+        unsigned served = 0;  // consecutive pops taken in the current turn
+        bool released = false;
+    };
+
     void worker_loop();
-    /// Pops and runs one queued task; returns false if the queue was empty.
+    /// Pops and runs one queued task; returns false if all queues were
+    /// empty. Used by parallel_for's caller-side work stealing.
     bool run_one();
+    /// Queues a thunk into `lane` and wakes a worker.
+    void enqueue(lane_id lane, std::function<void()> thunk);
+    /// The lane a submit from the current thread inherits: the lane of the
+    /// task this pool is running on this thread, else default_lane.
+    [[nodiscard]] lane_id inherited_lane() const;
+    /// Weighted round-robin pop across the lanes; requires the lock.
+    /// Retires drained released lanes along the way.
+    bool pop_next(std::function<void()>& task, lane_id& from);
+    /// Whether any lane other than `lane` has queued tasks; requires the lock.
+    [[nodiscard]] bool other_lanes_pending(lane_id lane) const;
 
     std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
-    std::mutex mutex_;
+    std::unordered_map<lane_id, lane_state> lanes_;
+    std::vector<lane_id> order_;  // cyclic service order over lanes_
+    std::size_t cursor_ = 0;      // current position in order_
+    std::size_t pending_ = 0;     // queued tasks across all lanes
+    lane_id next_lane_ = 1;
+    mutable std::mutex mutex_;
     std::condition_variable wake_;
     bool stopping_ = false;
 };

@@ -15,6 +15,7 @@
 #include "aig/aig.hpp"
 #include "invgen/invgen.hpp"
 #include "sat/pigeonhole.hpp"
+#include "engine_test_util.hpp"
 #include "substrate/engine.hpp"
 #include "substrate/query_cache.hpp"
 
@@ -133,7 +134,7 @@ TEST(cross_manager, shared_cache_solves_once_and_remaps_verified_model) {
     smt::term x = tm_a.mk_bv_var("x", 8);
     smt::term f_a = tm_a.mk_and(tm_a.mk_ult(x, tm_a.mk_bv_const(8, 50)),
                                 tm_a.mk_ult(tm_a.mk_bv_const(8, 40), x));
-    auto r_a = engine_a.check({f_a});
+    auto r_a = solve_portfolio(engine_a, {f_a});
     ASSERT_EQ(r_a.ans, answer::sat);
     EXPECT_EQ(engine_a.stats().solver_runs, 1u);
 
@@ -146,7 +147,7 @@ TEST(cross_manager, shared_cache_solves_once_and_remaps_verified_model) {
     smt::term y = tm_b.mk_bv_var("y", 8);  // renamed variable
     smt::term f_b = tm_b.mk_and(tm_b.mk_ult(y, tm_b.mk_bv_const(8, 50)),
                                 tm_b.mk_ult(tm_b.mk_bv_const(8, 40), y));
-    auto r_b = engine_b.check({f_b});
+    auto r_b = solve_portfolio(engine_b, {f_b});
     ASSERT_EQ(r_b.ans, answer::sat);
     EXPECT_EQ(engine_b.stats().solver_runs, 0u);
     EXPECT_EQ(engine_b.stats().cache_hits, 1u);
@@ -163,7 +164,7 @@ TEST(cross_manager, unsat_results_transfer) {
     smt::term_manager tm_a;
     smt_engine engine_a(tm_a, {.shared_cache = cache});
     smt::term x = tm_a.mk_bv_var("x", 8);
-    auto r_a = engine_a.check({tm_a.mk_ult(x, tm_a.mk_bv_const(8, 4)),
+    auto r_a = solve_portfolio(engine_a, {tm_a.mk_ult(x, tm_a.mk_bv_const(8, 4)),
                                tm_a.mk_ult(tm_a.mk_bv_const(8, 9), x)});
     ASSERT_EQ(r_a.ans, answer::unsat);
 
@@ -171,7 +172,7 @@ TEST(cross_manager, unsat_results_transfer) {
     smt_engine engine_b(tm_b, {.shared_cache = cache});
     tm_b.mk_bv_var("junk", 32);  // shift ids off manager A's
     smt::term z = tm_b.mk_bv_var("z", 8);
-    auto r_b = engine_b.check({tm_b.mk_ult(tm_b.mk_bv_const(8, 9), z),
+    auto r_b = solve_portfolio(engine_b, {tm_b.mk_ult(tm_b.mk_bv_const(8, 9), z),
                                tm_b.mk_ult(z, tm_b.mk_bv_const(8, 4))});
     EXPECT_EQ(r_b.ans, answer::unsat);
     EXPECT_EQ(engine_b.stats().solver_runs, 0u);
@@ -184,8 +185,8 @@ TEST(cross_manager, same_manager_hits_replay_native_results_verbatim) {
     smt::term_manager tm;
     smt_engine engine(tm, {.shared_cache = cache});
     smt::term f = tm.mk_ult(tm.mk_bv_var("x", 16), tm.mk_bv_const(16, 7));
-    auto r1 = engine.check({f});
-    auto r2 = engine.check({f});
+    auto r1 = solve_portfolio(engine, {f});
+    auto r2 = solve_portfolio(engine, {f});
     EXPECT_EQ(r1.model, r2.model);  // memoized model replayed verbatim
     EXPECT_EQ(engine.stats().structural_hits, 0u);  // native fast path
 }
@@ -224,7 +225,7 @@ TEST(persistence, engine_warm_starts_from_saved_cache) {
         smt::term_manager tm;
         smt_engine engine(tm, {.cache_path = file.path});
         smt::term x = tm.mk_bv_var("x", 8);
-        auto r = engine.check({tm.mk_ult(x, tm.mk_bv_const(8, 50)),
+        auto r = solve_portfolio(engine, {tm.mk_ult(x, tm.mk_bv_const(8, 50)),
                                tm.mk_ult(tm.mk_bv_const(8, 40), x)});
         ASSERT_EQ(r.ans, answer::sat);
         EXPECT_EQ(engine.stats().solver_runs, 1u);
@@ -240,7 +241,7 @@ TEST(persistence, engine_warm_starts_from_saved_cache) {
                                 tm.mk_ult(tm.mk_bv_const(8, 40), renamed));
         // Same structure modulo renaming and and-folding differences?
         // Build it exactly like run 1 to be structurally identical.
-        auto r = engine.check({tm.mk_ult(renamed, tm.mk_bv_const(8, 50)),
+        auto r = solve_portfolio(engine, {tm.mk_ult(renamed, tm.mk_bv_const(8, 50)),
                                tm.mk_ult(tm.mk_bv_const(8, 40), renamed)});
         ASSERT_EQ(r.ans, answer::sat);
         EXPECT_EQ(engine.stats().solver_runs, 0u);
@@ -528,7 +529,7 @@ TEST(application_warm_start, per_request_use_cache_false_skips_persisted_entries
         smt::term_manager tm;
         smt_engine engine(tm, {.cache_path = file.path});
         smt::term x = tm.mk_bv_var("x", 8);
-        (void)engine.check({tm.mk_ult(x, tm.mk_bv_const(8, 50))});
+        (void)solve_portfolio(engine, {tm.mk_ult(x, tm.mk_bv_const(8, 50))});
     }
     smt::term_manager tm;
     smt_engine engine(tm, {.cache_path = file.path});

@@ -9,6 +9,7 @@
 
 #include "sat/pigeonhole.hpp"
 #include "substrate/clause_exchange.hpp"
+#include "engine_test_util.hpp"
 #include "substrate/engine.hpp"
 #include "substrate/portfolio.hpp"
 #include "substrate/shard.hpp"
@@ -440,7 +441,7 @@ TEST(engine_sharing, sharded_with_sharing_matches_plain_check) {
         tm.mk_ult(x, tm.mk_bv_const(16, 100)),
     };
     smt_engine plain(tm, {});
-    backend_result expect = plain.check(assertions);
+    backend_result expect = solve_portfolio(plain, assertions);
 
     engine_config cfg;
     cfg.shard_depth = 2;
@@ -449,7 +450,7 @@ TEST(engine_sharing, sharded_with_sharing_matches_plain_check) {
     cfg.sharing.deterministic = true;
     smt_engine sharded(tm, cfg);
     shard_stats stats;
-    backend_result got = sharded.check_sharded({assertions, {}}, &stats);
+    backend_result got = solve_sharded(sharded, assertions, &stats);
     EXPECT_EQ(got.ans, expect.ans);
     if (got.is_sat()) {
         model_evaluator eval(tm, got.model);
@@ -468,7 +469,7 @@ TEST(engine_sharing, sequential_budgeted_portfolio_matches_plain_check) {
                        tm.mk_bvsub(tm.mk_bvadd(tm.mk_bvadd(y, x), y), y)),
     };
     smt_engine plain(tm, {});
-    backend_result expect = plain.check(assertions);
+    backend_result expect = solve_portfolio(plain, assertions);
     ASSERT_EQ(expect.ans, answer::unsat);
 
     engine_config cfg;
@@ -478,7 +479,7 @@ TEST(engine_sharing, sequential_budgeted_portfolio_matches_plain_check) {
     cfg.sharing.enabled = true;
     cfg.sharing.slice_conflicts = 200;
     smt_engine budgeted(tm, cfg);
-    EXPECT_EQ(budgeted.check(assertions).ans, answer::unsat);
+    EXPECT_EQ(solve_portfolio(budgeted, assertions).ans, answer::unsat);
 }
 
 }  // namespace

@@ -1,0 +1,53 @@
+/// \file
+/// Shared helpers for tests exercising the engine through the v2 request
+/// surface. They express the legacy call shapes (engine-default portfolio
+/// check, batch of single-strategy solves, cube-and-conquer with a stats
+/// out-param, future-returning async check) over smt_engine::solve /
+/// smt_engine::submit, so the per-test expectations about counters and
+/// strategies stay explicit at the call sites.
+#pragma once
+
+#include "substrate/engine.hpp"
+
+namespace sciduction::substrate {
+
+/// Synchronous solve with the engine-default portfolio strategy — the
+/// legacy `check` shape. Runs inline on the calling thread.
+inline backend_result solve_portfolio(smt_engine& engine, std::vector<smt::term> assertions,
+                                      std::vector<smt::term> assumptions = {}) {
+    return engine.solve({std::move(assertions), std::move(assumptions), strategy::portfolio()});
+}
+
+/// Submit-many with strategy::single() then await-all, results in query
+/// order — the legacy `check_batch` contract.
+inline std::vector<backend_result> solve_batch(smt_engine& engine,
+                                               const std::vector<smt_query>& queries) {
+    std::vector<query_handle> handles;
+    handles.reserve(queries.size());
+    for (const smt_query& q : queries)
+        handles.push_back(engine.submit({q.assertions, q.assumptions, strategy::single()}));
+    std::vector<backend_result> results;
+    results.reserve(handles.size());
+    for (query_handle& h : handles) results.push_back(h.get());
+    return results;
+}
+
+/// Solve with strategy::shard() (engine-default depth; depth 0 degrades to
+/// the portfolio resolution), optionally reporting the shard work
+/// breakdown — the legacy `check_sharded` shape.
+inline backend_result solve_sharded(smt_engine& engine, std::vector<smt::term> assertions,
+                                    shard_stats* stats = nullptr) {
+    query_handle handle = engine.submit({std::move(assertions), {}, strategy::shard()});
+    backend_result result = handle.get();
+    if (stats != nullptr) *stats = handle.stats().shard;
+    return result;
+}
+
+/// Submit with the engine-default portfolio strategy and return the shared
+/// future — the legacy `check_async` shape.
+inline std::shared_future<backend_result> submit_portfolio(smt_engine& engine,
+                                                           std::vector<smt::term> assertions) {
+    return engine.submit({std::move(assertions), {}, strategy::portfolio()}).share();
+}
+
+}  // namespace sciduction::substrate

@@ -9,6 +9,7 @@
 #include "ir/transform.hpp"
 #include "ogis/benchmarks.hpp"
 #include "sat/pigeonhole.hpp"
+#include "engine_test_util.hpp"
 #include "substrate/engine.hpp"
 #include "substrate/shard.hpp"
 
@@ -174,13 +175,13 @@ TEST(engine_shard, unsat_matches_plain_check_and_composes_with_cache) {
 
     smt_engine engine(tm, {.threads = 2, .shard_depth = 2});
     shard_stats stats;
-    EXPECT_EQ(engine.check_sharded({{commut}, {}}, &stats).ans, answer::unsat);
+    EXPECT_EQ(solve_sharded(engine, {commut}, &stats).ans, answer::unsat);
     EXPECT_GT(stats.cubes, 0u);
     // The sharded result landed in the cache: the re-check (plain or
     // sharded) is a hit, no new solver runs.
     const auto runs = engine.stats().solver_runs;
-    EXPECT_EQ(engine.check({commut}).ans, answer::unsat);
-    EXPECT_EQ(engine.check_sharded({{commut}, {}}).ans, answer::unsat);
+    EXPECT_EQ(solve_portfolio(engine, {commut}).ans, answer::unsat);
+    EXPECT_EQ(solve_sharded(engine, {commut}).ans, answer::unsat);
     EXPECT_EQ(engine.stats().solver_runs, runs);
     EXPECT_EQ(engine.stats().cache_hits, 2u);
 }
@@ -192,7 +193,7 @@ TEST(engine_shard, sat_model_valid_under_any_thread_count) {
         smt::term feasible = tm.mk_and(tm.mk_ult(tm.mk_bv_const(16, 10), x),
                                        tm.mk_ult(x, tm.mk_bv_const(16, 100)));
         smt_engine engine(tm, {.use_cache = false, .threads = threads, .shard_depth = 3});
-        auto result = engine.check_sharded({{feasible}, {}});
+        auto result = solve_sharded(engine, {feasible});
         ASSERT_TRUE(result.is_sat()) << "threads " << threads;
         EXPECT_EQ(eval_model(tm, feasible, result.model), 1u);
     }
@@ -203,10 +204,10 @@ TEST(engine_shard, depth_zero_degrades_to_plain_check) {
     smt::term x = tm.mk_bv_var("x", 8);
     smt::term q = tm.mk_ult(x, tm.mk_bv_const(8, 5));
     smt_engine engine(tm);  // shard_depth == 0
-    EXPECT_TRUE(engine.check({q}).is_sat());
+    EXPECT_TRUE(solve_portfolio(engine, {q}).is_sat());
     // check_sharded is a cache hit on the plain check's entry.
     shard_stats stats;
-    EXPECT_TRUE(engine.check_sharded({{q}, {}}, &stats).is_sat());
+    EXPECT_TRUE(solve_sharded(engine, {q}, &stats).is_sat());
     EXPECT_EQ(engine.stats().cache_hits, 1u);
     EXPECT_EQ(stats.cubes, 0u);
 }
@@ -220,9 +221,9 @@ TEST(engine_async, future_resolves_and_result_lands_in_cache) {
     smt::term commut = tm.mk_distinct(tm.mk_bvadd(x, y),
                                       tm.mk_bvsub(tm.mk_bvadd(tm.mk_bvadd(y, x), y), y));
     smt_engine engine(tm, {.threads = 2});
-    auto future = engine.check_async({{commut}, {}});
+    auto future = submit_portfolio(engine, {commut});
     EXPECT_EQ(future.get().ans, answer::unsat);
-    EXPECT_EQ(engine.check({commut}).ans, answer::unsat);
+    EXPECT_EQ(solve_portfolio(engine, {commut}).ans, answer::unsat);
     EXPECT_EQ(engine.stats().cache_hits, 1u);
     EXPECT_EQ(engine.stats().solver_runs, 1u);
 }
@@ -238,9 +239,9 @@ TEST(engine_async, inflight_duplicates_coalesce_instead_of_resolving) {
         tm.mk_bvmul(x, tm.mk_bvadd(y, y)),
         tm.mk_bvadd(tm.mk_bvmul(x, y), tm.mk_bvmul(x, y)));
     smt_engine engine(tm, {.threads = 2});
-    auto f1 = engine.check_async({{hard}, {}});
-    auto f2 = engine.check_async({{hard}, {}});
-    auto f3 = engine.check_async({{hard}, {}});
+    auto f1 = submit_portfolio(engine, {hard});
+    auto f2 = submit_portfolio(engine, {hard});
+    auto f3 = submit_portfolio(engine, {hard});
     EXPECT_EQ(f1.get().ans, answer::unsat);
     EXPECT_EQ(f2.get().ans, answer::unsat);
     EXPECT_EQ(f3.get().ans, answer::unsat);
@@ -257,8 +258,8 @@ TEST(engine_async, cache_hit_resolves_immediately) {
     smt::term x = tm.mk_bv_var("x", 8);
     smt::term q = tm.mk_ult(x, tm.mk_bv_const(8, 9));
     smt_engine engine(tm);
-    EXPECT_TRUE(engine.check({q}).is_sat());
-    auto future = engine.check_async({{q}, {}});
+    EXPECT_TRUE(solve_portfolio(engine, {q}).is_sat());
+    auto future = submit_portfolio(engine, {q});
     EXPECT_TRUE(future.get().is_sat());
     EXPECT_EQ(engine.stats().cache_hits, 1u);
     EXPECT_EQ(engine.stats().solver_runs, 1u);
@@ -273,18 +274,18 @@ TEST(query_cache_lru, capacity_bounds_size_and_evicts_least_recently_used) {
         return std::vector<smt::term>{tm.mk_ult(x, tm.mk_bv_const(8, bound))};
     };
     smt_engine engine(tm, {.cache_capacity = 2});
-    EXPECT_TRUE(engine.check(q(10)).is_sat());
-    EXPECT_TRUE(engine.check(q(20)).is_sat());
-    EXPECT_TRUE(engine.check(q(10)).is_sat());  // touch: q10 is now MRU
+    EXPECT_TRUE(solve_portfolio(engine, q(10)).is_sat());
+    EXPECT_TRUE(solve_portfolio(engine, q(20)).is_sat());
+    EXPECT_TRUE(solve_portfolio(engine, q(10)).is_sat());  // touch: q10 is now MRU
     EXPECT_EQ(engine.stats().cache_hits, 1u);
-    EXPECT_TRUE(engine.check(q(30)).is_sat());  // evicts q20 (LRU)
+    EXPECT_TRUE(solve_portfolio(engine, q(30)).is_sat());  // evicts q20 (LRU)
     EXPECT_EQ(engine.cache().size(), 2u);
     EXPECT_EQ(engine.cache().stats().evictions, 1u);
     // q10 stayed resident, q20 was evicted and must re-solve.
-    EXPECT_TRUE(engine.check(q(10)).is_sat());
+    EXPECT_TRUE(solve_portfolio(engine, q(10)).is_sat());
     EXPECT_EQ(engine.stats().cache_hits, 2u);
     const auto runs = engine.stats().solver_runs;
-    EXPECT_TRUE(engine.check(q(20)).is_sat());
+    EXPECT_TRUE(solve_portfolio(engine, q(20)).is_sat());
     EXPECT_EQ(engine.stats().solver_runs, runs + 1);
 }
 
@@ -293,7 +294,7 @@ TEST(query_cache_lru, unbounded_by_default) {
     smt::term x = tm.mk_bv_var("x", 8);
     smt_engine engine(tm);
     for (std::uint64_t i = 0; i < 16; ++i)
-        EXPECT_TRUE(engine.check({tm.mk_ult(x, tm.mk_bv_const(8, 100 + i))}).is_sat());
+        EXPECT_TRUE(solve_portfolio(engine, {tm.mk_ult(x, tm.mk_bv_const(8, 100 + i))}).is_sat());
     EXPECT_EQ(engine.cache().size(), 16u);
     EXPECT_EQ(engine.cache().stats().evictions, 0u);
 }

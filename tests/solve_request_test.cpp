@@ -1,12 +1,15 @@
 // The solve_request/query_handle API: strategy resolution precedence, the
-// auto_select classifier, shim-vs-submit equivalence, cancellation,
-// coalescing, budgets, and the CNF-level solve_cnf dispatcher.
+// auto_select classifier, solve-vs-submit equivalence, request validation,
+// the solve_status error model, cancellation, coalescing, budgets, and the
+// CNF-level solve_cnf dispatcher.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
+#include <stdexcept>
 #include <thread>
 
+#include "engine_test_util.hpp"
 #include "sat/pigeonhole.hpp"
 #include "substrate/engine.hpp"
 #include "substrate/solve_request.hpp"
@@ -141,7 +144,7 @@ TEST(auto_select, deterministic_for_equal_features) {
     }
 }
 
-// ---- shim-vs-submit equivalence ---------------------------------------------
+// ---- solve-vs-submit equivalence --------------------------------------------
 
 smt::term unsat_commut(smt::term_manager& tm) {
     smt::term x = tm.mk_bv_var("x", 16);
@@ -158,54 +161,56 @@ void expect_same_counters(const engine_stats& a, const engine_stats& b) {
     EXPECT_EQ(a.dispatched.total(), b.dispatched.total());
 }
 
-TEST(shim_equivalence, check_equals_submit_with_engine_default_portfolio) {
+TEST(api_v2, solve_equals_submit_with_engine_default_portfolio) {
     smt::term_manager tm;
     smt::term x = tm.mk_bv_var("x", 16);
     smt::term sat_q = tm.mk_and(tm.mk_ult(tm.mk_bv_const(16, 10), x),
                                 tm.mk_ult(x, tm.mk_bv_const(16, 100)));
-    smt_engine via_shim(tm);
+    smt_engine via_solve(tm);
     smt_engine via_submit(tm);
-    backend_result a = via_shim.check({sat_q});
+    backend_result a = via_solve.solve({{sat_q}, {}, strategy::portfolio()});
     backend_result b = via_submit.submit({{sat_q}, {}, strategy::portfolio()}).get();
     ASSERT_TRUE(a.is_sat());
     ASSERT_TRUE(b.is_sat());
+    EXPECT_EQ(a.status, solve_status::ok);
     // Single-member solves are fully deterministic: identical model values
-    // and identical cost.
+    // and identical cost whether run inline (solve) or on the pool (submit).
     EXPECT_EQ(eval_model(tm, x, a.model), eval_model(tm, x, b.model));
     EXPECT_EQ(a.conflicts, b.conflicts);
-    expect_same_counters(via_shim.stats(), via_submit.stats());
-    // Re-checking is a cache hit on both paths.
-    EXPECT_TRUE(via_shim.check({sat_q}).is_sat());
+    expect_same_counters(via_solve.stats(), via_submit.stats());
+    // Re-solving is a cache hit on both paths.
+    EXPECT_TRUE(via_solve.solve({{sat_q}, {}, strategy::portfolio()}).is_sat());
     EXPECT_TRUE(via_submit.submit({{sat_q}, {}, strategy::portfolio()}).get().is_sat());
-    expect_same_counters(via_shim.stats(), via_submit.stats());
+    expect_same_counters(via_solve.stats(), via_submit.stats());
 }
 
-TEST(shim_equivalence, check_sharded_equals_submit_shard_strategy) {
+TEST(api_v2, solve_equals_submit_shard_strategy) {
     smt::term_manager tm_a;
     smt::term_manager tm_b;
-    smt_engine via_shim(tm_a, {.threads = 2, .shard_depth = 2});
+    smt_engine via_solve(tm_a, {.threads = 2, .shard_depth = 2});
     smt_engine via_submit(tm_b, {.threads = 2, .shard_depth = 2});
-    shard_stats shim_stats;
-    backend_result a = via_shim.check_sharded({{unsat_commut(tm_a)}, {}}, &shim_stats);
+    shard_stats inline_stats;
+    backend_result a = solve_sharded(via_solve, {unsat_commut(tm_a)}, &inline_stats);
     query_handle handle = via_submit.submit({{unsat_commut(tm_b)}, {}, strategy::shard()});
     backend_result b = handle.get();
     EXPECT_EQ(a.ans, answer::unsat);
     EXPECT_EQ(b.ans, answer::unsat);
     // All-UNSAT shard work is deterministic: identical breakdown and cost.
-    EXPECT_EQ(shim_stats, handle.stats().shard);
+    EXPECT_EQ(inline_stats, handle.stats().shard);
+    EXPECT_GT(inline_stats.cubes, 0u);
     EXPECT_EQ(a.conflicts, b.conflicts);
-    expect_same_counters(via_shim.stats(), via_submit.stats());
+    expect_same_counters(via_solve.stats(), via_submit.stats());
 }
 
-TEST(shim_equivalence, check_batch_equals_submit_many_await_all) {
+TEST(api_v2, batch_of_singles_equals_submit_many_await_all) {
     smt::term_manager tm;
     smt::term x = tm.mk_bv_var("x", 16);
     std::vector<smt_query> queries;
     for (std::uint64_t i = 0; i < 8; ++i)
         queries.push_back({{tm.mk_eq(x, tm.mk_bv_const(16, i))}, {}});
-    smt_engine via_shim(tm, {.threads = 2});
+    smt_engine via_batch(tm, {.threads = 2});
     smt_engine via_submit(tm, {.threads = 2});
-    auto batched = via_shim.check_batch(queries);
+    auto batched = solve_batch(via_batch, queries);
     std::vector<query_handle> handles;
     for (const auto& q : queries)
         handles.push_back(via_submit.submit({q.assertions, q.assumptions, strategy::single()}));
@@ -215,13 +220,13 @@ TEST(shim_equivalence, check_batch_equals_submit_many_await_all) {
         EXPECT_EQ(batched[i].ans, direct.ans) << i;
         EXPECT_EQ(eval_model(tm, x, batched[i].model), eval_model(tm, x, direct.model)) << i;
     }
-    expect_same_counters(via_shim.stats(), via_submit.stats());
+    expect_same_counters(via_batch.stats(), via_submit.stats());
 }
 
-TEST(shim_equivalence, check_async_is_the_handles_shared_future) {
+TEST(api_v2, shared_future_resolves_and_populates_the_cache) {
     smt::term_manager tm;
     smt_engine engine(tm, {.threads = 2});
-    auto future = engine.check_async({{unsat_commut(tm)}, {}});
+    auto future = submit_portfolio(engine, {unsat_commut(tm)});
     EXPECT_EQ(future.get().ans, answer::unsat);
     // The same query through submit: a cache hit resolving immediately.
     query_handle handle = engine.submit({{unsat_commut(tm)}, {}, strategy::portfolio()});
@@ -258,10 +263,10 @@ TEST(config_precedence, sequential_portfolio_plus_shard_request_shards) {
     EXPECT_EQ(raced.stats().shard.cubes, 0u);
     EXPECT_EQ(engine.stats().dispatched.portfolio, 1u);
 
-    // And the legacy shims inherit exactly that split.
-    shard_stats via_shim;
-    EXPECT_EQ(engine.check_sharded({{unsat_commut(tm)}, {}}, &via_shim).ans, answer::unsat);
-    EXPECT_GT(via_shim.cubes, 0u);
+    // And the default-depth shard shape inherits exactly that split.
+    shard_stats depth_default;
+    EXPECT_EQ(solve_sharded(engine, {unsat_commut(tm)}, &depth_default).ans, answer::unsat);
+    EXPECT_GT(depth_default.cubes, 0u);
     EXPECT_EQ(engine.stats().dispatched.shard, 2u);
 }
 
@@ -398,7 +403,9 @@ TEST(cancellation, portfolio_cancel_mid_solve_yields_unknown) {
     wait_until_started(handle);
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
     handle.cancel();
-    EXPECT_EQ(handle.get().ans, answer::unknown);
+    backend_result r = handle.get();
+    EXPECT_EQ(r.ans, answer::unknown);
+    EXPECT_EQ(r.status, solve_status::cancelled);
     EXPECT_TRUE(handle.progress().cancel_requested);
 }
 
@@ -422,7 +429,9 @@ TEST(cancellation, conflict_budget_yields_unknown_then_full_solve_decides) {
     budgeted.conflict_budget = 10;
     budgeted.use_cache = false;
     smt_engine engine(tm);
-    EXPECT_EQ(engine.submit({{hard}, {}, budgeted}).get().ans, answer::unknown);
+    backend_result capped = engine.submit({{hard}, {}, budgeted}).get();
+    EXPECT_EQ(capped.ans, answer::unknown);
+    EXPECT_EQ(capped.status, solve_status::over_budget);
     EXPECT_EQ(engine.submit({{hard}, {}, strategy::single()}).get().ans, answer::unsat);
 }
 
@@ -436,9 +445,15 @@ TEST(cancellation, coalesced_duplicate_keeps_its_own_time_budget) {
     query_handle second = engine.submit({{hard}, {}, timed});
     ASSERT_TRUE(second.stats().coalesced);
     // The duplicate shares the solve but not the (absent) first budget:
-    // its get() cancels the shared solve after 30ms.
-    EXPECT_EQ(second.get().ans, answer::unknown);
-    EXPECT_EQ(first.get().ans, answer::unknown);
+    // its get() cancels the shared solve after 30ms. The status model keeps
+    // the two perspectives apart: the expiring handle reports timeout, the
+    // innocent bystander sees the solve it shared get cancelled.
+    backend_result expired = second.get();
+    EXPECT_EQ(expired.ans, answer::unknown);
+    EXPECT_EQ(expired.status, solve_status::timeout);
+    backend_result bystander = first.get();
+    EXPECT_EQ(bystander.ans, answer::unknown);
+    EXPECT_EQ(bystander.status, solve_status::cancelled);
 }
 
 TEST(cancellation, time_budget_enforced_at_get) {
@@ -448,10 +463,87 @@ TEST(cancellation, time_budget_enforced_at_get) {
     timed.time_budget_ms = 30;
     const auto before = std::chrono::steady_clock::now();
     query_handle handle = engine.submit({{hard_distributivity(tm, 8)}, {}, timed});
-    EXPECT_EQ(handle.get().ans, answer::unknown);
+    backend_result timed_out = handle.get();
+    EXPECT_EQ(timed_out.ans, answer::unknown);
+    EXPECT_EQ(timed_out.status, solve_status::timeout);
     // Generous bound: the point is that get() returned promptly instead of
     // waiting out the (minutes-long) full refutation.
     EXPECT_LT(std::chrono::steady_clock::now() - before, std::chrono::seconds(30));
+}
+
+// ---- request validation and the status model --------------------------------
+
+TEST(validation, rejected_strategy_shapes_name_the_offending_field) {
+    strategy zero_members = strategy::portfolio();
+    zero_members.members = 0;
+    EXPECT_NE(zero_members.validate().find("members"), std::string::npos);
+
+    EXPECT_NE(strategy::shard(13).validate().find("depth"), std::string::npos);
+
+    strategy no_probes = strategy::shard(2);
+    no_probes.probe_candidates = 0;
+    EXPECT_NE(no_probes.validate().find("probe_candidates"), std::string::npos);
+
+    sharing_config degenerate;
+    degenerate.enabled = true;
+    degenerate.max_clause_size = 0;
+    strategy cannot_share = strategy::portfolio();
+    cannot_share.sharing = degenerate;
+    EXPECT_NE(cannot_share.validate().find("max_clause_size"), std::string::npos);
+
+    degenerate.max_clause_size = 8;
+    degenerate.slice_conflicts = 0;
+    cannot_share.sharing = degenerate;
+    EXPECT_NE(cannot_share.validate().find("slice_conflicts"), std::string::npos);
+
+    EXPECT_TRUE(strategy::portfolio(4).validate().empty());
+    EXPECT_TRUE(strategy::shard(12).validate().empty());
+}
+
+TEST(validation, malformed_request_reported_through_status_not_thrown) {
+    smt::term_manager tm;
+    smt_engine engine(tm);
+    solve_request bad;
+    bad.assertions = {smt::term{}};  // default-constructed = invalid
+    EXPECT_NE(bad.validate().find("assertion"), std::string::npos);
+    query_handle handle = engine.submit(std::move(bad));
+    // Resolves immediately: nothing was dispatched.
+    EXPECT_TRUE(handle.ready());
+    backend_result r = handle.get();
+    EXPECT_EQ(r.ans, answer::unknown);
+    EXPECT_EQ(r.status, solve_status::malformed);
+    EXPECT_FALSE(r.status_detail.empty());
+    EXPECT_EQ(handle.stats().status, solve_status::malformed);
+    EXPECT_EQ(engine.stats().solver_runs, 0u);
+
+    solve_request bad_strategy;
+    bad_strategy.assertions = {tm.mk_bv_var("x", 4)};
+    bad_strategy.strategy.members = 0;
+    backend_result s = engine.solve(std::move(bad_strategy));
+    EXPECT_EQ(s.status, solve_status::malformed);
+    EXPECT_NE(s.status_detail.find("members"), std::string::npos);
+}
+
+TEST(validation, engine_config_programming_errors_throw) {
+    smt::term_manager tm;
+    EXPECT_THROW(smt_engine(tm, {.portfolio_members = 0}), std::invalid_argument);
+    EXPECT_THROW(smt_engine(tm, {.shard_depth = 13}), std::invalid_argument);
+    EXPECT_THROW(smt_engine(tm, {.shard_probe_candidates = 0}), std::invalid_argument);
+}
+
+TEST(status_model, definite_answers_and_cache_hits_report_ok) {
+    smt::term_manager tm;
+    smt::term x = tm.mk_bv_var("x", 8);
+    smt::term q = tm.mk_ult(x, tm.mk_bv_const(8, 5));
+    smt_engine engine(tm);
+    backend_result solved = engine.solve({{q}, {}, strategy::single()});
+    EXPECT_TRUE(solved.is_sat());
+    EXPECT_EQ(solved.status, solve_status::ok);
+    backend_result hit = engine.solve({{q}, {}, strategy::single()});
+    EXPECT_EQ(hit.status, solve_status::ok);
+    EXPECT_EQ(engine.stats().cache_hits, 1u);
+    EXPECT_EQ(to_string(solve_status::ok), std::string("ok"));
+    EXPECT_EQ(to_string(solve_status::over_budget), std::string("over_budget"));
 }
 
 // ---- the CNF-level dispatcher -----------------------------------------------

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <future>
+#include <mutex>
 #include <numeric>
 #include <set>
 
@@ -10,6 +14,7 @@
 #include "ir/transform.hpp"
 #include "ogis/benchmarks.hpp"
 #include "sat/pigeonhole.hpp"
+#include "engine_test_util.hpp"
 #include "substrate/engine.hpp"
 #include "substrate/oracle_cache.hpp"
 #include "substrate/portfolio.hpp"
@@ -46,6 +51,92 @@ TEST(thread_pool, submit_returns_future) {
     thread_pool pool(2);
     auto f = pool.submit([] { return 41 + 1; });
     EXPECT_EQ(f.get(), 42);
+}
+
+// ---- dispatch lanes ---------------------------------------------------------
+
+TEST(thread_pool_lanes, weighted_round_robin_interleaves_lanes) {
+    // One worker, gated so both lanes are fully queued before any task
+    // runs: the drain order then exposes the scheduling policy directly.
+    thread_pool pool(1);
+    std::mutex gate_mutex;
+    std::condition_variable gate_cv;
+    bool gate_open = false;
+    auto gate = pool.submit([&] {
+        std::unique_lock<std::mutex> lock(gate_mutex);
+        gate_cv.wait(lock, [&] { return gate_open; });
+    });
+    thread_pool::lane_id heavy = pool.create_lane(2);
+    thread_pool::lane_id light = pool.create_lane(1);
+    std::mutex order_mutex;
+    std::vector<char> order;
+    std::vector<std::future<void>> tasks;
+    for (int i = 0; i < 4; ++i)
+        tasks.push_back(pool.submit_in(heavy, [&] {
+            std::scoped_lock lock(order_mutex);
+            order.push_back('H');
+        }));
+    for (int i = 0; i < 4; ++i)
+        tasks.push_back(pool.submit_in(light, [&] {
+            std::scoped_lock lock(order_mutex);
+            order.push_back('L');
+        }));
+    EXPECT_EQ(pool.pending_in(heavy), 4u);
+    EXPECT_EQ(pool.pending_in(light), 4u);
+    {
+        std::scoped_lock lock(gate_mutex);
+        gate_open = true;
+    }
+    gate_cv.notify_all();
+    for (auto& t : tasks) t.get();
+    gate.get();
+    ASSERT_EQ(order.size(), 8u);
+    // Weighted round-robin: whichever lane the cursor reaches first, the
+    // other lane is served within `weight` pops — a FIFO pool would run
+    // all four H before the first L.
+    auto first = [&](char c) {
+        return static_cast<std::size_t>(std::find(order.begin(), order.end(), c) -
+                                        order.begin());
+    };
+    EXPECT_LE(first('H'), 2u);
+    EXPECT_LE(first('L'), 2u);
+    // And the weight bounds every H streak while L work is still queued.
+    std::size_t streak = 0;
+    for (std::size_t i = 0; i + 2 < order.size(); ++i) {
+        streak = order[i] == 'H' ? streak + 1 : 0;
+        EXPECT_LE(streak, 2u) << "at index " << i;
+    }
+    pool.release_lane(heavy);
+    pool.release_lane(light);
+}
+
+TEST(thread_pool_lanes, released_lane_still_drains_and_later_submits_fall_back) {
+    thread_pool pool(2);
+    thread_pool::lane_id lane = pool.create_lane(3);
+    auto queued = pool.submit_in(lane, [] { return 7; });
+    pool.release_lane(lane);
+    EXPECT_EQ(queued.get(), 7);
+    // The id is retired: submits into it land in the default lane and run.
+    EXPECT_EQ(pool.submit_in(lane, [] { return 8; }).get(), 8);
+    EXPECT_EQ(pool.pending_in(lane), 0u);
+}
+
+TEST(thread_pool_lanes, nested_submits_inherit_the_submitters_lane) {
+    // A lane task fans out via plain submit(); the children must land in
+    // the parent's lane (pending_in observes them while the pool is gated
+    // by the parent itself still running).
+    thread_pool pool(1);
+    thread_pool::lane_id lane = pool.create_lane(2);
+    std::promise<std::size_t> seen_pending;
+    auto parent = pool.submit_in(lane, [&] {
+        auto child = pool.submit([] {});
+        (void)child;
+        seen_pending.set_value(pool.pending_in(lane));
+    });
+    EXPECT_EQ(seen_pending.get_future().get(), 1u)
+        << "nested submit should queue into the inherited lane";
+    parent.get();
+    pool.release_lane(lane);
 }
 
 // ---- interrupt support ------------------------------------------------------
@@ -157,11 +248,11 @@ TEST(portfolio, smt_engine_portfolio_matches_single) {
     smt_engine single(tm, {.use_cache = false});
     smt_engine racing(tm, {.use_cache = false, .portfolio_members = 4, .threads = 4});
 
-    EXPECT_EQ(single.check({commut}).ans, answer::unsat);
-    EXPECT_EQ(racing.check({commut}).ans, answer::unsat);
+    EXPECT_EQ(solve_portfolio(single, {commut}).ans, answer::unsat);
+    EXPECT_EQ(solve_portfolio(racing, {commut}).ans, answer::unsat);
 
-    auto rs = single.check({feasible});
-    auto rp = racing.check({feasible});
+    auto rs = solve_portfolio(single, {feasible});
+    auto rp = solve_portfolio(racing, {feasible});
     ASSERT_EQ(rs.ans, answer::sat);
     ASSERT_EQ(rp.ans, answer::sat);
     // Whatever member won, its model satisfies the assertion.
@@ -177,11 +268,11 @@ TEST(query_cache, hit_on_identical_query_set) {
     smt::term b = tm.mk_ult(tm.mk_bv_const(8, 3), x);
 
     smt_engine engine(tm);
-    auto r1 = engine.check({a, b});
+    auto r1 = solve_portfolio(engine, {a, b});
     EXPECT_EQ(r1.ans, answer::sat);
     EXPECT_EQ(engine.stats().cache_hits, 0u);
     // Same set, different order and a duplicate: still a hit.
-    auto r2 = engine.check({b, a, a});
+    auto r2 = solve_portfolio(engine, {b, a, a});
     EXPECT_EQ(engine.stats().cache_hits, 1u);
     EXPECT_EQ(r2.ans, answer::sat);
     EXPECT_EQ(r2.model, r1.model);  // memoized model replayed verbatim
@@ -195,9 +286,9 @@ TEST(query_cache, growing_the_assertion_set_misses) {
     smt::term b = tm.mk_eq(x, tm.mk_bv_const(8, 200));
 
     smt_engine engine(tm);
-    EXPECT_EQ(engine.check({a}).ans, answer::sat);
+    EXPECT_EQ(solve_portfolio(engine, {a}).ans, answer::sat);
     // Superset is a distinct query — no stale hit, and the answer flips.
-    EXPECT_EQ(engine.check({a, b}).ans, answer::unsat);
+    EXPECT_EQ(solve_portfolio(engine, {a, b}).ans, answer::unsat);
     EXPECT_EQ(engine.stats().cache_hits, 0u);
 }
 
@@ -207,11 +298,11 @@ TEST(query_cache, assumptions_key_separately) {
     smt::term a = tm.mk_ult(x, tm.mk_bv_const(8, 10));
 
     smt_engine engine(tm);
-    EXPECT_EQ(engine.check({a}).ans, answer::sat);
+    EXPECT_EQ(solve_portfolio(engine, {a}).ans, answer::sat);
     // Same formula as assertion vs as assumption: different key.
-    EXPECT_EQ(engine.check({}, {a}).ans, answer::sat);
+    EXPECT_EQ(solve_portfolio(engine, {}, {a}).ans, answer::sat);
     EXPECT_EQ(engine.stats().cache_hits, 0u);
-    EXPECT_EQ(engine.check({}, {a}).ans, answer::sat);
+    EXPECT_EQ(solve_portfolio(engine, {}, {a}).ans, answer::sat);
     EXPECT_EQ(engine.stats().cache_hits, 1u);
 }
 
@@ -221,8 +312,8 @@ TEST(query_cache, unsat_results_cache_too) {
     smt::term contradiction = tm.mk_and(tm.mk_ult(x, tm.mk_bv_const(8, 4)),
                                         tm.mk_ult(tm.mk_bv_const(8, 9), x));
     smt_engine engine(tm);
-    EXPECT_EQ(engine.check({contradiction}).ans, answer::unsat);
-    EXPECT_EQ(engine.check({contradiction}).ans, answer::unsat);
+    EXPECT_EQ(solve_portfolio(engine, {contradiction}).ans, answer::unsat);
+    EXPECT_EQ(solve_portfolio(engine, {contradiction}).ans, answer::unsat);
     EXPECT_EQ(engine.stats().cache_hits, 1u);
     EXPECT_EQ(engine.stats().solver_runs, 1u);
 }
@@ -232,9 +323,9 @@ TEST(query_cache, clear_invalidates) {
     smt::term x = tm.mk_bv_var("x", 8);
     smt::term a = tm.mk_ult(x, tm.mk_bv_const(8, 10));
     smt_engine engine(tm);
-    engine.check({a});
+    solve_portfolio(engine, {a});
     engine.cache().clear();
-    engine.check({a});
+    solve_portfolio(engine, {a});
     EXPECT_EQ(engine.stats().cache_hits, 0u);
     EXPECT_EQ(engine.stats().solver_runs, 2u);
 }
@@ -273,7 +364,7 @@ TEST(batch, hundred_independent_qfbv_queries) {
         queries.push_back(std::move(q));
     }
     smt_engine engine(tm, {.threads = 4});
-    auto results = engine.check_batch(queries);
+    auto results = solve_batch(engine, queries);
     ASSERT_EQ(results.size(), 100u);
     for (std::uint64_t i = 0; i < 100; ++i) {
         if (i < 50) {
@@ -292,14 +383,14 @@ TEST(batch, shares_cache_across_duplicate_queries) {
     q.assertions = {tm.mk_ult(x, tm.mk_bv_const(16, 7))};
     std::vector<smt_query> queries(32, q);
     smt_engine engine(tm, {.threads = 4});
-    auto results = engine.check_batch(queries);
+    auto results = solve_batch(engine, queries);
     for (const auto& r : results) EXPECT_EQ(r.ans, answer::sat);
     // At least one worker solved; the rest hit the shared cache or coalesce
     // onto the in-flight duplicate (scheduling-dependent split between the
     // two), and a re-batch is all hits. Every query is accounted for as
     // exactly one of: solved, cache hit, coalesced.
     EXPECT_GE(engine.stats().solver_runs, 1u);
-    auto again = engine.check_batch(queries);
+    auto again = solve_batch(engine, queries);
     EXPECT_EQ(engine.stats().solver_runs, engine.stats().queries - engine.stats().cache_hits -
                                               engine.stats().coalesced);
     for (const auto& r : again) EXPECT_EQ(r.ans, answer::sat);
@@ -311,6 +402,87 @@ TEST(batch, shares_cache_across_duplicate_queries) {
     EXPECT_EQ(engine.stats().persisted_loads, 0u);
     // One manager, one engine: every hit here replays natively.
     EXPECT_EQ(engine.stats().structural_hits, 0u);
+}
+
+// ---- engine sessions --------------------------------------------------------
+
+TEST(engine_session, per_session_stats_slice_counts_its_own_work) {
+    smt::term_manager tm;
+    smt_engine engine(tm, {.threads = 2});
+    auto tenant_a = engine.open_session("tenant-a", 2);
+    auto tenant_b = engine.open_session("tenant-b");
+    EXPECT_EQ(tenant_a->name(), "tenant-a");
+    EXPECT_EQ(tenant_a->weight(), 2u);
+    EXPECT_EQ(tenant_b->weight(), 1u);
+
+    smt::term x = tm.mk_bv_var("x", 8);
+    smt::term q = tm.mk_ult(x, tm.mk_bv_const(8, 9));
+    EXPECT_TRUE(tenant_a->solve({{q}, {}, strategy::single()}).is_sat());
+    // Same query through the other tenant: a cache hit, accounted to B.
+    EXPECT_TRUE(tenant_b->submit({{q}, {}, strategy::single()}).get().is_sat());
+
+    session_stats sa = tenant_a->stats();
+    EXPECT_EQ(sa.queries, 1u);
+    EXPECT_EQ(sa.completed, 1u);
+    EXPECT_EQ(sa.cache_hits, 0u);
+    EXPECT_EQ(sa.ok, 1u);
+    session_stats sb = tenant_b->stats();
+    EXPECT_EQ(sb.queries, 1u);
+    EXPECT_EQ(sb.cache_hits, 1u);
+    EXPECT_EQ(sb.completed, 1u);
+    // The engine-wide counters are the union of the slices.
+    EXPECT_EQ(engine.stats().queries, 2u);
+    EXPECT_EQ(engine.stats().cache_hits, 1u);
+    EXPECT_EQ(engine.stats().solver_runs, 1u);
+}
+
+TEST(engine_session, malformed_and_budgeted_statuses_land_in_the_slice) {
+    smt::term_manager tm;
+    smt_engine engine(tm, {.use_cache = false});
+    auto session = engine.open_session("tenant");
+    solve_request bad;
+    bad.assertions = {smt::term{}};
+    EXPECT_EQ(session->submit(std::move(bad)).get().status, solve_status::malformed);
+
+    smt::term a = tm.mk_bv_var("a", 12);
+    smt::term b = tm.mk_bv_var("b", 12);
+    smt::term hard = tm.mk_distinct(tm.mk_bvmul(a, tm.mk_bvadd(b, b)),
+                                    tm.mk_bvadd(tm.mk_bvmul(a, b), tm.mk_bvmul(a, b)));
+    strategy budgeted = strategy::single();
+    budgeted.conflict_budget = 1;
+    backend_result capped = session->solve({{hard}, {}, budgeted});
+    EXPECT_EQ(capped.ans, answer::unknown);
+    EXPECT_EQ(capped.status, solve_status::over_budget);
+
+    session_stats stats = session->stats();
+    EXPECT_EQ(stats.queries, 2u);
+    EXPECT_EQ(stats.malformed, 1u);
+    EXPECT_EQ(stats.over_budget, 1u);
+    EXPECT_EQ(stats.ok, 0u);
+}
+
+TEST(engine_session, engines_share_one_external_pool) {
+    // The daemon topology: per-tenant term managers and engines over ONE
+    // worker pool (engine_config::shared_pool). Destroying an engine must
+    // not tear the pool down under the other tenant.
+    auto pool = std::make_shared<thread_pool>(2);
+    smt::term_manager tm_b;
+    engine_config cfg;
+    cfg.shared_pool = pool;
+    smt_engine engine_b(tm_b, cfg);
+    smt::term xb = tm_b.mk_bv_var("x", 8);
+    {
+        smt::term_manager tm_a;
+        smt_engine engine_a(tm_a, cfg);
+        smt::term xa = tm_a.mk_bv_var("x", 8);
+        query_handle h = engine_a.submit(
+            {{tm_a.mk_ult(xa, tm_a.mk_bv_const(8, 5))}, {}, strategy::single()});
+        EXPECT_TRUE(h.get().is_sat());
+    }
+    query_handle h = engine_b.submit(
+        {{tm_b.mk_ult(xb, tm_b.mk_bv_const(8, 5))}, {}, strategy::single()});
+    EXPECT_TRUE(h.get().is_sat());
+    EXPECT_EQ(pool->size(), 2u);
 }
 
 // ---- oracle cache -----------------------------------------------------------

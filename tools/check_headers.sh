@@ -1,16 +1,17 @@
 #!/usr/bin/env sh
-# Header self-containment check: every public substrate header must compile
-# standalone (all of its includes spelled out, nothing inherited from the
-# including TU). Run from the repository root; CXX overrides the compiler.
+# Header self-containment check: every public substrate and service header
+# must compile standalone (all of its includes spelled out, nothing
+# inherited from the including TU). Run from the repository root; CXX
+# overrides the compiler.
 #
 #   sh tools/check_headers.sh [header...]
 #
-# With no arguments, checks every src/substrate/*.hpp.
+# With no arguments, checks every src/substrate/*.hpp and src/service/*.hpp.
 set -eu
 cxx="${CXX:-c++}"
 status=0
 headers="$*"
-[ -n "$headers" ] || headers=$(ls src/substrate/*.hpp)
+[ -n "$headers" ] || headers=$(ls src/substrate/*.hpp src/service/*.hpp)
 tu=$(mktemp -t check_headers_XXXXXX.cpp)
 trap 'rm -f "$tu"' EXIT
 for header in $headers; do

@@ -1,0 +1,151 @@
+// sciduction_client — CLI driver for sciductiond, used by CI and for
+// manual poking. Each mode opens one tenant session:
+//
+//   sciduction_client --socket PATH burst N     submit N tiny distinct
+//                                               queries, await all, print
+//                                               per-request one-liners
+//   sciduction_client --socket PATH greedy      submit one hard sharded
+//                                               refutation and await it
+//   sciduction_client --socket PATH stats       print daemon counters as
+//                                               `key value` lines
+//   sciduction_client --socket PATH drain       drain (finish policy) and
+//                                               wait for the ack
+//
+// Optional: --tenant NAME (default per mode), --weight W.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "service/client.hpp"
+#include "smt/term.hpp"
+
+namespace {
+
+using namespace sciduction;
+
+int usage(const char* argv0) {
+    std::cerr << "usage: " << argv0
+              << " --socket PATH [--tenant NAME] [--weight W]"
+                 " burst N|greedy [WIDTH]|stats|drain\n";
+    return 2;
+}
+
+const char* describe(substrate::answer a) {
+    switch (a) {
+        case substrate::answer::sat: return "sat";
+        case substrate::answer::unsat: return "unsat";
+        case substrate::answer::unknown: return "unknown";
+    }
+    return "?";
+}
+
+int run_burst(service::client& cli, smt::term_manager& tm, unsigned n) {
+    smt::term x = tm.mk_bv_var("x", 16);
+    std::vector<std::uint64_t> ids;
+    for (unsigned i = 0; i < n; ++i) {
+        substrate::solve_request req;
+        req.assertions = {tm.mk_eq(x, tm.mk_bv_const(16, i)),
+                          tm.mk_ult(x, tm.mk_bv_const(16, n))};
+        req.strategy = substrate::strategy::single();
+        const service::submit_outcome out = cli.submit(req);
+        if (!out.accepted) {
+            std::cerr << "request " << out.request_id << " rejected: " << out.detail << "\n";
+            return 1;
+        }
+        ids.push_back(out.request_id);
+    }
+    for (std::uint64_t id : ids) {
+        const service::result_message r = cli.await(id);
+        std::cout << "request " << id << ": " << describe(r.ans) << " status "
+                  << substrate::to_string(r.status) << " finish_seq " << r.finish_seq
+                  << (r.cache_hit ? " (cache hit)" : "") << "\n";
+        if (r.ans != substrate::answer::sat) return 1;
+    }
+    return 0;
+}
+
+int run_greedy(service::client& cli, smt::term_manager& tm, unsigned width) {
+    // A multiplier-backed refutation hard enough to keep the pool busy:
+    // x * (y + y) == x*y + x*y always holds, so its negation shards into
+    // all-UNSAT cubes. Width sets the difficulty (12 ~ seconds, 14 ~ minutes).
+    smt::term x = tm.mk_bv_var("x", width);
+    smt::term y = tm.mk_bv_var("y", width);
+    substrate::solve_request req;
+    req.assertions = {
+        tm.mk_distinct(tm.mk_bvmul(x, tm.mk_bvadd(y, y)),
+                       tm.mk_bvadd(tm.mk_bvmul(x, y), tm.mk_bvmul(x, y)))};
+    req.strategy = substrate::strategy::shard(2);
+    const service::submit_outcome out = cli.submit(req);
+    if (!out.accepted) {
+        std::cerr << "greedy request rejected: " << out.detail << "\n";
+        return 1;
+    }
+    const service::result_message r = cli.await(out.request_id);
+    std::cout << "greedy: " << describe(r.ans) << " status " << substrate::to_string(r.status)
+              << " conflicts " << r.conflicts << " finish_seq " << r.finish_seq << "\n";
+    return r.ans == substrate::answer::unsat ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string socket_path;
+    std::string tenant;
+    unsigned weight = 1;
+    std::vector<std::string> mode;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::cerr << arg << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--socket")
+            socket_path = value();
+        else if (arg == "--tenant")
+            tenant = value();
+        else if (arg == "--weight")
+            weight = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+        else
+            mode.push_back(arg);
+    }
+    if (socket_path.empty() || mode.empty()) return usage(argv[0]);
+
+    try {
+        smt::term_manager tm;
+        if (mode[0] == "burst") {
+            if (mode.size() != 2) return usage(argv[0]);
+            service::client cli(tm, socket_path, tenant.empty() ? "burst" : tenant, weight);
+            return run_burst(cli, tm,
+                             static_cast<unsigned>(std::strtoul(mode[1].c_str(), nullptr, 10)));
+        }
+        if (mode[0] == "greedy") {
+            if (mode.size() > 2) return usage(argv[0]);
+            const unsigned width =
+                mode.size() == 2
+                    ? static_cast<unsigned>(std::strtoul(mode[1].c_str(), nullptr, 10))
+                    : 12;
+            if (width < 4 || width > 32) return usage(argv[0]);
+            service::client cli(tm, socket_path, tenant.empty() ? "greedy" : tenant, weight);
+            return run_greedy(cli, tm, width);
+        }
+        if (mode[0] == "stats") {
+            service::client cli(tm, socket_path, tenant.empty() ? "stats" : tenant, weight);
+            for (const auto& [key, val] : cli.stats()) std::cout << key << " " << val << "\n";
+            return 0;
+        }
+        if (mode[0] == "drain") {
+            service::client cli(tm, socket_path, tenant.empty() ? "drain" : tenant, weight);
+            cli.drain(service::drain_policy::finish);
+            std::cout << "drained\n";
+            return 0;
+        }
+        return usage(argv[0]);
+    } catch (const std::exception& e) {
+        std::cerr << "sciduction_client: " << e.what() << "\n";
+        return 1;
+    }
+}
