@@ -1,0 +1,79 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+
+namespace sciduction::obs {
+
+void histogram::observe(std::uint64_t v) {
+    buckets_[std::bit_width(v)].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t histogram::count() const {
+    std::uint64_t total = 0;
+    for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+    return total;
+}
+
+std::uint64_t histogram::quantile(double q) const {
+    std::array<std::uint64_t, bucket_count> snap{};
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < bucket_count; ++i) {
+        snap[i] = buckets_[i].load(std::memory_order_relaxed);
+        total += snap[i];
+    }
+    if (total == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    // Rank of the quantile observation (1-based), then scan cumulative
+    // counts for the bucket holding it.
+    const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total - 1)) + 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < bucket_count; ++i) {
+        seen += snap[i];
+        if (seen >= rank) {
+            // Bucket i holds values with bit_width == i: 0 for i == 0,
+            // otherwise [2^(i-1), 2^i - 1]. Report the upper bound.
+            if (i == 0) return 0;
+            if (i >= 64) return ~0ull;
+            return (1ull << i) - 1;
+        }
+    }
+    return ~0ull;  // unreachable: seen reaches total >= rank
+}
+
+counter& metrics_registry::get_counter(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = counters_[name];
+    if (!slot) slot = std::make_unique<counter>();
+    return *slot;
+}
+
+gauge& metrics_registry::get_gauge(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = gauges_[name];
+    if (!slot) slot = std::make_unique<gauge>();
+    return *slot;
+}
+
+histogram& metrics_registry::get_histogram(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = histograms_[name];
+    if (!slot) slot = std::make_unique<histogram>();
+    return *slot;
+}
+
+std::map<std::string, std::uint64_t> metrics_registry::snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::map<std::string, std::uint64_t> out;
+    for (const auto& [name, c] : counters_) out[name] = c->load();
+    for (const auto& [name, g] : gauges_) out[name] = g->load();
+    for (const auto& [name, h] : histograms_) {
+        out[name + ".count"] = h->count();
+        out[name + ".p50"] = h->quantile(0.50);
+        out[name + ".p90"] = h->quantile(0.90);
+        out[name + ".p99"] = h->quantile(0.99);
+    }
+    return out;
+}
+
+}  // namespace sciduction::obs

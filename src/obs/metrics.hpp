@@ -1,0 +1,102 @@
+/// \file
+/// Unified metrics registry: counters, gauges, and log-scale histograms
+/// behind one registration/snapshot API.
+///
+/// The registry is the single sink the substrate's formerly ad-hoc stats
+/// structs (engine_stats, shard_stats, portfolio_outcome, cache counters)
+/// feed into at the serving layer: callers register an instrument once by
+/// dotted name (`server.submits`, `cache.persisted_loads`,
+/// `tenant.<name>.queries`), keep the returned reference, and bump it
+/// lock-free on the hot path. `snapshot()` flattens everything into the
+/// sorted key -> u64 map the stats_reply wire format already speaks, with
+/// histograms expanded into `.count`/`.p50`/`.p90`/`.p99` keys. See
+/// docs/OBSERVABILITY.md for the naming scheme and the overhead budget.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+/// Telemetry: span tracing (trace.hpp) and the metrics registry
+/// (metrics.hpp). Observation-only by contract — nothing in this namespace
+/// may perturb solver search, so deterministic disciplines stay
+/// bit-identical with telemetry enabled.
+namespace sciduction::obs {
+
+/// Monotone event counter. Increments are lock-free and relaxed: counters
+/// are statistics, not synchronization.
+class counter {
+public:
+    /// Adds `delta` (default 1).
+    void add(std::uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+    /// Current value.
+    [[nodiscard]] std::uint64_t load() const { return value_.load(std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depths, thread counts).
+class gauge {
+public:
+    /// Replaces the value.
+    void set(std::uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+    /// Current value.
+    [[nodiscard]] std::uint64_t load() const { return value_.load(std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// Log-scale (power-of-two bucket) histogram for latencies and conflict
+/// counts: observation `v` lands in bucket `bit_width(v)`, so 65 buckets
+/// cover the full u64 range with ~2x relative resolution. observe() is one
+/// relaxed atomic increment — cheap enough for per-task hot paths.
+class histogram {
+public:
+    /// Number of buckets (bit_width of a u64 ranges 0..64).
+    static constexpr std::size_t bucket_count = 65;
+
+    /// Records one observation.
+    void observe(std::uint64_t v);
+    /// Total observations recorded.
+    [[nodiscard]] std::uint64_t count() const;
+    /// Upper bound of the bucket containing the q-th quantile (q in [0,1]);
+    /// a log-scale estimate, at most ~2x above the true value. 0 when empty.
+    [[nodiscard]] std::uint64_t quantile(double q) const;
+
+private:
+    std::array<std::atomic<std::uint64_t>, bucket_count> buckets_{};
+};
+
+/// The registry: get-or-create instruments by dotted name, snapshot them
+/// all as a flat key/value map. Registration takes a mutex (do it once,
+/// keep the reference); increments on the returned instruments are
+/// lock-free. Instrument references stay valid for the registry's lifetime
+/// (instruments are never erased).
+class metrics_registry {
+public:
+    /// Returns the counter named `name`, creating it on first use.
+    counter& get_counter(const std::string& name);
+    /// Returns the gauge named `name`, creating it on first use.
+    gauge& get_gauge(const std::string& name);
+    /// Returns the histogram named `name`, creating it on first use.
+    histogram& get_histogram(const std::string& name);
+
+    /// Flattens every instrument into a sorted key -> value map: counters
+    /// and gauges under their own name, histograms as `<name>.count`,
+    /// `<name>.p50`, `<name>.p90`, `<name>.p99`.
+    [[nodiscard]] std::map<std::string, std::uint64_t> snapshot() const;
+
+private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<counter>> counters_;
+    std::map<std::string, std::unique_ptr<gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<histogram>> histograms_;
+};
+
+}  // namespace sciduction::obs

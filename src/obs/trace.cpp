@@ -1,0 +1,167 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+
+namespace sciduction::obs {
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslash, control bytes).
+void append_json_string(std::string& out, const std::string& s) {
+    out.push_back('"');
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    static const char hex[] = "0123456789abcdef";
+                    out += "\\u00";
+                    out.push_back(hex[(c >> 4) & 0xf]);
+                    out.push_back(hex[c & 0xf]);
+                } else {
+                    out.push_back(c);
+                }
+        }
+    }
+    out.push_back('"');
+}
+
+}  // namespace
+
+trace_collector::trace_collector(std::size_t capacity)
+    : epoch_(std::chrono::steady_clock::now()),
+      shard_capacity_(std::max<std::size_t>(1, capacity / shard_count)) {
+    tracks_.push_back("main");
+}
+
+std::uint32_t trace_collector::register_track(const std::string& name) {
+    std::lock_guard<std::mutex> lock(tracks_mutex_);
+    for (std::size_t i = 0; i < tracks_.size(); ++i)
+        if (tracks_[i] == name) return static_cast<std::uint32_t>(i);
+    tracks_.push_back(name);
+    return static_cast<std::uint32_t>(tracks_.size() - 1);
+}
+
+std::uint64_t trace_collector::now_us() const {
+    return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                          std::chrono::steady_clock::now() - epoch_)
+                                          .count());
+}
+
+trace_collector::shard& trace_collector::shard_for_this_thread() {
+    const std::size_t h = std::hash<std::thread::id>{}(std::this_thread::get_id());
+    return shards_[h % shard_count];
+}
+
+void trace_collector::record(trace_event ev) {
+    shard& s = shard_for_this_thread();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (s.events.size() >= shard_capacity_) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    s.events.push_back(std::move(ev));
+}
+
+std::vector<trace_event> trace_collector::events() const {
+    std::vector<trace_event> out;
+    for (const auto& s : shards_) {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        out.insert(out.end(), s.events.begin(), s.events.end());
+    }
+    std::stable_sort(out.begin(), out.end(), [](const trace_event& a, const trace_event& b) {
+        if (a.start_us != b.start_us) return a.start_us < b.start_us;
+        return a.dur_us > b.dur_us;  // enclosing spans before their children
+    });
+    return out;
+}
+
+std::vector<std::string> trace_collector::track_names() const {
+    std::lock_guard<std::mutex> lock(tracks_mutex_);
+    return tracks_;
+}
+
+std::string trace_collector::to_json() const {
+    const std::vector<std::string> tracks = track_names();
+    const std::vector<trace_event> evs = events();
+    std::string out;
+    out.reserve(128 + tracks.size() * 96 + evs.size() * 128);
+    out += "{\"traceEvents\":[";
+    bool first = true;
+    for (std::size_t tid = 0; tid < tracks.size(); ++tid) {
+        if (!first) out.push_back(',');
+        first = false;
+        out += "{\"ph\":\"M\",\"pid\":1,\"tid\":";
+        out += std::to_string(tid);
+        out += ",\"name\":\"thread_name\",\"args\":{\"name\":";
+        append_json_string(out, tracks[tid]);
+        out += "}}";
+    }
+    for (const trace_event& ev : evs) {
+        if (!first) out.push_back(',');
+        first = false;
+        out += "{\"ph\":\"X\",\"pid\":1,\"tid\":";
+        out += std::to_string(ev.track);
+        out += ",\"name\":";
+        append_json_string(out, ev.name);
+        out += ",\"ts\":";
+        out += std::to_string(ev.start_us);
+        out += ",\"dur\":";
+        out += std::to_string(ev.dur_us);
+        out += ",\"args\":{";
+        for (std::size_t i = 0; i < ev.args.size(); ++i) {
+            if (i) out.push_back(',');
+            append_json_string(out, ev.args[i].first);
+            out.push_back(':');
+            out += std::to_string(ev.args[i].second);
+        }
+        out += "}}";
+    }
+    out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":";
+    out += std::to_string(dropped());
+    out += "}}";
+    return out;
+}
+
+span::span(trace_collector* c, std::uint32_t track, std::string name) : collector_(c) {
+    if (!collector_) return;
+    event_.name = std::move(name);
+    event_.track = track;
+    event_.start_us = collector_->now_us();
+}
+
+span::span(span&& other) noexcept
+    : collector_(other.collector_), event_(std::move(other.event_)) {
+    other.collector_ = nullptr;
+}
+
+span& span::operator=(span&& other) noexcept {
+    if (this != &other) {
+        end();
+        collector_ = other.collector_;
+        event_ = std::move(other.event_);
+        other.collector_ = nullptr;
+    }
+    return *this;
+}
+
+void span::arg(std::string key, std::uint64_t value) {
+    if (!collector_) return;
+    event_.args.emplace_back(std::move(key), value);
+}
+
+void span::end() {
+    if (!collector_) return;
+    const std::uint64_t now = collector_->now_us();
+    event_.dur_us = now > event_.start_us ? now - event_.start_us : 0;
+    collector_->record(std::move(event_));
+    collector_ = nullptr;
+}
+
+}  // namespace sciduction::obs

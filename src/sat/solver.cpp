@@ -717,6 +717,7 @@ solve_result solver::solve(const std::vector<lit>& assumptions) {
     paused_ = false;
     budget_exhausted_ = false;
     pull_imports();  // clause sharing: catch up on foreign clauses first
+    if (progress_fn_) progress_fn_(stats_);
     if (!ok_) return solve_result::unsat;
 
     max_learnts_ = std::max(static_cast<double>(clauses_.size()) * learntsize_factor_, 1000.0);
@@ -730,6 +731,7 @@ solve_result solver::solve(const std::vector<lit>& assumptions) {
     while (status == lbool::l_undef) {
         double budget = opts_.restart_base * luby(opts_.restart_luby_factor, restarts++);
         status = search(static_cast<std::uint64_t>(budget));
+        if (progress_fn_) progress_fn_(stats_);
         if (interrupted_ || paused_ || budget_exhausted_) {
             if (paused_) resume_restarts_ = restarts - 1;
             return solve_result::unknown;

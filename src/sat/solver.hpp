@@ -126,6 +126,16 @@ public:
     using clause_import_fn = std::function<void(std::vector<clause_lits>&)>;
     void set_clause_import(clause_import_fn fn) { import_fn_ = std::move(fn); }
 
+    /// Progress hook, fired with the cumulative stats() snapshot at the
+    /// start of each solve() and at every restart boundary — the live
+    /// conflicts/propagations/restarts/LBD feed behind progress_reply. The
+    /// hook runs on the solving thread and must only *read* the snapshot
+    /// (observation only: installing it must not change the search, which
+    /// the determinism tests pin). Zero-cost when unset (one branch per
+    /// restart); pass nullptr to detach.
+    using progress_fn = std::function<void(const solver_stats&)>;
+    void set_progress(progress_fn fn) { progress_fn_ = std::move(fn); }
+
     /// Integrates foreign clauses at decision level 0 (between solve()
     /// calls, or from the import hook at a restart boundary). Each clause is
     /// simplified against the top-level assignment; clauses already
@@ -363,6 +373,7 @@ private:
 
     clause_export_fn export_fn_;
     clause_import_fn import_fn_;
+    progress_fn progress_fn_;
     std::vector<clause_lits> import_scratch_;  // reused buffer for pull_imports
     std::vector<std::uint32_t> lbd_seen_;      // per-level stamp for compute_lbd
     std::uint32_t lbd_stamp_ = 0;

@@ -183,6 +183,13 @@ std::map<std::string, std::uint64_t> client::stats() {
     return decode_stats(f.payload);
 }
 
+std::string client::trace() {
+    write_all(pack_frame({op::trace, {}}));
+    const frame f = read_until(op::trace_reply);
+    wire_reader r(f.payload);
+    return r.str();
+}
+
 void client::drain(drain_policy policy) {
     wire_writer w;
     w.u8(static_cast<std::uint8_t>(policy));

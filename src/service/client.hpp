@@ -69,6 +69,11 @@ public:
     /// Daemon-wide counters.
     std::map<std::string, std::uint64_t> stats();
 
+    /// The daemon's span trace as Chrome trace-event JSON (load it in
+    /// Perfetto). Throws client_error if the trace exceeds one frame —
+    /// run the daemon with --trace-out for unbounded export.
+    std::string trace();
+
     /// Asks the daemon to drain and waits for the drain_ack. Outstanding
     /// results (policy `finish`) are delivered before the ack; fetch them
     /// with await() first if ordering matters.

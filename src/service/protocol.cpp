@@ -387,6 +387,8 @@ std::vector<std::uint8_t> encode_progress(const progress_message& msg) {
     w.u8(msg.cancel_requested ? 1 : 0);
     w.u64(msg.cubes_total);
     w.u64(msg.cubes_done);
+    w.u64(msg.conflicts);
+    w.u8(static_cast<std::uint8_t>(msg.strategy));
     return w.take();
 }
 
@@ -400,6 +402,11 @@ progress_message decode_progress(const std::vector<std::uint8_t>& payload) {
     msg.cancel_requested = r.u8() != 0;
     msg.cubes_total = r.u64();
     msg.cubes_done = r.u64();
+    msg.conflicts = r.u64();
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(substrate::strategy_kind::shard_over_portfolio))
+        throw wire_error("strategy kind out of range in progress payload");
+    msg.strategy = static_cast<substrate::strategy_kind>(kind);
     if (!r.exhausted()) throw wire_error("trailing bytes after progress payload");
     return msg;
 }

@@ -33,7 +33,9 @@
 namespace sciduction::service {
 
 /// Protocol revision carried in hello/hello_ok; bumped on breaking change.
-inline constexpr std::uint32_t protocol_version = 1;
+/// v2: progress_reply carries live conflicts + the resolved strategy, and
+/// the trace opcode exports the daemon's span trace as JSON.
+inline constexpr std::uint32_t protocol_version = 2;
 /// Hard ceiling on one frame (opcode + payload), requests and replies.
 inline constexpr std::uint32_t max_frame_bytes = 4u << 20;
 
@@ -45,6 +47,7 @@ enum class op : std::uint8_t {
     progress = 0x04,  ///< query_progress snapshot of an in-flight request
     stats = 0x05,     ///< daemon-wide counters as key/value pairs
     drain = 0x06,     ///< drain the daemon (policy: finish or cancel)
+    trace = 0x07,     ///< export the daemon's span trace (Chrome JSON)
 
     hello_ok = 0x81,        ///< session open; payload echoes the version
     submit_ack = 0x82,      ///< request admitted; queue position
@@ -54,6 +57,7 @@ enum class op : std::uint8_t {
     progress_reply = 0x86,  ///< the snapshot
     stats_reply = 0x87,     ///< the counters
     drain_ack = 0x88,       ///< drain complete (daemon exits after sending)
+    trace_reply = 0x89,     ///< the trace: one string of trace-event JSON
     error = 0xff,           ///< protocol error; the connection closes
 };
 
@@ -169,6 +173,12 @@ struct progress_message {
     bool cancel_requested = false;  ///< a cooperative cancel is pending
     std::uint64_t cubes_total = 0;  ///< shard cubes planned (0 = not sharded)
     std::uint64_t cubes_done = 0;   ///< shard cubes settled so far
+    /// Live solver conflicts spent so far (restart-boundary sampled) — the
+    /// effort gauge that tells a client *why* a request is slow.
+    std::uint64_t conflicts = 0;
+    /// The resolved strategy kind driving the solve (`automatic` until
+    /// classification has run).
+    substrate::strategy_kind strategy = substrate::strategy_kind::automatic;
 };
 
 // ---- term / request codec ---------------------------------------------------

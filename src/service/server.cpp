@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cstring>
 #include <deque>
+#include <fstream>
 #include <optional>
 #include <stdexcept>
 
@@ -56,6 +57,9 @@ struct server::connection {
     bool closing = false;
     bool wants_drain_ack = false;
     std::string tenant;
+    /// Span track of this tenant in the daemon's trace collector (shared
+    /// with the tenant engine, which registers the same name).
+    std::uint32_t trace_track = 0;
 
     std::unique_ptr<smt::term_manager> tm;
     std::unique_ptr<substrate::smt_engine> engine;
@@ -74,6 +78,10 @@ struct server::connection {
         substrate::query_handle handle;
         clock::time_point enqueued;
         clock::time_point dispatched;
+        /// The same two instants on the trace collector's timebase, so the
+        /// reaper can emit the request's queue_wait / solve / request spans.
+        std::uint64_t enqueued_us = 0;
+        std::uint64_t dispatched_us = 0;
         /// Daemon-side wall-clock deadline from the request's
         /// time_budget_ms (nobody blocks in get() serverside, so the
         /// reaper enforces it by cooperative cancel).
@@ -91,9 +99,26 @@ struct server::connection {
     }
 };
 
-server::server(server_config cfg) : cfg_(std::move(cfg)) {
+server::server(server_config cfg)
+    : cfg_(std::move(cfg)),
+      trace_(std::make_shared<obs::trace_collector>(cfg_.trace_capacity)),
+      c_sessions_(registry_.get_counter("server.sessions_opened")),
+      c_submits_(registry_.get_counter("server.submits")),
+      c_results_(registry_.get_counter("server.results")),
+      c_rejected_queue_full_(registry_.get_counter("server.rejected_queue_full")),
+      c_rejected_draining_(registry_.get_counter("server.rejected_draining")),
+      c_cancels_(registry_.get_counter("server.cancels")),
+      c_disconnect_cancels_(registry_.get_counter("server.disconnect_cancels")),
+      c_protocol_errors_(registry_.get_counter("server.protocol_errors")),
+      h_queue_wait_ms_(registry_.get_histogram("server.queue_wait_ms")),
+      h_service_ms_(registry_.get_histogram("server.service_ms")),
+      h_conflicts_(registry_.get_histogram("server.conflicts")),
+      h_lane_wait_us_(registry_.get_histogram("pool.lane_wait_us")) {
     pool_ = std::make_shared<substrate::thread_pool>(cfg_.threads);
     cache_ = std::make_shared<substrate::query_cache>(cfg_.cache_path, cfg_.cache_capacity);
+    // Dispatch latency inside the shared pool feeds the lane-wait
+    // histogram (the observer contract: one atomic bump, non-blocking).
+    pool_->set_wait_observer([&h = h_lane_wait_us_](std::uint64_t us) { h.observe(us); });
 }
 
 server::~server() {
@@ -197,11 +222,15 @@ std::uint64_t server::run() {
     // Session contexts die before the shared cache/pool; then persist.
     connections_.clear();
     cache_->save();
+    if (!cfg_.trace_out.empty()) {
+        std::ofstream out(cfg_.trace_out, std::ios::trunc);
+        if (out) out << trace_->to_json();
+    }
     ::close(listen_fd_);
     listen_fd_ = -1;
     ::unlink(cfg_.socket_path.c_str());
     serving_.store(false, std::memory_order_release);
-    return results_;
+    return c_results_.load();
 }
 
 void server::accept_clients() {
@@ -230,7 +259,7 @@ void server::handle_readable(connection& conn) {
         conn.closing = true;
         for (auto& [id, req] : conn.inflight) {
             req.handle.cancel();
-            ++disconnect_cancels_;
+            c_disconnect_cancels_.add();
         }
         conn.pending.clear();
         return;
@@ -241,7 +270,7 @@ void server::handle_readable(connection& conn) {
         std::uint32_t len = 0;
         for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(conn.inbuf[i]) << (8 * i);
         if (len == 0 || len > max_frame_bytes) {
-            ++protocol_errors_;
+            c_protocol_errors_.add();
             wire_writer w;
             w.str(len == 0 ? "empty frame" : "frame exceeds max_frame_bytes");
             conn.send({op::error, w.take()});
@@ -267,7 +296,7 @@ void server::handle_readable(connection& conn) {
 bool server::handle_frame(connection& conn, const frame& f) {
     try {
         if (!conn.greeted && f.opcode != op::hello) {
-            ++protocol_errors_;
+            c_protocol_errors_.add();
             wire_writer w;
             w.str("expected hello");
             conn.send({op::error, w.take()});
@@ -287,15 +316,21 @@ bool server::handle_frame(connection& conn, const frame& f) {
                 }
                 conn.tenant = name.empty() ? "anonymous" : std::move(name);
                 conn.tm = std::make_unique<smt::term_manager>();
+                // One trace track per tenant, shared between the server's
+                // request spans and the engine's solve/member/pair spans
+                // (register_track dedups by name).
+                conn.trace_track = trace_->register_track("tenant:" + conn.tenant);
                 substrate::engine_config ecfg;
                 ecfg.threads = static_cast<unsigned>(pool_->size());
                 ecfg.shared_cache = cache_;
                 ecfg.shared_pool = pool_;
+                ecfg.trace = trace_;
+                ecfg.trace_track_name = "tenant:" + conn.tenant;
                 conn.engine = std::make_unique<substrate::smt_engine>(*conn.tm, ecfg);
                 conn.session = conn.engine->open_session(
                     conn.tenant, weight == 0 ? cfg_.default_weight : weight);
                 conn.greeted = true;
-                ++sessions_opened_;
+                c_sessions_.add();
                 wire_writer w;
                 w.u32(protocol_version);
                 conn.send({op::hello_ok, w.take()});
@@ -324,12 +359,12 @@ bool server::handle_frame(connection& conn, const frame& f) {
                         msg.status_detail = "cancelled before dispatch";
                         msg.finish_seq = finish_seq_++;
                         conn.send({op::result, encode_result(*conn.tm, msg, {})});
-                        ++results_;
+                        c_results_.add();
                         found = true;
                         break;
                     }
                 }
-                if (found) ++cancels_;
+                if (found) c_cancels_.add();
                 wire_writer w;
                 w.u64(id);
                 w.u8(found ? 1 : 0);
@@ -348,6 +383,8 @@ bool server::handle_frame(connection& conn, const frame& f) {
                     msg.cancel_requested = p.cancel_requested;
                     msg.cubes_total = p.cubes_total;
                     msg.cubes_done = p.cubes_done;
+                    msg.conflicts = p.conflicts;
+                    msg.strategy = p.strategy;
                 } else {
                     for (const auto& pend : conn.pending)
                         if (pend.request_id == msg.request_id) msg.known = true;
@@ -358,6 +395,22 @@ bool server::handle_frame(connection& conn, const frame& f) {
             case op::stats:
                 conn.send({op::stats_reply, encode_stats(snapshot_stats())});
                 return true;
+            case op::trace: {
+                // Export the collector as Chrome trace-event JSON. A trace
+                // bigger than one frame is truncated to an error rather
+                // than silently corrupted mid-frame.
+                std::string json = trace_->to_json();
+                if (json.size() + 16 > max_frame_bytes) {
+                    wire_writer w;
+                    w.str("trace exceeds max_frame_bytes; use --trace-out");
+                    conn.send({op::error, w.take()});
+                    return true;
+                }
+                wire_writer w;
+                w.str(json);
+                conn.send({op::trace_reply, w.take()});
+                return true;
+            }
             case op::drain: {
                 wire_reader r(f.payload);
                 const std::uint8_t policy = f.payload.empty() ? 0 : r.u8();
@@ -366,7 +419,7 @@ bool server::handle_frame(connection& conn, const frame& f) {
                 return true;
             }
             default: {
-                ++protocol_errors_;
+                c_protocol_errors_.add();
                 wire_writer w;
                 w.str("unknown opcode");
                 conn.send({op::error, w.take()});
@@ -374,7 +427,7 @@ bool server::handle_frame(connection& conn, const frame& f) {
             }
         }
     } catch (const wire_error& e) {
-        ++protocol_errors_;
+        c_protocol_errors_.add();
         wire_writer w;
         w.str(std::string("malformed frame: ") + e.what());
         conn.send({op::error, w.take()});
@@ -392,17 +445,17 @@ void server::handle_submit(connection& conn, const std::vector<std::uint8_t>& pa
         conn.send({op::reject, w.take()});
     };
     if (payload.size() < 8) {
-        ++protocol_errors_;
+        c_protocol_errors_.add();
         reject(reject_reason::protocol, "submit payload shorter than a request id");
         return;
     }
     if (draining_) {
-        ++rejected_draining_;
+        c_rejected_draining_.add();
         reject(reject_reason::draining, "daemon is draining");
         return;
     }
     if (conn.load() >= cfg_.queue_depth) {
-        ++rejected_queue_full_;
+        c_rejected_queue_full_.add();
         reject(reject_reason::queue_full,
                "tenant queue at capacity (" + std::to_string(cfg_.queue_depth) + ")");
         return;
@@ -417,7 +470,7 @@ void server::handle_submit(connection& conn, const std::vector<std::uint8_t>& pa
             return;
         }
     conn.pending.push_back({id, payload, clock::now()});
-    ++submits_;
+    c_submits_.add();
     wire_writer w;
     w.u64(id);
     w.u32(static_cast<std::uint32_t>(conn.load()));
@@ -443,19 +496,21 @@ void server::schedule(connection& conn) {
             msg.status_detail = "cancelled by drain";
             msg.finish_seq = finish_seq_++;
             conn.send({op::result, encode_result(*conn.tm, msg, {})});
-            ++results_;
+            c_results_.add();
         }
         return;
     }
     std::deque<connection::pending_submit> batch = std::move(conn.pending);
     conn.pending.clear();
     const clock::time_point now = clock::now();
+    obs::span decode_span(trace_.get(), conn.trace_track, "decode");
+    decode_span.arg("batch", batch.size());
     for (auto& pend : batch) {
         submit_message msg;
         try {
             msg = decode_submit(*conn.tm, pend.payload);
         } catch (const wire_error& e) {
-            ++protocol_errors_;
+            c_protocol_errors_.add();
             wire_writer w;
             w.u64(pend.request_id);
             w.u8(static_cast<std::uint8_t>(reject_reason::protocol));
@@ -463,8 +518,18 @@ void server::schedule(connection& conn) {
             conn.send({op::reject, w.take()});
             continue;
         }
-        connection::inflight_request req{conn.session->submit(std::move(msg.request)),
-                                         pend.enqueued, now, std::nullopt, false};
+        connection::inflight_request req;
+        // Stamp admission and dispatch on the collector's timebase before
+        // submitting, so the reaper can emit queue_wait/solve/request
+        // spans that exactly partition the request's wall time.
+        const std::uint64_t dispatched_us = trace_->now_us();
+        const std::uint64_t wait_us = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(now - pend.enqueued).count());
+        req.handle = conn.session->submit(std::move(msg.request));
+        req.enqueued = pend.enqueued;
+        req.dispatched = now;
+        req.enqueued_us = dispatched_us > wait_us ? dispatched_us - wait_us : 0;
+        req.dispatched_us = dispatched_us;
         if (const std::uint64_t budget = req.handle.stats().strategy.time_budget_ms; budget != 0)
             req.deadline = now + std::chrono::milliseconds(budget);
         conn.inflight.emplace(msg.request_id, std::move(req));
@@ -504,14 +569,55 @@ void server::reap(connection& conn) {
         msg.finish_seq = finish_seq_++;
         msg.queue_wait_ms = ms_between(req.enqueued, req.dispatched);
         msg.service_ms = ms_between(req.dispatched, now);
+        h_queue_wait_ms_.observe(msg.queue_wait_ms);
+        h_service_ms_.observe(msg.service_ms);
+        h_conflicts_.observe(msg.conflicts);
+        // The request's life as three spans on the tenant track: queue_wait
+        // and solve are children that exactly partition the request span,
+        // so the trace covers the request's full wall time by construction.
+        const std::uint64_t done_us = trace_->now_us();
+        trace_->record({"queue_wait",
+                        conn.trace_track,
+                        req.enqueued_us,
+                        req.dispatched_us - req.enqueued_us,
+                        {{"request", it->first}}});
+        trace_->record({"solve",
+                        conn.trace_track,
+                        req.dispatched_us,
+                        done_us - req.dispatched_us,
+                        {{"request", it->first}, {"conflicts", msg.conflicts}}});
+        trace_->record({"request",
+                        conn.trace_track,
+                        req.enqueued_us,
+                        done_us - req.enqueued_us,
+                        {{"request", it->first}, {"finish_seq", msg.finish_seq}}});
         conn.send({op::result, encode_result(*conn.tm, msg, result.model)});
-        ++results_;
+        c_results_.add();
         it = conn.inflight.erase(it);
     }
 }
 
+namespace {
+
+void accumulate(substrate::session_stats& into, const substrate::session_stats& from) {
+    into.queries += from.queries;
+    into.cache_hits += from.cache_hits;
+    into.coalesced += from.coalesced;
+    into.completed += from.completed;
+    into.conflicts += from.conflicts;
+    into.ok += from.ok;
+    into.cancelled += from.cancelled;
+    into.over_budget += from.over_budget;
+    into.malformed += from.malformed;
+    into.internal += from.internal;
+}
+
+}  // namespace
+
 void server::drop_connection(std::size_t i) {
     connection& conn = *connections_[i];
+    // Keep the tenant's accounting slice alive past the socket.
+    if (conn.greeted && conn.session) accumulate(departed_[conn.tenant], conn.session->stats());
     if (conn.fd >= 0) ::close(conn.fd);
     connections_.erase(connections_.begin() + static_cast<std::ptrdiff_t>(i));
 }
@@ -525,31 +631,50 @@ void server::begin_drain(drain_policy policy) {
 }
 
 std::map<std::string, std::uint64_t> server::snapshot_stats() const {
-    std::map<std::string, std::uint64_t> out;
-    out["sessions_opened"] = sessions_opened_;
-    out["submits"] = submits_;
-    out["results"] = results_;
-    out["rejected_queue_full"] = rejected_queue_full_;
-    out["rejected_draining"] = rejected_draining_;
-    out["cancels"] = cancels_;
-    out["disconnect_cancels"] = disconnect_cancels_;
-    out["protocol_errors"] = protocol_errors_;
-    out["finish_seq"] = finish_seq_;
-    out["pool_threads"] = pool_->size();
+    // The registry carries every registered server.* / pool.* counter and
+    // histogram (expanded to .count/.p50/.p90/.p99 keys); the rest of the
+    // snapshot is derived state sampled here under the same naming scheme.
+    std::map<std::string, std::uint64_t> out = registry_.snapshot();
+    out["server.finish_seq"] = finish_seq_;
+    out["pool.threads"] = pool_->size();
     std::uint64_t inflight = 0;
     std::uint64_t queued = 0;
     for (const auto& conn : connections_) {
         inflight += conn->inflight.size();
         queued += conn->pending.size();
     }
-    out["inflight"] = inflight;
-    out["queued"] = queued;
+    out["server.inflight"] = inflight;
+    out["server.queued"] = queued;
+    const substrate::thread_pool::wait_stats ws = pool_->lane_wait();
+    out["pool.tasks"] = ws.tasks;
+    out["pool.wait_total_us"] = ws.total_us;
+    out["pool.wait_max_us"] = ws.max_us;
     const substrate::query_cache::cache_stats cs = cache_->stats();
-    out["cache_hits"] = cs.hits;
-    out["cache_misses"] = cs.misses;
-    out["cache_insertions"] = cs.insertions;
-    out["cache_structural_hits"] = cs.structural_hits;
-    out["persisted_loads"] = cs.persisted_loads;
+    out["cache.hits"] = cs.hits;
+    out["cache.misses"] = cs.misses;
+    out["cache.insertions"] = cs.insertions;
+    out["cache.structural_hits"] = cs.structural_hits;
+    out["cache.persisted_loads"] = cs.persisted_loads;
+    out["trace.dropped"] = trace_->dropped();
+    // Per-tenant slices (tenant.<name>.*): departed connections' retained
+    // accounting plus every live session that greeted under the name.
+    std::map<std::string, substrate::session_stats> tenants = departed_;
+    for (const auto& conn : connections_)
+        if (conn->greeted && conn->session)
+            accumulate(tenants[conn->tenant], conn->session->stats());
+    for (const auto& [name, ss] : tenants) {
+        const std::string prefix = "tenant." + name + ".";
+        out[prefix + "queries"] = ss.queries;
+        out[prefix + "cache_hits"] = ss.cache_hits;
+        out[prefix + "coalesced"] = ss.coalesced;
+        out[prefix + "completed"] = ss.completed;
+        out[prefix + "conflicts"] = ss.conflicts;
+        out[prefix + "ok"] = ss.ok;
+        out[prefix + "cancelled"] = ss.cancelled;
+        out[prefix + "over_budget"] = ss.over_budget;
+        out[prefix + "malformed"] = ss.malformed;
+        out[prefix + "internal"] = ss.internal;
+    }
     return out;
 }
 

@@ -34,6 +34,8 @@
 #include <memory>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/protocol.hpp"
 #include "substrate/engine.hpp"
 
@@ -50,6 +52,12 @@ struct server_config {
     std::size_t queue_depth = 64;
     /// Default lane weight for sessions whose hello does not set one.
     unsigned default_weight = 1;
+    /// Write the span trace as Chrome trace-event JSON to this path when
+    /// the daemon drains ("" = no file; the `trace` opcode still works).
+    std::string trace_out{};
+    /// Span-trace event bound (further spans are counted as dropped, never
+    /// stored — a daemon can leave tracing on forever).
+    std::size_t trace_capacity = 16384;
 };
 
 /// The daemon. Construct, then run() on the serving thread; request_stop()
@@ -90,25 +98,42 @@ private:
     [[nodiscard]] std::map<std::string, std::uint64_t> snapshot_stats() const;
 
     server_config cfg_;
+    // Unified telemetry: every daemon counter lives in the registry (the
+    // `server.*` / `pool.*` / `cache.*` / `tenant.*` naming scheme of
+    // docs/OBSERVABILITY.md), and every request's life is recorded as
+    // spans in the collector — one track per tenant, shared with the
+    // tenant engines via engine_config::trace.
+    obs::metrics_registry registry_;
+    std::shared_ptr<obs::trace_collector> trace_;
+    // Registered once here, bumped lock-free on the event loop.
+    obs::counter& c_sessions_;
+    obs::counter& c_submits_;
+    obs::counter& c_results_;
+    obs::counter& c_rejected_queue_full_;
+    obs::counter& c_rejected_draining_;
+    obs::counter& c_cancels_;
+    obs::counter& c_disconnect_cancels_;
+    obs::counter& c_protocol_errors_;
+    obs::histogram& h_queue_wait_ms_;
+    obs::histogram& h_service_ms_;
+    obs::histogram& h_conflicts_;
+    obs::histogram& h_lane_wait_us_;
     std::shared_ptr<substrate::thread_pool> pool_;
     std::shared_ptr<substrate::query_cache> cache_;
     int listen_fd_ = -1;
     std::vector<std::unique_ptr<connection>> connections_;
+    /// Per-tenant accounting of connections that already closed, so a
+    /// tenant's `tenant.<name>.*` slice survives its disconnects (live
+    /// connections are added on top at snapshot time).
+    std::map<std::string, substrate::session_stats> departed_;
     std::atomic<bool> stop_requested_{false};
     std::atomic<bool> serving_{false};
     bool draining_ = false;
     drain_policy drain_policy_ = drain_policy::finish;
 
-    // Daemon-wide counters (event-loop thread only).
+    /// Global monotone completion index (event-loop thread only): not a
+    /// metric but an ordering contract, so it stays a plain counter.
     std::uint64_t finish_seq_ = 0;
-    std::uint64_t sessions_opened_ = 0;
-    std::uint64_t submits_ = 0;
-    std::uint64_t results_ = 0;
-    std::uint64_t rejected_queue_full_ = 0;
-    std::uint64_t rejected_draining_ = 0;
-    std::uint64_t cancels_ = 0;
-    std::uint64_t disconnect_cancels_ = 0;
-    std::uint64_t protocol_errors_ = 0;
 };
 
 }  // namespace sciduction::service

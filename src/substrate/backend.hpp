@@ -32,6 +32,12 @@ namespace sciduction {}
 /// concurrency strategies (portfolio, cube-and-conquer sharding, batching,
 /// async futures, learnt-clause exchange) every application loop routes its
 /// queries through. See docs/ARCHITECTURE.md.
+/// Telemetry layer (src/obs/): forward-declared here so solve_controls can
+/// carry an optional tracer without the substrate core depending on it.
+namespace sciduction::obs {
+class trace_collector;
+}  // namespace sciduction::obs
+
 namespace sciduction::substrate {
 
 /// Three-valued outcome of a deductive query.
@@ -79,6 +85,18 @@ struct solve_controls {
     /// all state intact. The budgeted-rounds disciplines check it at their
     /// barriers instead. 0 = unlimited.
     std::uint64_t conflict_budget = 0;
+    /// Live conflict feed: schedulers add restart-boundary conflict deltas
+    /// here so progress readers see effort mid-flight. nullptr = off.
+    std::atomic<std::uint64_t>* live_conflicts = nullptr;
+    /// Span tracer the schedulers record per-member / per-pair / per-round
+    /// solve slices into. nullptr = tracing off (zero cost). Observation
+    /// only: tracing must never perturb the search (the deterministic
+    /// disciplines stay bit-identical with it enabled).
+    obs::trace_collector* trace = nullptr;
+    /// Track the solve's spans are recorded on (see trace_collector).
+    std::uint32_t trace_track = 0;
+    /// Request identifier stamped as the "query" arg of every span.
+    std::uint64_t trace_query = 0;
 };
 
 /// Uniform result of one deductive query. CNF-level backends populate

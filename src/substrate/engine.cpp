@@ -21,6 +21,12 @@ struct query_state {
     std::atomic<bool> finished{false};
     std::atomic<std::size_t> cubes_total{0};
     std::atomic<std::size_t> cubes_done{0};
+    // Live telemetry feed behind query_progress: conflict deltas pushed by
+    // the solver progress hooks at restart boundaries, and the resolved
+    // strategy kind (updated once classification runs).
+    std::atomic<std::uint64_t> live_conflicts{0};
+    std::atomic<strategy_kind> live_strategy{strategy_kind::automatic};
+    std::uint64_t query_id = 0;  // engine-wide submit ordinal (span "query" arg)
     mutable std::mutex mutex;
     request_stats stats;
 };
@@ -72,6 +78,8 @@ query_progress query_handle::progress() const {
     p.cancel_requested = state_->cancel_requested.load(std::memory_order_relaxed);
     p.cubes_total = state_->cubes_total.load(std::memory_order_relaxed);
     p.cubes_done = state_->cubes_done.load(std::memory_order_relaxed);
+    p.conflicts = state_->live_conflicts.load(std::memory_order_relaxed);
+    p.strategy = state_->live_strategy.load(std::memory_order_relaxed);
     return p;
 }
 
@@ -191,6 +199,9 @@ smt_engine::smt_engine(smt::term_manager& tm, engine_config cfg)
     // request, which submit reports through solve_status::malformed).
     if (std::string err = cfg_.validate(); !err.empty())
         throw std::invalid_argument("engine_config: " + err);
+    if (cfg_.trace)
+        trace_track_ = cfg_.trace->register_track(
+            cfg_.trace_track_name.empty() ? "engine" : cfg_.trace_track_name);
 }
 
 engine_stats smt_engine::stats() const {
@@ -240,6 +251,18 @@ backend_result smt_engine::run_request(const smt_query& q, const struct strategy
         std::lock_guard<std::mutex> lock(state.mutex);
         rs = state.stats.strategy;
     }
+    obs::trace_collector* tr = cfg_.trace.get();
+    // Live-telemetry install: every backend's CDCL core pushes its
+    // restart-boundary conflict deltas into the query's live counter (the
+    // hook only reads the stats snapshot — the search is untouched).
+    auto instrument = [&state](solver_backend& b) {
+        if (sat::solver* core = b.sat_core(); core != nullptr)
+            core->set_progress(
+                [&state, last = std::uint64_t{0}](const sat::solver_stats& s) mutable {
+                    state.live_conflicts.fetch_add(s.conflicts - last, std::memory_order_relaxed);
+                    last = s.conflicts;
+                });
+    };
     // The prototype instance serves three masters: the automatic
     // classifier reads its blasted size, the single path solves it
     // directly, and the shard path runs the cube lookahead on it — so the
@@ -249,9 +272,12 @@ backend_result smt_engine::run_request(const smt_query& q, const struct strategy
         proto = std::make_unique<smt_backend>(tm_, q.assertions, q.assumptions,
                                               sat::solver_options{}, name);
         proto->prepare();
+        instrument(*proto);
     };
 
     if (rs.kind == strategy_kind::automatic) {
+        obs::span resolve_span(tr, trace_track_, "resolve");
+        resolve_span.arg("query", state.query_id);
         make_proto("smt");
         query_features f;
         sat::solver& core = *proto->sat_core();
@@ -289,11 +315,16 @@ backend_result smt_engine::run_request(const smt_query& q, const struct strategy
         std::lock_guard<std::mutex> lock(stats_mutex_);
         stats_.dispatched.count(rs.kind);
     }
+    state.live_strategy.store(rs.kind, std::memory_order_relaxed);
 
     solve_controls controls;
     controls.cancel = &state.cancel;
     controls.progress = &state.cubes_done;
     controls.conflict_budget = rs.conflict_budget;
+    controls.live_conflicts = &state.live_conflicts;
+    controls.trace = tr;
+    controls.trace_track = trace_track_;
+    controls.trace_query = state.query_id;
 
     backend_result result;
     switch (rs.kind) {
@@ -325,11 +356,14 @@ backend_result smt_engine::run_request(const smt_query& q, const struct strategy
             // Member 0's options are the baseline, so a prototype built for
             // the classifier is recycled as member 0 instead of re-blasting.
             auto recycled = std::make_shared<std::unique_ptr<smt_backend>>(std::move(proto));
-            auto factory = [this, &q, recycled](unsigned member) -> std::unique_ptr<solver_backend> {
+            auto factory = [this, &q, recycled,
+                            &instrument](unsigned member) -> std::unique_ptr<solver_backend> {
                 if (member == 0 && *recycled) return std::move(*recycled);
-                return std::make_unique<smt_backend>(tm_, q.assertions, q.assumptions,
-                                                     diversified_options(member),
-                                                     "smt#" + std::to_string(member));
+                auto b = std::make_unique<smt_backend>(tm_, q.assertions, q.assumptions,
+                                                       diversified_options(member),
+                                                       "smt#" + std::to_string(member));
+                instrument(*b);
+                return b;
             };
             // The sequential budgeted portfolio runs on this worker thread;
             // the racing modes share the engine's pool.
@@ -359,11 +393,13 @@ backend_result smt_engine::run_request(const smt_query& q, const struct strategy
                         std::lock_guard<std::mutex> lock(stats_mutex_);
                         ++stats_.solver_runs;
                     }
-                    return std::make_unique<smt_backend>(
+                    auto b = std::make_unique<smt_backend>(
                         tm_, q.assertions, q.assumptions,
                         diversify ? diversified_options(static_cast<unsigned>(pair))
                                   : sat::solver_options{},
                         "shard#" + std::to_string(pair));
+                    instrument(*b);
+                    return b;
                 },
                 plan, pool(), rs.sharing, controls);
             result = std::move(outcome.result);
@@ -392,6 +428,10 @@ backend_result smt_engine::run_and_complete(const smt_query& q, const struct str
                                             engine_session* session) {
     const query_key& key = prep.key;
     state.started.store(true, std::memory_order_relaxed);
+    // One span per executed solve (cache hits never reach here); closed by
+    // the destructor after the completion protocol ran.
+    obs::span solve_span(cfg_.trace.get(), trace_track_, "solve");
+    solve_span.arg("query", state.query_id);
     backend_result result;
     try {
         result = run_request(q, requested, key, state);
@@ -400,6 +440,8 @@ backend_result smt_engine::run_and_complete(const smt_query& q, const struct str
             std::lock_guard<std::mutex> slock(state.mutex);
             ran = state.stats.strategy;
         }
+        solve_span.arg("strategy", static_cast<std::uint64_t>(ran.kind));
+        solve_span.arg("conflicts", result.conflicts);
         if (ran.use_cache) cache_->insert_prepared(tm_, prep, result);
         if (result.ans != answer::unknown) {
             // Record the outcome for the classifier. Unknown results
@@ -441,13 +483,21 @@ backend_result smt_engine::run_and_complete(const smt_query& q, const struct str
 
 query_handle smt_engine::do_submit(solve_request req, bool inline_exec,
                                    std::shared_ptr<engine_session> session) {
+    std::uint64_t qid = 0;
     {
         std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++stats_.queries;
+        qid = ++stats_.queries;
     }
+    obs::trace_collector* tr = cfg_.trace.get();
+    // One span per submit: validation, canonicalization, cache lookup and
+    // coalescing/dispatch (the solve itself is run_and_complete's span).
+    obs::span submit_span(tr, trace_track_, "submit");
+    submit_span.arg("query", qid);
     resolved_strategy rs = req.strategy.resolve(defaults_);
     auto state = std::make_shared<detail::query_state>();
+    state->query_id = qid;
     state->stats.strategy = rs;
+    state->live_strategy.store(rs.kind, std::memory_order_relaxed);
 
     if (std::string err = req.validate(); !err.empty()) {
         // Malformed requests are reported through the status channel, not
@@ -491,12 +541,19 @@ query_handle smt_engine::do_submit(solve_request req, bool inline_exec,
     // per-manager memo, the whole loop): the optimistic cache lookup, the
     // coalescing key, the locked re-check, and the eventual insert all
     // reuse it.
+    obs::span lookup_span(tr, trace_track_, "cache_lookup");
+    lookup_span.arg("query", qid);
     std::shared_ptr<const query_cache::prepared_query> prep =
         cache_->prepare(tm_, q.assertions, q.assumptions);
     if (rs.use_cache) {
-        if (auto cached = cache_->lookup_prepared(tm_, *prep))
+        if (auto cached = cache_->lookup_prepared(tm_, *prep)) {
+            lookup_span.arg("hit", 1);
+            lookup_span.end();
             return resolve_ready(std::move(*cached));
+        }
     }
+    lookup_span.arg("hit", 0);
+    lookup_span.end();
     const query_key& key = prep->key;
     // The pool is only forced into existence on the async path; inline
     // execution (the solve() path) stays thread-free unless the strategy
@@ -539,8 +596,19 @@ query_handle smt_engine::do_submit(solve_request req, bool inline_exec,
     }
     // Session submits ride the session's fair dispatch lane, so one
     // tenant's fan-out cannot starve another's queue (thread_pool.hpp).
+    // Queue wait is recorded as its own span — dispatch latency under load
+    // is exactly the gap the fair-lane scheduler exists to bound.
+    const std::uint64_t enqueued_us = tr != nullptr ? tr->now_us() : 0;
     auto task = [this, q = std::move(q), prep, state, requested = std::move(req.strategy),
-                 session]() -> backend_result {
+                 session, enqueued_us]() -> backend_result {
+        if (obs::trace_collector* trc = cfg_.trace.get(); trc != nullptr) {
+            const std::uint64_t now = trc->now_us();
+            trc->record(obs::trace_event{"queue_wait",
+                                         trace_track_,
+                                         enqueued_us,
+                                         now > enqueued_us ? now - enqueued_us : 0,
+                                         {{"query", state->query_id}}});
+        }
         return run_and_complete(q, requested, *prep, *state, session.get());
     };
     auto future = session ? workers->submit_in(session->lane_, std::move(task)).share()

@@ -36,6 +36,7 @@
 #include <future>
 #include <memory>
 
+#include "obs/trace.hpp"
 #include "substrate/portfolio.hpp"
 #include "substrate/query_cache.hpp"
 #include "substrate/solve_request.hpp"
@@ -99,6 +100,16 @@ struct engine_config {
     /// shared pool is *not* drained by ~smt_engine — await every handle
     /// before destroying the engine (the daemon's drain does exactly that).
     std::shared_ptr<thread_pool> shared_pool{};
+    /// Span tracer every submit records its request life into (submit,
+    /// strategy resolve, cache lookup, queue wait, solve, per-member /
+    /// per-pair slices). Share one collector between engines (the daemon
+    /// does, one track per tenant) or leave null for zero-cost no tracing.
+    /// Tracing is observation-only: deterministic disciplines stay
+    /// bit-identical with it enabled (pinned by tests/obs_test.cpp).
+    std::shared_ptr<obs::trace_collector> trace{};
+    /// Track name the engine's spans are recorded under (registered at
+    /// construction); empty = "engine". Ignored when `trace` is null.
+    std::string trace_track_name{};
 
     /// Checks the configuration for nonsense the clamping defaults would
     /// otherwise paper over (`portfolio_members == 0`, a shard depth beyond
@@ -160,6 +171,13 @@ struct query_progress {
     bool cancel_requested = false;  ///< cancel() was called on a handle
     std::size_t cubes_total = 0;    ///< shard kinds: cubes in the dispatched plan
     std::size_t cubes_done = 0;     ///< shard kinds: cubes settled so far
+    /// Live solver conflicts spent so far, sampled at restart boundaries
+    /// (the sat::solver progress hook); 0 until the first restart.
+    std::uint64_t conflicts = 0;
+    /// The resolved strategy kind driving the solve — `automatic` until
+    /// classification has run (progress readers see *why* a request is
+    /// slow: which discipline it is burning conflicts under).
+    strategy_kind strategy = strategy_kind::automatic;
 };
 
 /// Post-hoc accounting of one submitted request, readable from its handle.
@@ -411,6 +429,7 @@ private:
     smt::term_manager& tm_;
     engine_config cfg_;
     resolved_strategy defaults_;  // cfg_ translated into strategy defaults
+    std::uint32_t trace_track_ = 0;  // span track in cfg_.trace (0 = tracing off)
     // Owned (constructed from cfg_.cache_capacity / cache_path) unless the
     // config supplied a shared_cache, in which case that one is used and
     // kept alive by this reference.

@@ -5,6 +5,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "substrate/thread_pool.hpp"
 
 namespace sciduction::substrate {
@@ -51,7 +52,11 @@ portfolio_outcome race_single(const backend_factory& factory, const solve_contro
     portfolio_outcome outcome;
     auto backend = factory(0);
     arm_budget(*backend, controls.conflict_budget);
+    obs::span slice(controls.trace, controls.trace_track, "member#0");
+    slice.arg("query", controls.trace_query);
     outcome.result = backend->check(controls.cancel);
+    slice.arg("conflicts", outcome.result.conflicts);
+    slice.end();
     outcome.winner_name = backend->name();
     outcome.total_conflicts = outcome.result.conflicts;
     return outcome;
@@ -87,7 +92,13 @@ portfolio_outcome race_free(const backend_factory& factory, unsigned members, th
                 exchange->attach(*core, static_cast<unsigned>(member));
         }
         arm_budget(*backend, controls.conflict_budget);
+        obs::span slice(controls.trace, controls.trace_track,
+                        "member#" + std::to_string(member));
+        slice.arg("query", controls.trace_query);
+        slice.arg("member", member);
         backend_result result = backend->check(state.cancel);
+        slice.arg("conflicts", result.conflicts);
+        slice.end();
         const std::uint64_t conflicts = result.conflicts;
         sat::solver_stats core_stats;
         if (sat::solver* core = backend->sat_core()) core_stats = core->stats();
@@ -150,11 +161,18 @@ portfolio_outcome race_rounds(const backend_factory& factory, const portfolio_co
         };
         // Members are independent within a round (the pool is frozen), so
         // the parallel and sequential schedules compute the same thing.
+        // The round span is logical time made visible: round numbers are
+        // identical across thread counts even though wall time is not.
+        obs::span round_span(controls.trace, controls.trace_track,
+                             "round#" + std::to_string(out.rounds));
+        round_span.arg("query", controls.trace_query);
+        round_span.arg("round", out.rounds);
         if (pool != nullptr) {
             pool->parallel_for(members, run_member);
         } else {
             for (unsigned m = 0; m < members; ++m) run_member(m);
         }
+        round_span.end();
         if (cfg.sharing.enabled && cfg.sharing.deterministic) exchange.seal_round();
         // External cancellation and budget exhaustion resolve at the round
         // barrier (deterministically for the budget: member conflict counts

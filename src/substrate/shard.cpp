@@ -5,6 +5,8 @@
 #include <mutex>
 #include <numeric>
 
+#include "obs/trace.hpp"
+
 namespace sciduction::substrate {
 
 namespace {
@@ -156,6 +158,9 @@ shard_outcome solve_cubes_free(const indexed_shard_factory& factory, const cube_
                 exchange->attach(*core, static_cast<unsigned>(pair));
         }
         arm_budget(*backend, controls.conflict_budget);
+        obs::span slice(controls.trace, controls.trace_track, "pair#" + std::to_string(pair));
+        slice.arg("query", controls.trace_query);
+        slice.arg("pair", pair);
         bool sibling_pruned = false;
         for (std::size_t i = first; i < last; ++i) {
             if (state.cancel->load(std::memory_order_relaxed)) {
@@ -312,7 +317,14 @@ shard_outcome solve_cubes_rounds(const indexed_shard_factory& factory, const cub
             if (core != nullptr) core->set_conflict_pause(0);
             if (t.next >= t.last) t.done = true;
         };
+        // Round numbers are the deterministic discipline's logical clock;
+        // the span makes them visible without perturbing the barrier.
+        obs::span round_span(controls.trace, controls.trace_track,
+                             "round#" + std::to_string(out.stats.rounds));
+        round_span.arg("query", controls.trace_query);
+        round_span.arg("round", out.stats.rounds);
         pool.parallel_for(pairs, run_pair);
+        round_span.end();
         exchange.seal_round();
         // Barrier resolution, in pair order (deterministic).
         for (std::size_t p = 0; p < pairs; ++p) {

@@ -96,10 +96,20 @@ void thread_pool::enqueue(lane_id lane, std::function<void()> thunk) {
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = lanes_.find(lane);
         if (it == lanes_.end() || it->second.released) it = lanes_.find(default_lane);
-        it->second.queue.push_back(std::move(thunk));
+        it->second.queue.push_back(queued_task{std::move(thunk), std::chrono::steady_clock::now()});
         ++pending_;
     }
     wake_.notify_one();
+}
+
+thread_pool::wait_stats thread_pool::lane_wait() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return waits_;
+}
+
+void thread_pool::set_wait_observer(std::function<void(std::uint64_t)> observer) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    wait_observer_ = std::move(observer);
 }
 
 thread_pool::lane_id thread_pool::inherited_lane() const {
@@ -133,10 +143,21 @@ bool thread_pool::pop_next(std::function<void()>& task, lane_id& from) {
             ++scanned;
             continue;
         }
-        task = std::move(lane.queue.front());
+        queued_task next = std::move(lane.queue.front());
         lane.queue.pop_front();
+        task = std::move(next.thunk);
         --pending_;
         from = id;
+        // Lane-wait accounting: enqueue -> pop is the dispatch latency the
+        // serving layer surfaces (pool.lane_wait_us histogram).
+        const auto wait_us = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - next.enqueued)
+                .count());
+        ++waits_.tasks;
+        waits_.total_us += wait_us;
+        waits_.max_us = std::max(waits_.max_us, wait_us);
+        if (wait_observer_) wait_observer_(wait_us);
         if (++lane.served >= lane.weight || lane.queue.empty()) {
             lane.served = 0;
             ++cursor_;

@@ -26,6 +26,7 @@
 /// identical to the pre-lane pool.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -78,6 +79,23 @@ public:
     /// Tasks queued in one lane (0 for unknown/retired ids).
     [[nodiscard]] std::size_t pending_in(lane_id id) const;
 
+    /// Aggregate lane-wait accounting: how long tasks sat queued between
+    /// enqueue and pop, across all lanes — the dispatch-latency signal the
+    /// serving layer folds into its metrics registry.
+    struct wait_stats {
+        std::uint64_t tasks = 0;     ///< tasks popped since construction
+        std::uint64_t total_us = 0;  ///< summed queue wait, microseconds
+        std::uint64_t max_us = 0;    ///< worst single wait observed
+    };
+    /// Snapshot of the wait accounting (thread-safe).
+    [[nodiscard]] wait_stats lane_wait() const;
+    /// Installs a per-task wait observer, called with each popped task's
+    /// queue wait in microseconds — the serving layer points this at a
+    /// latency histogram. The observer runs under the pool lock on the
+    /// dispatch path: it must be cheap and non-blocking (an atomic bump).
+    /// Pass nullptr to detach; the observer must outlive the pool's tasks.
+    void set_wait_observer(std::function<void(std::uint64_t)> observer);
+
     /// Enqueues a task; the future resolves with its result (or exception).
     /// Called from inside a pool task, the new task joins the submitter's
     /// lane; otherwise the default lane.
@@ -106,9 +124,16 @@ public:
     void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
 private:
+    /// One queued thunk, stamped at enqueue so pop_next can account the
+    /// lane wait.
+    struct queued_task {
+        std::function<void()> thunk;
+        std::chrono::steady_clock::time_point enqueued;
+    };
+
     /// One dispatch lane: a FIFO queue plus its round-robin bookkeeping.
     struct lane_state {
-        std::deque<std::function<void()>> queue;
+        std::deque<queued_task> queue;
         unsigned weight = 1;
         unsigned served = 0;  // consecutive pops taken in the current turn
         bool released = false;
@@ -135,6 +160,8 @@ private:
     std::size_t cursor_ = 0;      // current position in order_
     std::size_t pending_ = 0;     // queued tasks across all lanes
     lane_id next_lane_ = 1;
+    wait_stats waits_;  // guarded by mutex_
+    std::function<void(std::uint64_t)> wait_observer_;  // guarded by mutex_
     mutable std::mutex mutex_;
     std::condition_variable wake_;
     bool stopping_ = false;

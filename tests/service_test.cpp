@@ -12,6 +12,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -168,7 +169,7 @@ TEST(service_cancel, after_completion_is_benign_and_inflight_cancels) {
     EXPECT_EQ(rq.status, substrate::solve_status::cancelled);
     EXPECT_TRUE(cli.cancel(blocker.request_id));
     EXPECT_EQ(cli.await(blocker.request_id).status, substrate::solve_status::cancelled);
-    EXPECT_EQ(cli.stats().at("cancels"), 3u);
+    EXPECT_EQ(cli.stats().at("server.cancels"), 3u);
 }
 
 TEST(service_cancel, disconnect_mid_solve_reclaims_the_tenant) {
@@ -185,7 +186,7 @@ TEST(service_cancel, disconnect_mid_solve_reclaims_the_tenant) {
     // The daemon cancels the orphaned solve and reclaims the session.
     while (true) {
         const auto stats = watcher.stats();
-        if (stats.at("disconnect_cancels") >= 1 && stats.at("inflight") == 0) break;
+        if (stats.at("server.disconnect_cancels") >= 1 && stats.at("server.inflight") == 0) break;
         std::this_thread::sleep_for(2ms);
     }
     // And keeps serving.
@@ -211,7 +212,7 @@ TEST(service_admission, bounded_queue_rejects_overflow_not_the_daemon) {
     const submit_outcome third = cli.submit(req);
     EXPECT_FALSE(third.accepted);
     EXPECT_EQ(third.reason, reject_reason::queue_full);
-    EXPECT_EQ(cli.stats().at("rejected_queue_full"), 1u);
+    EXPECT_EQ(cli.stats().at("server.rejected_queue_full"), 1u);
     // The rejected slot is not leaked: cancel one, the next submit fits.
     EXPECT_TRUE(cli.cancel(first.request_id));
     (void)cli.await(first.request_id);
@@ -329,7 +330,7 @@ TEST(service_protocol, unknown_opcode_draws_error_and_close) {
     // The daemon itself is unscathed.
     smt::term_manager tm;
     client cli(tm, d.config.socket_path, "after");
-    EXPECT_GE(cli.stats().at("protocol_errors"), 1u);
+    EXPECT_GE(cli.stats().at("server.protocol_errors"), 1u);
 }
 
 TEST(service_protocol, garbage_submit_payload_is_rejected_not_fatal) {
@@ -371,7 +372,7 @@ TEST(service_drain, finish_policy_persists_the_cache_across_restart) {
         daemon d({.socket_path = socket_path, .cache_path = cache_path, .threads = 2});
         smt::term_manager tm;
         client cli(tm, socket_path, "warm");  // a different tenant/manager
-        EXPECT_GT(cli.stats().at("persisted_loads"), 0u);
+        EXPECT_GT(cli.stats().at("cache.persisted_loads"), 0u);
         const submit_outcome out = cli.submit(tiny_request(tm, 6));
         ASSERT_TRUE(out.accepted);
         const result_message r = cli.await(out.request_id);
@@ -397,6 +398,82 @@ TEST(service_drain, cancel_policy_resolves_inflight_as_cancelled) {
     EXPECT_EQ(r.status, substrate::solve_status::cancelled);
     drainer.join();
     d.stop();
+}
+
+// ---- observability ----------------------------------------------------------
+
+TEST(service_observability, progress_carries_live_conflicts_and_resolved_strategy) {
+    daemon d({.socket_path = {}, .threads = 2});
+    smt::term_manager tm;
+    client cli(tm, d.config.socket_path, "tenant");
+    const submit_outcome big = cli.submit(greedy_request(tm));
+    ASSERT_TRUE(big.accepted);
+    wait_until_started(cli, big.request_id);
+    // Conflicts are sampled at restart/slice boundaries, so they appear
+    // shortly after the solve starts; poll until the gauge moves.
+    progress_message p;
+    while (true) {
+        p = cli.progress(big.request_id);
+        ASSERT_TRUE(p.known);
+        if (p.conflicts > 0) break;
+        std::this_thread::sleep_for(2ms);
+    }
+    EXPECT_EQ(p.strategy, substrate::strategy_kind::shard);
+    EXPECT_TRUE(cli.cancel(big.request_id));
+    (void)cli.await(big.request_id);
+}
+
+TEST(service_observability, trace_opcode_returns_perfetto_shaped_json_with_tenant_track) {
+    daemon d({.socket_path = {}, .threads = 2});
+    smt::term_manager tm;
+    client cli(tm, d.config.socket_path, "traced");
+    for (std::uint64_t i = 0; i < 3; ++i) {
+        const submit_outcome out = cli.submit(tiny_request(tm, i));
+        ASSERT_TRUE(out.accepted);
+        EXPECT_EQ(cli.await(out.request_id).ans, substrate::answer::sat);
+    }
+    const std::string json = cli.trace();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("tenant:traced"), std::string::npos);
+    // The server-level request spans and their exact-partition children.
+    EXPECT_NE(json.find("\"request\""), std::string::npos);
+    EXPECT_NE(json.find("\"queue_wait\""), std::string::npos);
+    EXPECT_NE(json.find("\"solve\""), std::string::npos);
+    // finish_seq annotations are monotone in the order requests reaped.
+    std::vector<std::uint64_t> seqs;
+    for (std::size_t pos = 0; (pos = json.find("\"finish_seq\":", pos)) != std::string::npos;) {
+        pos += 13;
+        seqs.push_back(std::strtoull(json.c_str() + pos, nullptr, 10));
+    }
+    ASSERT_EQ(seqs.size(), 3u);
+    long depth = 0;
+    for (char ch : json) {
+        if (ch == '{' || ch == '[') ++depth;
+        if (ch == '}' || ch == ']') --depth;
+        ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(service_observability, stats_carry_per_tenant_slices_and_histogram_percentiles) {
+    daemon d({.socket_path = {}, .threads = 2});
+    smt::term_manager tm;
+    client cli(tm, d.config.socket_path, "alice");
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        const submit_outcome out = cli.submit(tiny_request(tm, i));
+        ASSERT_TRUE(out.accepted);
+        EXPECT_EQ(cli.await(out.request_id).ans, substrate::answer::sat);
+    }
+    const auto stats = cli.stats();
+    EXPECT_EQ(stats.at("tenant.alice.queries"), 4u);
+    EXPECT_EQ(stats.at("tenant.alice.completed"), 4u);
+    EXPECT_EQ(stats.at("tenant.alice.ok"), 4u);
+    EXPECT_EQ(stats.at("server.service_ms.count"), 4u);
+    EXPECT_TRUE(stats.count("server.service_ms.p50"));
+    EXPECT_TRUE(stats.count("server.queue_wait_ms.p99"));
+    EXPECT_TRUE(stats.count("server.conflicts.p90"));
+    EXPECT_TRUE(stats.count("pool.lane_wait_us.p50"));
+    EXPECT_TRUE(stats.count("trace.dropped"));
 }
 
 // ---- time budgets over the wire ---------------------------------------------

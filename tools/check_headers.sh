@@ -6,12 +6,13 @@
 #
 #   sh tools/check_headers.sh [header...]
 #
-# With no arguments, checks every src/substrate/*.hpp and src/service/*.hpp.
+# With no arguments, checks every src/substrate/*.hpp, src/service/*.hpp,
+# and src/obs/*.hpp.
 set -eu
 cxx="${CXX:-c++}"
 status=0
 headers="$*"
-[ -n "$headers" ] || headers=$(ls src/substrate/*.hpp src/service/*.hpp)
+[ -n "$headers" ] || headers=$(ls src/substrate/*.hpp src/service/*.hpp src/obs/*.hpp)
 tu=$(mktemp -t check_headers_XXXXXX.cpp)
 trap 'rm -f "$tu"' EXIT
 for header in $headers; do

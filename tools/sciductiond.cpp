@@ -6,6 +6,7 @@
 // Usage:
 //   sciductiond --socket /run/sciduction.sock [--cache /var/cache/sciduction.qc]
 //               [--threads N] [--queue-depth N] [--cache-capacity N]
+//               [--trace-out PATH] [--trace-capacity N]
 #include <csignal>
 #include <cstdlib>
 #include <iostream>
@@ -24,7 +25,7 @@ void on_signal(int) {
 int usage(const char* argv0) {
     std::cerr << "usage: " << argv0
               << " --socket PATH [--cache PATH] [--threads N] [--queue-depth N]"
-                 " [--cache-capacity N]\n";
+                 " [--cache-capacity N] [--trace-out PATH] [--trace-capacity N]\n";
     return 2;
 }
 
@@ -51,6 +52,10 @@ int main(int argc, char** argv) {
             cfg.queue_depth = std::strtoul(value(), nullptr, 10);
         else if (arg == "--cache-capacity")
             cfg.cache_capacity = std::strtoul(value(), nullptr, 10);
+        else if (arg == "--trace-out")
+            cfg.trace_out = value();
+        else if (arg == "--trace-capacity")
+            cfg.trace_capacity = std::strtoul(value(), nullptr, 10);
         else
             return usage(argv[0]);
     }
