@@ -1,0 +1,8 @@
+; Commutativity of bit-vector addition: no 16-bit counterexample exists.
+(set-logic QF_BV)
+(set-info :status unsat)
+(declare-const x (_ BitVec 16))
+(declare-const y (_ BitVec 16))
+(assert (distinct (bvadd x y) (bvadd y x)))
+(check-sat)
+(exit)

@@ -1,0 +1,8 @@
+; Unsigned increment can wrap: x + 1 < x has the model x = 0xff.
+(set-logic QF_BV)
+(set-info :status sat)
+(declare-const x (_ BitVec 8))
+(assert (bvult (bvadd x (_ bv1 8)) x))
+(check-sat)
+(get-model)
+(exit)

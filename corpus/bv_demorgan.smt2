@@ -1,0 +1,8 @@
+; De Morgan over bit-vectors: not(x and y) == not(x) or not(y).
+(set-logic QF_BV)
+(set-info :status unsat)
+(declare-const x (_ BitVec 24))
+(declare-const y (_ BitVec 24))
+(assert (distinct (bvnot (bvand x y)) (bvor (bvnot x) (bvnot y))))
+(check-sat)
+(exit)

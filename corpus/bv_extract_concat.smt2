@@ -1,0 +1,7 @@
+; Splitting a word into nibbles and concatenating them is the identity.
+(set-logic QF_BV)
+(set-info :status unsat)
+(declare-const x (_ BitVec 8))
+(assert (distinct x (concat ((_ extract 7 4) x) ((_ extract 3 0) x))))
+(check-sat)
+(exit)

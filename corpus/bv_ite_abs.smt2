@@ -1,0 +1,8 @@
+; Two's-complement abs has a fixed point: abs(x) = 0x80 forces x = 0x80.
+(set-logic QF_BV)
+(set-info :status sat)
+(declare-const x (_ BitVec 8))
+(assert (= (ite (bvslt x #x00) (bvneg x) x) #x80))
+(check-sat)
+(get-model)
+(exit)

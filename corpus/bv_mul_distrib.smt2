@@ -1,0 +1,11 @@
+; Multiplication distributes over addition (5-bit): refutation is unsat.
+; (Multiplier circuits blow up fast with width -- 5 bits keeps this a
+; seconds-scale scenario while still exercising the full adder/mul path.)
+(set-logic QF_BV)
+(set-info :status unsat)
+(declare-const x (_ BitVec 5))
+(declare-const y (_ BitVec 5))
+(declare-const z (_ BitVec 5))
+(assert (distinct (bvmul x (bvadd y z)) (bvadd (bvmul x y) (bvmul x z))))
+(check-sat)
+(exit)

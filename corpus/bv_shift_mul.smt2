@@ -1,0 +1,7 @@
+; Left shift by one is multiplication by two.
+(set-logic QF_BV)
+(set-info :status unsat)
+(declare-const x (_ BitVec 8))
+(assert (distinct (bvshl x (_ bv1 8)) (bvmul x (_ bv2 8))))
+(check-sat)
+(exit)

@@ -1,0 +1,7 @@
+; SMT-LIB division-by-zero semantics: x udiv 0 is all-ones for every x.
+(set-logic QF_BV)
+(set-info :status unsat)
+(declare-const x (_ BitVec 8))
+(assert (distinct (bvudiv x (_ bv0 8)) #xff))
+(check-sat)
+(exit)

@@ -1,0 +1,9 @@
+; For a nonzero divisor the remainder is strictly below it.
+(set-logic QF_BV)
+(set-info :status unsat)
+(declare-const x (_ BitVec 8))
+(declare-const y (_ BitVec 8))
+(assert (distinct y #x00))
+(assert (bvuge (bvurem x y) y))
+(check-sat)
+(exit)

@@ -1,0 +1,7 @@
+; x xor x is always zero.
+(set-logic QF_BV)
+(set-info :status unsat)
+(declare-const x (_ BitVec 32))
+(assert (distinct (bvxor x x) #x00000000))
+(check-sat)
+(exit)

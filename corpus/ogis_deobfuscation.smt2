@@ -1,0 +1,9 @@
+; The paper's deobfuscation identity (Sec. 4): (x & y) + (x | y) = x + y.
+; Equivalence of the obfuscated and clean programs — refutation is unsat.
+(set-logic QF_BV)
+(set-info :status unsat)
+(declare-const x (_ BitVec 16))
+(declare-const y (_ BitVec 16))
+(assert (distinct (bvadd (bvand x y) (bvor x y)) (bvadd x y)))
+(check-sat)
+(exit)

@@ -1,0 +1,9 @@
+; OGIS distinguishing input: two candidate programs (x | 1 vs x + 1)
+; disagree on some input — the query the synthesis loop poses each round.
+(set-logic QF_BV)
+(set-info :status sat)
+(declare-const x (_ BitVec 8))
+(assert (distinct (bvor x (_ bv1 8)) (bvadd x (_ bv1 8))))
+(check-sat)
+(get-model)
+(exit)

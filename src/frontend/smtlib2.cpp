@@ -1,0 +1,504 @@
+#include "frontend/smtlib2.hpp"
+
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <unordered_map>
+
+namespace sciduction::frontend {
+namespace {
+
+// ---- s-expression reader ----------------------------------------------------
+// The command interpreter below works on a fully-read s-expression tree:
+// every node carries the 1-based position of its first token, so sort and
+// width errors point at the construct that caused them, not at end of file.
+
+struct sexp {
+    bool is_list = false;
+    std::string atom;        // valid when !is_list
+    std::vector<sexp> kids;  // valid when is_list
+    int line = 0;
+    int col = 0;
+};
+
+class tokenizer {
+public:
+    explicit tokenizer(std::istream& in) : in_(in) {}
+
+    struct token {
+        enum class type : std::uint8_t { lparen, rparen, atom, eof };
+        type t = type::eof;
+        std::string text;
+        int line = 0;
+        int col = 0;
+    };
+
+    token next() {
+        skip_space_and_comments();
+        token tok;
+        tok.line = line_;
+        tok.col = col_;
+        const int c = peek();
+        if (c < 0) return tok;  // eof
+        if (c == '(') {
+            get();
+            tok.t = token::type::lparen;
+            return tok;
+        }
+        if (c == ')') {
+            get();
+            tok.t = token::type::rparen;
+            return tok;
+        }
+        tok.t = token::type::atom;
+        if (c == '"' || c == '|') {
+            // String literals and quoted symbols appear only in the metadata
+            // commands the interpreter ignores; read them balanced so their
+            // content can never desynchronize the token stream.
+            const char quote = static_cast<char>(get());
+            tok.text.push_back(quote);
+            for (int d = get(); d >= 0; d = get()) {
+                tok.text.push_back(static_cast<char>(d));
+                if (d == quote) {
+                    // SMT-LIB strings escape '"' by doubling it.
+                    if (quote == '"' && peek() == '"') {
+                        tok.text.push_back(static_cast<char>(get()));
+                        continue;
+                    }
+                    return tok;
+                }
+            }
+            throw parse_error(tok.line, tok.col, "unterminated quoted token");
+        }
+        while (true) {
+            const int d = peek();
+            if (d < 0 || d == '(' || d == ')' || d == ';' || std::isspace(d)) break;
+            tok.text.push_back(static_cast<char>(get()));
+        }
+        return tok;
+    }
+
+private:
+    int peek() { return in_.peek(); }
+    int get() {
+        const int c = in_.get();
+        if (c == '\n') {
+            ++line_;
+            col_ = 1;
+        } else if (c >= 0) {
+            ++col_;
+        }
+        return c;
+    }
+    void skip_space_and_comments() {
+        while (true) {
+            const int c = peek();
+            if (c < 0) return;
+            if (c == ';') {
+                while (peek() >= 0 && peek() != '\n') get();
+                continue;
+            }
+            if (!std::isspace(c)) return;
+            get();
+        }
+    }
+
+    std::istream& in_;
+    int line_ = 1;
+    int col_ = 1;
+};
+
+sexp read_sexp(tokenizer& tz, const tokenizer::token& first) {
+    using type = tokenizer::token::type;
+    sexp node;
+    node.line = first.line;
+    node.col = first.col;
+    if (first.t == type::atom) {
+        node.atom = first.text;
+        return node;
+    }
+    if (first.t == type::rparen) throw parse_error(first.line, first.col, "unexpected ')'");
+    node.is_list = true;
+    while (true) {
+        tokenizer::token tok = tz.next();
+        if (tok.t == type::eof)
+            throw parse_error(node.line, node.col, "unbalanced '(' (reached end of input)");
+        if (tok.t == type::rparen) return node;
+        node.kids.push_back(read_sexp(tz, tok));
+    }
+}
+
+// ---- term construction ------------------------------------------------------
+
+[[noreturn]] void fail(const sexp& at, const std::string& message) {
+    throw parse_error(at.line, at.col, message);
+}
+
+std::uint64_t parse_numeral(const sexp& at, const std::string& text) {
+    if (text.empty()) fail(at, "empty numeral");
+    std::uint64_t value = 0;
+    for (char c : text) {
+        if (c < '0' || c > '9') fail(at, "malformed numeral '" + text + "'");
+        if (value > (~0ULL - static_cast<std::uint64_t>(c - '0')) / 10)
+            fail(at, "numeral '" + text + "' overflows 64 bits");
+        value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return value;
+}
+
+/// Renders a term's sort for error messages: "Bool" or "(_ BitVec N)".
+std::string sort_name(const smt::term_manager& tm, smt::term t) {
+    const unsigned w = tm.width_of(t);
+    return w == 0 ? "Bool" : "(_ BitVec " + std::to_string(w) + ")";
+}
+
+class script_builder {
+public:
+    script_builder(smt::term_manager& tm) : tm_(tm) {}
+
+    script run(const std::vector<sexp>& commands) {
+        for (const sexp& cmd : commands) interpret(cmd);
+        return std::move(out_);
+    }
+
+private:
+    void interpret(const sexp& cmd) {
+        if (!cmd.is_list || cmd.kids.empty() || cmd.kids[0].is_list)
+            fail(cmd, "expected a command list");
+        const std::string& head = cmd.kids[0].atom;
+        if (head == "set-logic") {
+            if (cmd.kids.size() != 2 || cmd.kids[1].is_list)
+                fail(cmd, "set-logic expects one symbol");
+            if (cmd.kids[1].atom != "QF_BV")
+                fail(cmd.kids[1], "unsupported logic '" + cmd.kids[1].atom +
+                                      "' (this front end implements QF_BV)");
+            out_.logic = cmd.kids[1].atom;
+            return;
+        }
+        if (head == "set-info") {
+            if (cmd.kids.size() == 3 && !cmd.kids[1].is_list && !cmd.kids[2].is_list &&
+                cmd.kids[1].atom == ":status")
+                out_.expected_status = cmd.kids[2].atom;
+            return;  // other metadata is ignored
+        }
+        if (head == "set-option") return;  // ignored
+        if (head == "declare-const") {
+            if (cmd.kids.size() != 3 || cmd.kids[1].is_list)
+                fail(cmd, "declare-const expects a name and a sort");
+            declare(cmd.kids[1], cmd.kids[2]);
+            return;
+        }
+        if (head == "declare-fun") {
+            if (cmd.kids.size() != 4 || cmd.kids[1].is_list)
+                fail(cmd, "declare-fun expects a name, an argument list, and a sort");
+            if (!cmd.kids[2].is_list || !cmd.kids[2].kids.empty())
+                fail(cmd.kids[2], "only zero-arity declare-fun is supported");
+            declare(cmd.kids[1], cmd.kids[3]);
+            return;
+        }
+        if (head == "assert") {
+            if (cmd.kids.size() != 2) fail(cmd, "assert expects one term");
+            smt::term t = build_term(cmd.kids[1]);
+            if (!tm_.is_bool(t))
+                fail(cmd.kids[1], "assert expects a Bool term, got " + sort_name(tm_, t));
+            out_.assertions.push_back(t);
+            return;
+        }
+        if (head == "check-sat") {
+            out_.check_sat = true;
+            return;
+        }
+        if (head == "get-model") {
+            out_.get_model = true;
+            return;
+        }
+        if (head == "exit") return;
+        fail(cmd.kids[0], "unsupported command '" + head + "'");
+    }
+
+    void declare(const sexp& name, const sexp& sort) {
+        if (vars_.count(name.atom)) fail(name, "constant '" + name.atom + "' already declared");
+        smt::term var;
+        if (!sort.is_list && sort.atom == "Bool") {
+            var = tm_.mk_bool_var(name.atom);
+        } else {
+            var = tm_.mk_bv_var(name.atom, parse_bitvec_sort(sort));
+        }
+        vars_.emplace(name.atom, var);
+        out_.declarations.emplace_back(name.atom, var);
+    }
+
+    unsigned parse_bitvec_sort(const sexp& sort) {
+        if (!sort.is_list || sort.kids.size() != 3 || sort.kids[0].is_list ||
+            sort.kids[1].is_list || sort.kids[2].is_list || sort.kids[0].atom != "_" ||
+            sort.kids[1].atom != "BitVec")
+            fail(sort, "expected a sort: Bool or (_ BitVec N)");
+        const std::uint64_t w = parse_numeral(sort.kids[2], sort.kids[2].atom);
+        if (w < 1 || w > 64)
+            fail(sort.kids[2],
+                 "unsupported BitVec width " + std::to_string(w) + " (1..64 supported)");
+        return static_cast<unsigned>(w);
+    }
+
+    // ---- sort guards, all reporting at the operator position ----
+
+    smt::term want_bool(const sexp& op, smt::term t) {
+        if (!tm_.is_bool(t))
+            fail(op, "'" + op.atom + "' expects Bool operands, got " + sort_name(tm_, t));
+        return t;
+    }
+    smt::term want_bv(const sexp& op, smt::term t) {
+        if (tm_.is_bool(t))
+            fail(op, "'" + op.atom + "' expects bit-vector operands, got Bool");
+        return t;
+    }
+    void want_same(const sexp& op, smt::term a, smt::term b) {
+        if (tm_.width_of(a) != tm_.width_of(b))
+            fail(op, "'" + op.atom + "' operand sorts differ: " + sort_name(tm_, a) + " vs " +
+                         sort_name(tm_, b));
+    }
+
+    std::vector<smt::term> build_args(const sexp& node, std::size_t min_arity) {
+        std::vector<smt::term> args;
+        args.reserve(node.kids.size() - 1);
+        for (std::size_t i = 1; i < node.kids.size(); ++i)
+            args.push_back(build_term(node.kids[i]));
+        if (args.size() < min_arity)
+            fail(node.kids[0], "'" + node.kids[0].atom + "' expects at least " +
+                                   std::to_string(min_arity) + " operands");
+        return args;
+    }
+
+    smt::term build_atom(const sexp& node) {
+        const std::string& a = node.atom;
+        if (a == "true") return tm_.mk_bool_const(true);
+        if (a == "false") return tm_.mk_bool_const(false);
+        if (a.size() >= 2 && a[0] == '#' && (a[1] == 'x' || a[1] == 'b')) {
+            const bool hex = a[1] == 'x';
+            const std::size_t digits = a.size() - 2;
+            if (digits == 0) fail(node, "empty bit-vector literal '" + a + "'");
+            const std::size_t width = digits * (hex ? 4 : 1);
+            if (width > 64)
+                fail(node, "bit-vector literal '" + a + "' is wider than the supported 64 bits");
+            std::uint64_t value = 0;
+            for (char c : a.substr(2)) {
+                int digit;
+                if (c >= '0' && c <= '9')
+                    digit = c - '0';
+                else if (hex && c >= 'a' && c <= 'f')
+                    digit = c - 'a' + 10;
+                else if (hex && c >= 'A' && c <= 'F')
+                    digit = c - 'A' + 10;
+                else
+                    fail(node, "malformed bit-vector literal '" + a + "'");
+                if (!hex && digit > 1) fail(node, "malformed bit-vector literal '" + a + "'");
+                value = (value << (hex ? 4 : 1)) | static_cast<std::uint64_t>(digit);
+            }
+            return tm_.mk_bv_const(static_cast<unsigned>(width), value);
+        }
+        if (auto it = vars_.find(a); it != vars_.end()) return it->second;
+        if (a[0] >= '0' && a[0] <= '9')
+            fail(node, "bare numeral '" + a + "' has no width; write (_ bv" + a + " W)");
+        fail(node, "unknown constant '" + a + "'");
+    }
+
+    /// Indexed identifiers: (_ bvN W) as a literal term, and the indexed
+    /// operator heads ((_ extract hi lo) t) etc. handled by the caller.
+    smt::term build_underscore_literal(const sexp& node) {
+        if (node.kids.size() != 3 || node.kids[1].is_list || node.kids[2].is_list ||
+            node.kids[1].atom.size() < 3 || node.kids[1].atom.compare(0, 2, "bv") != 0)
+            fail(node, "expected (_ bvN W)");
+        const std::uint64_t value = parse_numeral(node.kids[1], node.kids[1].atom.substr(2));
+        const std::uint64_t w = parse_numeral(node.kids[2], node.kids[2].atom);
+        if (w < 1 || w > 64)
+            fail(node.kids[2],
+                 "unsupported BitVec width " + std::to_string(w) + " (1..64 supported)");
+        if (w < 64 && value >> w != 0)
+            fail(node.kids[1], "literal value " + std::to_string(value) + " does not fit in " +
+                                   std::to_string(w) + " bits");
+        return tm_.mk_bv_const(static_cast<unsigned>(w), value);
+    }
+
+    smt::term build_indexed_op(const sexp& node) {
+        const sexp& head = node.kids[0];  // (_ name idx...)
+        if (head.kids.size() < 2 || head.kids[0].is_list || head.kids[0].atom != "_" ||
+            head.kids[1].is_list)
+            fail(head, "malformed indexed operator");
+        const std::string& name = head.kids[1].atom;
+        if (name == "extract") {
+            if (head.kids.size() != 4 || node.kids.size() != 2)
+                fail(head, "expected ((_ extract hi lo) term)");
+            const std::uint64_t hi = parse_numeral(head.kids[2], head.kids[2].atom);
+            const std::uint64_t lo = parse_numeral(head.kids[3], head.kids[3].atom);
+            smt::term t = want_bv(head.kids[1], build_term(node.kids[1]));
+            if (lo > hi)
+                fail(head, "extract bounds inverted (hi " + std::to_string(hi) + " < lo " +
+                               std::to_string(lo) + ")");
+            if (hi >= tm_.width_of(t))
+                fail(head, "extract bound " + std::to_string(hi) + " exceeds operand width " +
+                               std::to_string(tm_.width_of(t)));
+            return tm_.mk_extract(t, static_cast<unsigned>(hi), static_cast<unsigned>(lo));
+        }
+        if (name == "zero_extend" || name == "sign_extend") {
+            if (head.kids.size() != 3 || node.kids.size() != 2)
+                fail(head, "expected ((_ " + name + " n) term)");
+            const std::uint64_t n = parse_numeral(head.kids[2], head.kids[2].atom);
+            smt::term t = want_bv(head.kids[1], build_term(node.kids[1]));
+            const unsigned w = tm_.width_of(t);
+            if (w + n > 64)
+                fail(head, name + " result width " + std::to_string(w + n) +
+                               " exceeds the supported 64 bits");
+            if (n == 0) return t;
+            const unsigned nw = static_cast<unsigned>(w + n);
+            return name == "zero_extend" ? tm_.mk_zext(t, nw) : tm_.mk_sext(t, nw);
+        }
+        fail(head.kids[1], "unsupported indexed operator '" + name + "'");
+    }
+
+    smt::term build_term(const sexp& node) {
+        if (!node.is_list) return build_atom(node);
+        if (node.kids.empty()) fail(node, "empty term");
+        if (node.kids[0].is_list) return build_indexed_op(node);
+        const sexp& op = node.kids[0];
+        const std::string& name = op.atom;
+        if (name == "_") return build_underscore_literal(node);
+        if (name == "let")
+            fail(op, "let bindings are outside the supported subset (inline the binding)");
+
+        std::vector<smt::term> args;
+        // ---- boolean connectives ----
+        if (name == "not") {
+            args = build_args(node, 1);
+            if (args.size() != 1) fail(op, "'not' expects exactly one operand");
+            return tm_.mk_not(want_bool(op, args[0]));
+        }
+        if (name == "and" || name == "or") {
+            args = build_args(node, 2);
+            for (smt::term t : args) want_bool(op, t);
+            return name == "and" ? tm_.mk_and(args) : tm_.mk_or(args);
+        }
+        if (name == "xor") {
+            args = build_args(node, 2);
+            smt::term acc = want_bool(op, args[0]);
+            for (std::size_t i = 1; i < args.size(); ++i)
+                acc = tm_.mk_xor(acc, want_bool(op, args[i]));
+            return acc;
+        }
+        if (name == "=>") {
+            args = build_args(node, 2);
+            smt::term acc = want_bool(op, args.back());
+            for (std::size_t i = args.size() - 1; i-- > 0;)
+                acc = tm_.mk_implies(want_bool(op, args[i]), acc);
+            return acc;
+        }
+        if (name == "=" || name == "distinct") {
+            args = build_args(node, 2);
+            for (std::size_t i = 1; i < args.size(); ++i) want_same(op, args[0], args[i]);
+            std::vector<smt::term> parts;
+            if (name == "=") {
+                for (std::size_t i = 1; i < args.size(); ++i)
+                    parts.push_back(tm_.mk_eq(args[i - 1], args[i]));
+            } else {
+                for (std::size_t i = 0; i < args.size(); ++i)
+                    for (std::size_t j = i + 1; j < args.size(); ++j)
+                        parts.push_back(tm_.mk_distinct(args[i], args[j]));
+            }
+            return parts.size() == 1 ? parts[0] : tm_.mk_and(parts);
+        }
+        if (name == "ite") {
+            args = build_args(node, 3);
+            if (args.size() != 3) fail(op, "'ite' expects exactly three operands");
+            want_bool(op, args[0]);
+            want_same(op, args[1], args[2]);
+            return tm_.mk_ite(args[0], args[1], args[2]);
+        }
+        // ---- bit-vector operators ----
+        if (name == "bvnot" || name == "bvneg") {
+            args = build_args(node, 1);
+            if (args.size() != 1) fail(op, "'" + name + "' expects exactly one operand");
+            want_bv(op, args[0]);
+            return name == "bvnot" ? tm_.mk_bvnot(args[0]) : tm_.mk_bvneg(args[0]);
+        }
+        using binop = smt::term (smt::term_manager::*)(smt::term, smt::term);
+        static const std::unordered_map<std::string, std::pair<binop, bool>> bv_ops = {
+            // second: true = n-ary left-associative (as SMT-LIB declares them)
+            {"bvand", {&smt::term_manager::mk_bvand, true}},
+            {"bvor", {&smt::term_manager::mk_bvor, true}},
+            {"bvxor", {&smt::term_manager::mk_bvxor, true}},
+            {"bvadd", {&smt::term_manager::mk_bvadd, true}},
+            {"bvmul", {&smt::term_manager::mk_bvmul, true}},
+            {"bvsub", {&smt::term_manager::mk_bvsub, false}},
+            {"bvudiv", {&smt::term_manager::mk_bvudiv, false}},
+            {"bvurem", {&smt::term_manager::mk_bvurem, false}},
+            {"bvshl", {&smt::term_manager::mk_bvshl, false}},
+            {"bvlshr", {&smt::term_manager::mk_bvlshr, false}},
+            {"bvashr", {&smt::term_manager::mk_bvashr, false}},
+        };
+        if (auto it = bv_ops.find(name); it != bv_ops.end()) {
+            args = build_args(node, 2);
+            if (!it->second.second && args.size() != 2)
+                fail(op, "'" + name + "' expects exactly two operands");
+            smt::term acc = want_bv(op, args[0]);
+            for (std::size_t i = 1; i < args.size(); ++i) {
+                want_same(op, acc, want_bv(op, args[i]));
+                acc = (tm_.*(it->second.first))(acc, args[i]);
+            }
+            return acc;
+        }
+        if (name == "concat") {
+            args = build_args(node, 2);
+            smt::term acc = want_bv(op, args[0]);
+            for (std::size_t i = 1; i < args.size(); ++i) {
+                want_bv(op, args[i]);
+                if (tm_.width_of(acc) + tm_.width_of(args[i]) > 64)
+                    fail(op, "concat result width exceeds the supported 64 bits");
+                acc = tm_.mk_concat(acc, args[i]);
+            }
+            return acc;
+        }
+        static const std::unordered_map<std::string, binop> bv_preds = {
+            {"bvult", &smt::term_manager::mk_ult}, {"bvule", &smt::term_manager::mk_ule},
+            {"bvugt", &smt::term_manager::mk_ugt}, {"bvuge", &smt::term_manager::mk_uge},
+            {"bvslt", &smt::term_manager::mk_slt}, {"bvsle", &smt::term_manager::mk_sle},
+            {"bvsgt", &smt::term_manager::mk_sgt}, {"bvsge", &smt::term_manager::mk_sge},
+        };
+        if (auto it = bv_preds.find(name); it != bv_preds.end()) {
+            args = build_args(node, 2);
+            if (args.size() != 2) fail(op, "'" + name + "' expects exactly two operands");
+            want_bv(op, args[0]);
+            want_same(op, args[0], want_bv(op, args[1]));
+            return (tm_.*(it->second))(args[0], args[1]);
+        }
+        fail(op, "unsupported operator '" + name + "'");
+    }
+
+    smt::term_manager& tm_;
+    script out_;
+    std::unordered_map<std::string, smt::term> vars_;
+};
+
+}  // namespace
+
+script parse_script(std::istream& in, smt::term_manager& tm) {
+    tokenizer tz(in);
+    std::vector<sexp> commands;
+    while (true) {
+        tokenizer::token tok = tz.next();
+        if (tok.t == tokenizer::token::type::eof) break;
+        commands.push_back(read_sexp(tz, tok));
+    }
+    return script_builder(tm).run(commands);
+}
+
+script parse_script(const std::string& text, smt::term_manager& tm) {
+    std::istringstream is(text);
+    return parse_script(is, tm);
+}
+
+script parse_script_file(const std::string& path, smt::term_manager& tm) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("smtlib2: cannot open '" + path + "'");
+    return parse_script(in, tm);
+}
+
+}  // namespace sciduction::frontend

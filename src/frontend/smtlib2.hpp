@@ -1,0 +1,89 @@
+/// \file
+/// QF_BV SMT-LIB2 front end: parses the benchmark subset of the SMT-LIB2
+/// command language directly into an smt::term_manager, so `.smt2` files
+/// become substrate::solve_request payloads — and, through the service
+/// layer's postorder wire codec, submittable to sciductiond.
+///
+/// Supported subset (see docs/FRONTENDS.md for the full grammar table):
+///   * commands: set-logic (QF_BV only), set-info / set-option (ignored;
+///     `:status` is captured), declare-const, declare-fun (zero arity),
+///     assert, check-sat, get-model, exit;
+///   * sorts: Bool, (_ BitVec N) with 1 <= N <= 64;
+///   * terms: declared constants, true/false, #x / #b / (_ bvN W)
+///     literals, the core boolean connectives (not/and/or/xor/=>/=/
+///     distinct/ite), the bv operators and predicates the term manager
+///     implements, and the indexed operators extract / zero_extend /
+///     sign_extend. No let bindings, no quantifiers, no functions of
+///     nonzero arity.
+/// Everything outside the subset is rejected with a position-carrying
+/// parse_error — never a crash — which the CLI driver and the daemon
+/// report as solve_status::malformed.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "smt/term.hpp"
+
+namespace sciduction::frontend {
+
+/// Parse/validation failure, carrying the 1-based source position the
+/// error was detected at. what() is pre-formatted as
+/// "smtlib2:LINE:COL: message" so callers can report it verbatim.
+class parse_error : public std::runtime_error {
+public:
+    /// Builds the formatted message from the position and detail.
+    parse_error(int line, int col, const std::string& message)
+        : std::runtime_error("smtlib2:" + std::to_string(line) + ":" + std::to_string(col) +
+                             ": " + message),
+          line_(line),
+          col_(col) {}
+
+    /// 1-based line of the offending token.
+    [[nodiscard]] int line() const { return line_; }
+    /// 1-based column of the offending token.
+    [[nodiscard]] int col() const { return col_; }
+
+private:
+    int line_;
+    int col_;
+};
+
+/// A parsed SMT-LIB2 script: the query ready for the substrate, plus the
+/// script-level metadata the driver needs to render a standard reply.
+struct script {
+    /// The (set-logic ...) argument; empty when the script declared none.
+    std::string logic;
+    /// Asserted terms, in script order — the solve_request assertions.
+    std::vector<smt::term> assertions;
+    /// Declared constants in declaration order: name plus the variable
+    /// term, for rendering (get-model) replies deterministically.
+    std::vector<std::pair<std::string, smt::term>> declarations;
+    /// The script contained (check-sat).
+    bool check_sat = false;
+    /// The script contained (get-model).
+    bool get_model = false;
+    /// The (set-info :status ...) annotation if present ("sat"/"unsat"/
+    /// "unknown") — benchmark files carry the known verdict here, and the
+    /// corpus harness cross-checks it.
+    std::optional<std::string> expected_status;
+};
+
+/// Parses an SMT-LIB2 script, building every term into `tm`. Throws
+/// parse_error on anything outside the supported subset (unsupported
+/// logic or command, unknown symbol, sort/width mismatch, malformed
+/// literal, unbalanced parentheses).
+script parse_script(std::istream& in, smt::term_manager& tm);
+
+/// Convenience overload for a string.
+script parse_script(const std::string& text, smt::term_manager& tm);
+
+/// Reads and parses a `.smt2` file. Throws std::runtime_error when the
+/// file cannot be opened; parse_error as the stream overload.
+script parse_script_file(const std::string& path, smt::term_manager& tm);
+
+}  // namespace sciduction::frontend

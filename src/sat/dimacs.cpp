@@ -6,47 +6,86 @@
 
 namespace sciduction::sat {
 
-std::size_t read_dimacs(std::istream& in, solver& s) {
-    std::string token;
-    std::size_t clauses_read = 0;
+void dimacs_problem::load_into(solver& s) const {
+    while (s.num_vars() < num_vars) s.new_var();
+    for (const auto& c : clauses) s.add_clause(c);
+}
+
+dimacs_problem read_dimacs(std::istream& in) {
+    dimacs_problem p;
     clause_lits current;
     bool saw_header = false;
-    while (in >> token) {
-        if (token == "c") {
-            std::string rest;
-            std::getline(in, rest);
-            continue;
-        }
-        if (token == "p") {
+    std::string line;
+    while (std::getline(in, line)) {
+        // Comments are *line* constructs: a line starting with 'c' is
+        // skipped whole (with or without a space after the marker, as the
+        // benchmark archives have it).
+        std::size_t start = line.find_first_not_of(" \t\r");
+        if (start == std::string::npos) continue;
+        if (line[start] == 'c') continue;
+        // SATLIB-style end-of-instance trailer ("%" then a lone "0").
+        if (line[start] == '%') break;
+        std::istringstream ls(line.substr(start));
+        std::string token;
+        if (line[start] == 'p') {
+            if (saw_header) throw std::runtime_error("dimacs: duplicate problem line");
+            std::string pword;
             std::string fmt;
             long long nv = 0;
             long long nc = 0;
-            if (!(in >> fmt >> nv >> nc) || fmt != "cnf" || nv < 0)
+            if (!(ls >> pword >> fmt >> nv >> nc) || pword != "p" || fmt != "cnf" || nv < 0 ||
+                nc < 0)
                 throw std::runtime_error("dimacs: malformed problem line");
-            while (s.num_vars() < nv) s.new_var();
+            if (ls >> token)
+                throw std::runtime_error("dimacs: trailing token '" + token +
+                                         "' on the problem line");
+            p.num_vars = static_cast<int>(nv);
+            p.clauses.reserve(static_cast<std::size_t>(nc));
             saw_header = true;
             continue;
         }
-        long long v;
-        try {
-            v = std::stoll(token);
-        } catch (const std::exception&) {
-            throw std::runtime_error("dimacs: unexpected token '" + token + "'");
+        while (ls >> token) {
+            long long v;
+            std::size_t consumed = 0;
+            try {
+                v = std::stoll(token, &consumed);
+            } catch (const std::exception&) {
+                throw std::runtime_error("dimacs: unexpected token '" + token + "'");
+            }
+            if (consumed != token.size())
+                throw std::runtime_error("dimacs: unexpected token '" + token + "'");
+            if (!saw_header)
+                throw std::runtime_error("dimacs: clause data before 'p cnf' problem line");
+            if (v == 0) {
+                if (current.empty())
+                    throw std::runtime_error("dimacs: zero-length clause (clause " +
+                                             std::to_string(p.clauses.size() + 1) + ")");
+                p.clauses.push_back(std::move(current));
+                current.clear();
+                continue;
+            }
+            const long long mag = v < 0 ? -v : v;
+            if (mag > p.num_vars)
+                throw std::runtime_error("dimacs: literal " + std::to_string(v) +
+                                         " exceeds the declared " + std::to_string(p.num_vars) +
+                                         " variables");
+            current.push_back(mk_lit(static_cast<var>(mag) - 1, v < 0));
         }
-        if (v == 0) {
-            s.add_clause(current);
-            current.clear();
-            ++clauses_read;
-            continue;
-        }
-        var x = static_cast<var>(v < 0 ? -v : v) - 1;
-        while (s.num_vars() <= x) s.new_var();
-        current.push_back(mk_lit(x, v < 0));
     }
     if (!current.empty()) throw std::runtime_error("dimacs: clause missing terminating 0");
-    if (!saw_header && clauses_read == 0)
-        throw std::runtime_error("dimacs: empty input");
-    return clauses_read;
+    if (!saw_header) throw std::runtime_error("dimacs: missing 'p cnf' problem line");
+    return p;
+}
+
+dimacs_problem read_dimacs(const std::string& text) {
+    std::istringstream is(text);
+    return read_dimacs(is);
+}
+
+std::size_t read_dimacs(std::istream& in, solver& s) {
+    dimacs_problem p = read_dimacs(in);
+    p.load_into(s);
+    return p.clauses.size();
 }
 
 std::size_t read_dimacs(const std::string& text, solver& s) {
@@ -60,6 +99,10 @@ void write_dimacs(std::ostream& out, int num_vars, const std::vector<clause_lits
         for (lit l : c) out << (sign_of(l) ? -(var_of(l) + 1) : var_of(l) + 1) << ' ';
         out << "0\n";
     }
+}
+
+void write_dimacs(std::ostream& out, const dimacs_problem& p) {
+    write_dimacs(out, p.num_vars, p.clauses);
 }
 
 }  // namespace sciduction::sat

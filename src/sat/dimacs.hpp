@@ -10,13 +10,48 @@
 
 namespace sciduction::sat {
 
-/// Parses DIMACS CNF from a stream into the solver (creating variables as
-/// needed). Returns the number of clauses read. Throws std::runtime_error
-/// on malformed input. Comment lines ('c') and the problem line ('p cnf')
-/// are handled; variables beyond the declared count are tolerated.
-std::size_t read_dimacs(std::istream& in, solver& s);
+/// A parsed DIMACS instance at the clause level — the representation the
+/// substrate's replica contract needs: `substrate::solve_cnf_file` parses a
+/// file ONCE into this form and replays the identical clause stream into
+/// every portfolio member / shard replica (identical variable numbering,
+/// identical `clause_digest`, so the CNF-level result cache keys stay
+/// stable across strategies).
+struct dimacs_problem {
+    int num_vars = 0;                  ///< declared variable count ('p cnf' line)
+    std::vector<clause_lits> clauses;  ///< problem clauses, in file order
+
+    /// Replays the parse into a solver: creates `num_vars` variables and
+    /// adds every clause in file order.
+    void load_into(solver& s) const;
+};
+
+/// Parses DIMACS CNF from a stream into the clause-level form. The grammar
+/// is enforced strictly so a malformed benchmark file fails loudly instead
+/// of silently solving the wrong instance — each violation throws
+/// std::runtime_error with a "dimacs:"-prefixed message:
+///   * clause data before (or without) the 'p cnf NV NC' problem line;
+///   * a second problem line, or a malformed one (negative counts);
+///   * a literal whose variable exceeds the declared variable count;
+///   * a zero-length clause ("0" with no preceding literals — DIMACS
+///     generators emit these only by mistake; encode falsity as (x)(-x));
+///   * a clause left unterminated at end of input;
+///   * any token that is neither a comment, the problem line, nor an
+///     integer (trailing garbage included).
+/// Comment lines ('c ...') are skipped anywhere; fewer or more clauses
+/// than the declared count are tolerated (the declared count is a hint,
+/// as most tooling treats it).
+dimacs_problem read_dimacs(std::istream& in);
 
 /// Convenience overload for a string.
+dimacs_problem read_dimacs(const std::string& text);
+
+/// Parses DIMACS CNF from a stream directly into the solver (creating the
+/// declared variables and adding every clause). Returns the number of
+/// clauses read. Same strict grammar (and throws) as the clause-level
+/// overload, which it delegates to.
+std::size_t read_dimacs(std::istream& in, solver& s);
+
+/// Convenience overload for a string, parsing into the solver.
 std::size_t read_dimacs(const std::string& text, solver& s);
 
 /// Writes a clause set in DIMACS format (for export to other solvers).
@@ -24,5 +59,9 @@ std::size_t read_dimacs(const std::string& text, solver& s);
 /// helper serializes caller-maintained clauses.
 void write_dimacs(std::ostream& out, int num_vars,
                   const std::vector<clause_lits>& clauses);
+
+/// Writes a parsed problem back out — with read_dimacs this is the
+/// round-trip pair the differential tests exercise.
+void write_dimacs(std::ostream& out, const dimacs_problem& p);
 
 }  // namespace sciduction::sat

@@ -1,6 +1,8 @@
 #include "substrate/solve_request.hpp"
 
 #include <algorithm>
+#include <fstream>
+#include <stdexcept>
 
 #include "substrate/portfolio.hpp"
 #include "substrate/query_cache.hpp"
@@ -305,6 +307,32 @@ cnf_outcome solve_cnf(const cnf_builder& build, const strategy& strat, unsigned 
     out.shard = shard_out.stats;
     memoize(out.result);
     return out;
+}
+
+cnf_outcome solve_cnf_dimacs(const sat::dimacs_problem& problem, const strategy& strat,
+                             unsigned threads, const solve_controls& controls,
+                             query_cache* cache) {
+    // Every member replays the same parsed clause stream: the replica
+    // contract (identical CNF, identical variable numbering, identical
+    // clause digest) holds by construction.
+    return solve_cnf([&problem](unsigned, sat::solver& s) { problem.load_into(s); }, strat,
+                     threads, controls, cache);
+}
+
+cnf_outcome solve_cnf_file(const std::string& path, const strategy& strat, unsigned threads,
+                           const solve_controls& controls, query_cache* cache) {
+    sat::dimacs_problem problem;
+    try {
+        std::ifstream in(path);
+        if (!in) throw std::runtime_error("dimacs: cannot open '" + path + "'");
+        problem = sat::read_dimacs(in);
+    } catch (const std::exception& e) {
+        cnf_outcome out;
+        out.result.status = solve_status::malformed;
+        out.result.status_detail = e.what();
+        return out;
+    }
+    return solve_cnf_dimacs(problem, strat, threads, controls, cache);
 }
 
 }  // namespace sciduction::substrate

@@ -21,6 +21,7 @@
 
 #include <optional>
 
+#include "sat/dimacs.hpp"
 #include "substrate/backend.hpp"
 #include "substrate/clause_exchange.hpp"
 #include "substrate/shard.hpp"
@@ -216,5 +217,24 @@ class query_cache;
 /// constructed with a path) this is invgen's cross-run warm start.
 cnf_outcome solve_cnf(const cnf_builder& build, const strategy& strat, unsigned threads = 0,
                       const solve_controls& controls = {}, query_cache* cache = nullptr);
+
+/// Decides a parsed DIMACS instance through solve_cnf: the clause-level
+/// form is replayed identically into every portfolio member / shard
+/// replica (the builder contract holds by construction), so strategies,
+/// budgets, and the CNF fingerprint cache all apply to standard benchmark
+/// files exactly as they do to in-tree builders.
+cnf_outcome solve_cnf_dimacs(const sat::dimacs_problem& problem, const strategy& strat = {},
+                             unsigned threads = 0, const solve_controls& controls = {},
+                             query_cache* cache = nullptr);
+
+/// Reads a DIMACS CNF file and decides it through solve_cnf — the
+/// standard-format front door `sciduction_run` and the scenario corpus
+/// use. An unreadable or malformed file is reported through the regular
+/// error model (solve_status::malformed with the parser's message as
+/// status_detail), never thrown: a bad benchmark file is an expected
+/// input, not a programming error.
+cnf_outcome solve_cnf_file(const std::string& path, const strategy& strat = {},
+                           unsigned threads = 0, const solve_controls& controls = {},
+                           query_cache* cache = nullptr);
 
 }  // namespace sciduction::substrate

@@ -1,0 +1,228 @@
+/// \file
+/// Pins the SMT-LIB2 front end: the accepted QF_BV subset builds the right
+/// terms (checked by evaluating them), everything outside the subset is
+/// rejected with a position-carrying parse_error, and a parsed script
+/// solves end-to-end through the engine with its `:status` annotation
+/// honoured.
+
+#include <gtest/gtest.h>
+
+#include "frontend/smtlib2.hpp"
+#include "substrate/engine.hpp"
+
+namespace sciduction {
+namespace {
+
+using frontend::parse_error;
+using frontend::parse_script;
+using frontend::script;
+
+// Parses a script and returns it, failing the test on a parse error so the
+// positive cases read linearly.
+script parse_ok(const std::string& text, smt::term_manager& tm) {
+    try {
+        return parse_script(text, tm);
+    } catch (const parse_error& e) {
+        ADD_FAILURE() << "unexpected parse error: " << e.what();
+        return {};
+    }
+}
+
+// Expects a parse_error at the given 1-based position whose message
+// contains `fragment`.
+void expect_error_at(const std::string& text, int line, int col, const std::string& fragment) {
+    smt::term_manager tm;
+    try {
+        parse_script(text, tm);
+        FAIL() << "accepted: " << text;
+    } catch (const parse_error& e) {
+        EXPECT_EQ(e.line(), line) << e.what();
+        EXPECT_EQ(e.col(), col) << e.what();
+        EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos) << e.what();
+        // The what() string carries the position for verbatim reporting.
+        EXPECT_EQ(std::string(e.what()).rfind("smtlib2:" + std::to_string(line) + ":" +
+                                              std::to_string(col) + ":", 0), 0u)
+            << e.what();
+    }
+}
+
+// Evaluates the single assertion of a declaration-free script.
+std::uint64_t eval_closed_assertion(const std::string& body) {
+    smt::term_manager tm;
+    script s = parse_ok("(set-logic QF_BV)(assert " + body + ")(check-sat)", tm);
+    if (s.assertions.size() != 1) {
+        ADD_FAILURE() << "expected one assertion";
+        return 0;
+    }
+    return tm.evaluate(s.assertions[0], {});
+}
+
+// ---- literals -------------------------------------------------------------------
+
+TEST(smtlib2_literals, hex_binary_and_indexed_agree) {
+    // #xFF, #b11111111 and (_ bv255 8) are the same 8-bit constant.
+    EXPECT_EQ(eval_closed_assertion("(= #xFF #b11111111)"), 1u);
+    EXPECT_EQ(eval_closed_assertion("(= #xFF (_ bv255 8))"), 1u);
+    // Width comes from the literal spelling: 4 bits per hex digit, 1 per
+    // binary digit.
+    EXPECT_EQ(eval_closed_assertion("(= (concat #x0 #b1010) #x0A)"), 1u);
+    // 64-bit extremes survive.
+    EXPECT_EQ(eval_closed_assertion("(= #xFFFFFFFFFFFFFFFF (bvnot #x0000000000000000))"), 1u);
+    EXPECT_EQ(eval_closed_assertion("(= (_ bv18446744073709551615 64) (bvnot (_ bv0 64)))"), 1u);
+}
+
+TEST(smtlib2_literals, malformed_literals_rejected) {
+    expect_error_at("(set-logic QF_BV)(assert (= #xZZ #xZZ))", 1, 29, "literal");
+    // A width-0 or over-64-bit literal is outside the term manager's range.
+    expect_error_at("(set-logic QF_BV)(assert (= (_ bv4 0) (_ bv4 0)))", 1, 36, "width");
+    expect_error_at("(set-logic QF_BV)\n(assert (= #x00000000000000000 #x1))", 2, 12, "64");
+    // Value must fit the declared width.
+    expect_error_at("(set-logic QF_BV)(assert (= (_ bv256 8) (_ bv0 8)))", 1, 32, "fit");
+    // Bare numerals are not in the QF_BV term grammar.
+    expect_error_at("(set-logic QF_BV)(assert (= 5 5))", 1, 29, "numeral");
+}
+
+// ---- term structure -------------------------------------------------------------
+
+TEST(smtlib2_terms, nested_let_free_terms_build) {
+    smt::term_manager tm;
+    script s = parse_ok(
+        "(set-logic QF_BV)\n"
+        "(declare-const x (_ BitVec 8))\n"
+        "(declare-fun y () (_ BitVec 8))\n"
+        "(assert (= (bvadd (bvmul x y) (bvnot (bvor x y)))\n"
+        "           (ite (bvult x y) (bvsub y x) (bvshl x (_ bv1 8)))))\n"
+        "(assert (distinct x y (_ bv7 8)))\n"
+        "(check-sat)\n",
+        tm);
+    EXPECT_EQ(s.logic, "QF_BV");
+    EXPECT_TRUE(s.check_sat);
+    ASSERT_EQ(s.assertions.size(), 2u);
+    ASSERT_EQ(s.declarations.size(), 2u);
+    EXPECT_EQ(s.declarations[0].first, "x");
+    EXPECT_EQ(s.declarations[1].first, "y");
+    for (const smt::term& t : s.assertions) EXPECT_EQ(tm.width_of(t), 0u);  // Bool
+    // The declared constants are 8-bit variables.
+    EXPECT_EQ(tm.width_of(s.declarations[0].second), 8u);
+    EXPECT_EQ(tm.width_of(s.declarations[1].second), 8u);
+}
+
+TEST(smtlib2_terms, nary_and_chained_operators) {
+    // n-ary and/or, chained =, right-folded =>, left-folded xor.
+    EXPECT_EQ(eval_closed_assertion("(and true true true)"), 1u);
+    EXPECT_EQ(eval_closed_assertion("(or false false true)"), 1u);
+    EXPECT_EQ(eval_closed_assertion("(= #x1 #x1 #x1)"), 1u);
+    EXPECT_EQ(eval_closed_assertion("(= #x1 #x1 #x2)"), 0u);
+    EXPECT_EQ(eval_closed_assertion("(=> true false true)"), 1u);  // true => (false => true)
+    EXPECT_EQ(eval_closed_assertion("(xor true true true)"), 1u);
+    EXPECT_EQ(eval_closed_assertion("(= (bvadd #x01 #x02 #x03) #x06)"), 1u);
+}
+
+TEST(smtlib2_terms, indexed_operators) {
+    EXPECT_EQ(eval_closed_assertion("(= ((_ extract 7 4) #xAB) #xA)"), 1u);
+    EXPECT_EQ(eval_closed_assertion("(= ((_ zero_extend 8) #xFF) #x00FF)"), 1u);
+    EXPECT_EQ(eval_closed_assertion("(= ((_ sign_extend 8) #xFF) #xFFFF)"), 1u);
+    // extract bounds are checked against the operand width.
+    expect_error_at("(set-logic QF_BV)(assert (= ((_ extract 8 0) #xAB) #xAB))", 1, 30,
+                    "extract");
+    // zero_extend past 64 bits is out of range.
+    expect_error_at(
+        "(set-logic QF_BV)(assert (= ((_ zero_extend 60) #xFF) ((_ zero_extend 60) #xFF)))",
+        1, 30, "64");
+}
+
+// ---- rejection: sorts, widths, scope --------------------------------------------
+
+TEST(smtlib2_errors, width_mismatches_carry_positions) {
+    // The position points into the offending term, multi-line scripts
+    // included.
+    expect_error_at(
+        "(set-logic QF_BV)\n"
+        "(declare-const x (_ BitVec 8))\n"
+        "(declare-const y (_ BitVec 16))\n"
+        "(assert (= x y))\n",
+        4, 10, "differ");
+    expect_error_at("(set-logic QF_BV)(assert (bvadd #x1 #x22))", 1, 27, "differ");
+    // Boolean connectives demand Bool operands...
+    expect_error_at("(set-logic QF_BV)(assert (and true #x1))", 1, 27, "Bool");
+    // ...and assert demands a Bool assertion.
+    expect_error_at("(set-logic QF_BV)(assert #x1)", 1, 26, "Bool");
+}
+
+TEST(smtlib2_errors, outside_the_subset_rejected_cleanly) {
+    // Unsupported logic: rejected at the logic token.
+    expect_error_at("(set-logic QF_LIA)(assert true)(check-sat)", 1, 12, "QF_BV");
+    // let is documented out of the subset, with a pointed message.
+    expect_error_at("(set-logic QF_BV)(assert (let ((a true)) a))", 1, 27, "let");
+    // Unknown operators and symbols name themselves.
+    expect_error_at("(set-logic QF_BV)(assert (bvfoo #x1 #x1))", 1, 27, "bvfoo");
+    expect_error_at("(set-logic QF_BV)(assert undeclared)", 1, 26, "undeclared");
+    // Functions of nonzero arity are outside the subset.
+    expect_error_at(
+        "(set-logic QF_BV)(declare-fun f ((_ BitVec 8)) (_ BitVec 8))", 1, 33, "arity");
+    // Duplicate declarations are rejected where they recur.
+    expect_error_at(
+        "(set-logic QF_BV)(declare-const x Bool)(declare-const x Bool)", 1, 55, "x");
+    // Unbalanced parentheses are a parse error, not a crash.
+    EXPECT_THROW({ smt::term_manager tm; parse_script("(assert (= x", tm); }, parse_error);
+    EXPECT_THROW({ smt::term_manager tm; parse_script("(check-sat))", tm); }, parse_error);
+}
+
+TEST(smtlib2_errors, unknown_commands_rejected) {
+    expect_error_at("(set-logic QF_BV)(push 1)", 1, 19, "push");
+    expect_error_at("(set-logic QF_BV)(define-fun f () Bool true)", 1, 19, "define-fun");
+}
+
+// ---- script metadata ------------------------------------------------------------
+
+TEST(smtlib2_script, status_annotation_and_flags_captured) {
+    smt::term_manager tm;
+    script s = parse_ok(
+        "(set-logic QF_BV)(set-info :status unsat)(set-info :source |whatever|)\n"
+        "(set-option :produce-models true)\n"
+        "(declare-const p Bool)(assert p)(assert (not p))(check-sat)(get-model)(exit)",
+        tm);
+    ASSERT_TRUE(s.expected_status.has_value());
+    EXPECT_EQ(*s.expected_status, "unsat");
+    EXPECT_TRUE(s.check_sat);
+    EXPECT_TRUE(s.get_model);
+    EXPECT_EQ(s.assertions.size(), 2u);
+}
+
+TEST(smtlib2_script, no_check_sat_is_fine) {
+    smt::term_manager tm;
+    script s = parse_ok("(set-logic QF_BV)(declare-const x (_ BitVec 4))(assert (= x x))", tm);
+    EXPECT_FALSE(s.check_sat);
+    EXPECT_FALSE(s.expected_status.has_value());
+}
+
+// ---- end to end -----------------------------------------------------------------
+
+TEST(smtlib2_script, parsed_script_solves_through_the_engine) {
+    smt::term_manager tm;
+    script s = parse_ok(
+        "(set-logic QF_BV)\n"
+        "(set-info :status sat)\n"
+        "(declare-const x (_ BitVec 8))\n"
+        "(declare-const y (_ BitVec 8))\n"
+        "(assert (= (bvadd x y) #x2A))\n"
+        "(assert (bvult x y))\n"
+        "(check-sat)\n",
+        tm);
+    substrate::smt_engine engine(tm);
+    substrate::backend_result r = engine.solve({s.assertions, {}, {}});
+    ASSERT_EQ(r.ans, substrate::answer::sat);
+    // The model satisfies every assertion (the :status annotation holds).
+    substrate::model_evaluator ev(tm, r.model);
+    for (const smt::term& t : s.assertions) EXPECT_EQ(ev.value(t), 1u);
+
+    // The unsat twin: x < y and y < x cannot both hold.
+    script u = parse_ok(
+        "(set-logic QF_BV)(declare-const a (_ BitVec 8))(declare-const b (_ BitVec 8))"
+        "(assert (bvult a b))(assert (bvult b a))(check-sat)",
+        tm);
+    EXPECT_EQ(engine.solve({u.assertions, {}, {}}).ans, substrate::answer::unsat);
+}
+
+}  // namespace
+}  // namespace sciduction
