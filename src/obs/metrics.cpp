@@ -42,28 +42,28 @@ std::uint64_t histogram::quantile(double q) const {
 }
 
 counter& metrics_registry::get_counter(const std::string& name) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sd::lock_guard lock(mutex_);
     auto& slot = counters_[name];
     if (!slot) slot = std::make_unique<counter>();
     return *slot;
 }
 
 gauge& metrics_registry::get_gauge(const std::string& name) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sd::lock_guard lock(mutex_);
     auto& slot = gauges_[name];
     if (!slot) slot = std::make_unique<gauge>();
     return *slot;
 }
 
 histogram& metrics_registry::get_histogram(const std::string& name) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sd::lock_guard lock(mutex_);
     auto& slot = histograms_[name];
     if (!slot) slot = std::make_unique<histogram>();
     return *slot;
 }
 
 std::map<std::string, std::uint64_t> metrics_registry::snapshot() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sd::lock_guard lock(mutex_);
     std::map<std::string, std::uint64_t> out;
     for (const auto& [name, c] : counters_) out[name] = c->load();
     for (const auto& [name, g] : gauges_) out[name] = g->load();

@@ -18,8 +18,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "substrate/annotations.hpp"
 
 /// Telemetry: span tracing (trace.hpp) and the metrics registry
 /// (metrics.hpp). Observation-only by contract — nothing in this namespace
@@ -93,10 +94,12 @@ public:
     [[nodiscard]] std::map<std::string, std::uint64_t> snapshot() const;
 
 private:
-    mutable std::mutex mutex_;
-    std::map<std::string, std::unique_ptr<counter>> counters_;
-    std::map<std::string, std::unique_ptr<gauge>> gauges_;
-    std::map<std::string, std::unique_ptr<histogram>> histograms_;
+    // The maps are guarded; the pointed-to instruments are deliberately
+    // not (their atomics are the lock-free hot path).
+    mutable sd::mutex mutex_;
+    std::map<std::string, std::unique_ptr<counter>> counters_ SD_GUARDED_BY(mutex_);
+    std::map<std::string, std::unique_ptr<gauge>> gauges_ SD_GUARDED_BY(mutex_);
+    std::map<std::string, std::unique_ptr<histogram>> histograms_ SD_GUARDED_BY(mutex_);
 };
 
 }  // namespace sciduction::obs

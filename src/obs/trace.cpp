@@ -41,7 +41,7 @@ trace_collector::trace_collector(std::size_t capacity)
 }
 
 std::uint32_t trace_collector::register_track(const std::string& name) {
-    std::lock_guard<std::mutex> lock(tracks_mutex_);
+    sd::writer_lock lock(tracks_mutex_);
     for (std::size_t i = 0; i < tracks_.size(); ++i)
         if (tracks_[i] == name) return static_cast<std::uint32_t>(i);
     tracks_.push_back(name);
@@ -61,7 +61,7 @@ trace_collector::shard& trace_collector::shard_for_this_thread() {
 
 void trace_collector::record(trace_event ev) {
     shard& s = shard_for_this_thread();
-    std::lock_guard<std::mutex> lock(s.mutex);
+    sd::lock_guard lock(s.mutex);
     if (s.events.size() >= shard_capacity_) {
         dropped_.fetch_add(1, std::memory_order_relaxed);
         return;
@@ -72,7 +72,7 @@ void trace_collector::record(trace_event ev) {
 std::vector<trace_event> trace_collector::events() const {
     std::vector<trace_event> out;
     for (const auto& s : shards_) {
-        std::lock_guard<std::mutex> lock(s.mutex);
+        sd::lock_guard lock(s.mutex);
         out.insert(out.end(), s.events.begin(), s.events.end());
     }
     std::stable_sort(out.begin(), out.end(), [](const trace_event& a, const trace_event& b) {
@@ -83,7 +83,7 @@ std::vector<trace_event> trace_collector::events() const {
 }
 
 std::vector<std::string> trace_collector::track_names() const {
-    std::lock_guard<std::mutex> lock(tracks_mutex_);
+    sd::shared_lock lock(tracks_mutex_);
     return tracks_;
 }
 

@@ -23,10 +23,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "substrate/annotations.hpp"
 
 namespace sciduction::obs {
 
@@ -82,8 +83,8 @@ public:
 private:
     static constexpr std::size_t shard_count = 8;
     struct shard {
-        mutable std::mutex mutex;
-        std::vector<trace_event> events;
+        mutable sd::mutex mutex;
+        std::vector<trace_event> events SD_GUARDED_BY(mutex);
     };
     shard& shard_for_this_thread();
 
@@ -91,8 +92,10 @@ private:
     std::size_t shard_capacity_;
     std::array<shard, shard_count> shards_;
     std::atomic<std::uint64_t> dropped_{0};
-    mutable std::mutex tracks_mutex_;
-    std::vector<std::string> tracks_;
+    // Tracks are read on every to_json/track_names but only written by the
+    // (rare) register_track — a reader-writer split.
+    mutable sd::shared_mutex tracks_mutex_;
+    std::vector<std::string> tracks_ SD_GUARDED_BY(tracks_mutex_);
 };
 
 /// RAII span: construct at the start of the interval, end() (or destroy)

@@ -127,15 +127,18 @@ server::~server() {
 
 std::uint64_t server::run() {
     listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    // lint: throw-ok(listener setup, before any request is being served)
     if (listen_fd_ < 0) throw std::runtime_error("sciductiond: socket() failed");
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
     if (cfg_.socket_path.size() >= sizeof(addr.sun_path))
+        // lint: throw-ok(listener setup, before any request is being served)
         throw std::runtime_error("sciductiond: socket path too long");
     std::strncpy(addr.sun_path, cfg_.socket_path.c_str(), sizeof(addr.sun_path) - 1);
     ::unlink(cfg_.socket_path.c_str());
     if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
         ::listen(listen_fd_, 16) != 0)
+        // lint: throw-ok(listener setup, before any request is being served)
         throw std::runtime_error("sciductiond: cannot bind " + cfg_.socket_path);
     set_nonblocking(listen_fd_);
     serving_.store(true, std::memory_order_release);

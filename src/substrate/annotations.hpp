@@ -1,0 +1,224 @@
+/// \file
+/// The concurrency contract as code: Clang thread-safety-analysis macros
+/// plus annotated lock wrappers, used by every locked component in the
+/// repository.
+///
+/// `std::mutex` carries no capability attributes, so Clang's
+/// `-Wthread-safety` analysis cannot see anything through it. This header
+/// closes that gap twice over: the `SD_*` macros expand to the Clang
+/// capability attributes (and to nothing on other compilers), and the
+/// `sciduction::sd` wrappers re-export the standard lock vocabulary
+/// (`mutex`, `shared_mutex`, `lock_guard`, `unique_lock`,
+/// `condition_variable`) with those attributes attached. In-tree code must
+/// use the `sd::` types instead of the raw `std::` ones — an invariant
+/// `tools/sciduction_lint.py` enforces — so that the locking discipline
+/// documented in docs/ARCHITECTURE.md is compiler-checked in the CI
+/// `thread-safety` job (`-Wthread-safety -Werror`). Conventions and how to
+/// read an analysis error: docs/STATIC_ANALYSIS.md.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+/// \cond SD_INTERNAL
+#if defined(__clang__) && (!defined(SWIG))
+#define SD_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define SD_THREAD_ANNOTATION_(x)  // no-op off Clang
+#endif
+/// \endcond
+
+/// Marks a class as a lockable capability (the thing `SD_GUARDED_BY`
+/// names). `x` is the capability kind shown in diagnostics, e.g. "mutex".
+#define SD_CAPABILITY(x) SD_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability (`std::lock_guard` shape).
+#define SD_SCOPED_CAPABILITY SD_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Declares that the annotated field may only be read or written while
+/// holding the named capability.
+#define SD_GUARDED_BY(x) SD_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Declares that the *pointee* of the annotated pointer field may only be
+/// accessed while holding the named capability.
+#define SD_PT_GUARDED_BY(x) SD_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Declares that callers must hold the named capability (exclusively)
+/// before calling the annotated function — the `_locked` helper contract.
+#define SD_REQUIRES(...) SD_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Declares that callers must hold the named capability at least shared.
+#define SD_REQUIRES_SHARED(...) SD_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Declares that the annotated function acquires the capability
+/// (exclusively) and does not release it before returning.
+#define SD_ACQUIRE(...) SD_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Shared-mode counterpart of `SD_ACQUIRE`.
+#define SD_ACQUIRE_SHARED(...) SD_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// Declares that the annotated function releases the (exclusively held)
+/// capability.
+#define SD_RELEASE(...) SD_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Shared-mode counterpart of `SD_RELEASE`.
+#define SD_RELEASE_SHARED(...) SD_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// Declares a function that *may* acquire the capability; the first
+/// argument is the return value meaning success.
+#define SD_TRY_ACQUIRE(...) SD_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Declares that the caller must NOT hold the named capability (guards
+/// against self-deadlock on a non-recursive mutex).
+#define SD_EXCLUDES(...) SD_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Declares that the annotated function returns a reference to the named
+/// capability.
+#define SD_RETURN_CAPABILITY(x) SD_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Opts one function out of the analysis. Every use must carry a comment
+/// justifying why the analysis cannot see the invariant (see the
+/// suppression policy in docs/STATIC_ANALYSIS.md).
+#define SD_NO_THREAD_SAFETY_ANALYSIS SD_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+/// Annotated lock vocabulary shared by all sciduction components:
+/// drop-in `std::` lock types carrying the Clang capability attributes,
+/// so `-Wthread-safety` can check the discipline declared with the `SD_*`
+/// macros (annotations.hpp).
+namespace sciduction::sd {
+
+/// `std::mutex` as an annotated capability. Identical semantics and cost;
+/// the attribute is compile-time only.
+class SD_CAPABILITY("mutex") mutex {
+public:
+    mutex() = default;
+    mutex(const mutex&) = delete;
+    mutex& operator=(const mutex&) = delete;
+
+    /// Blocks until the mutex is acquired.
+    void lock() SD_ACQUIRE() { m_.lock(); }
+    /// Releases the mutex.
+    void unlock() SD_RELEASE() { m_.unlock(); }
+    /// Acquires the mutex if free; returns true on success.
+    bool try_lock() SD_TRY_ACQUIRE(true) { return m_.try_lock(); }
+    /// The wrapped standard mutex, for interop with `std::` primitives
+    /// (`sd::unique_lock` / `sd::condition_variable` use it; application
+    /// code should not).
+    std::mutex& native() { return m_; }
+
+private:
+    std::mutex m_;
+};
+
+/// `std::shared_mutex` as an annotated capability (exclusive writers,
+/// shared readers).
+class SD_CAPABILITY("shared_mutex") shared_mutex {
+public:
+    shared_mutex() = default;
+    shared_mutex(const shared_mutex&) = delete;
+    shared_mutex& operator=(const shared_mutex&) = delete;
+
+    /// Blocks until exclusively acquired.
+    void lock() SD_ACQUIRE() { m_.lock(); }
+    /// Releases exclusive ownership.
+    void unlock() SD_RELEASE() { m_.unlock(); }
+    /// Blocks until acquired in shared (reader) mode.
+    void lock_shared() SD_ACQUIRE_SHARED() { m_.lock_shared(); }
+    /// Releases shared ownership.
+    void unlock_shared() SD_RELEASE_SHARED() { m_.unlock_shared(); }
+
+private:
+    std::shared_mutex m_;
+};
+
+/// Scoped exclusive lock over `sd::mutex` (the `std::lock_guard` shape:
+/// acquire on construction, release on destruction, no unlock API).
+class SD_SCOPED_CAPABILITY lock_guard {
+public:
+    /// Acquires `m` for the guard's lifetime.
+    explicit lock_guard(mutex& m) SD_ACQUIRE(m) : m_(m) { m_.lock(); }
+    ~lock_guard() SD_RELEASE() { m_.unlock(); }
+    lock_guard(const lock_guard&) = delete;
+    lock_guard& operator=(const lock_guard&) = delete;
+
+private:
+    mutex& m_;
+};
+
+/// Scoped shared (reader) lock over `sd::shared_mutex`.
+class SD_SCOPED_CAPABILITY shared_lock {
+public:
+    /// Acquires `m` in shared mode for the guard's lifetime.
+    explicit shared_lock(shared_mutex& m) SD_ACQUIRE_SHARED(m) : m_(m) { m_.lock_shared(); }
+    ~shared_lock() SD_RELEASE() { m_.unlock_shared(); }
+    shared_lock(const shared_lock&) = delete;
+    shared_lock& operator=(const shared_lock&) = delete;
+
+private:
+    shared_mutex& m_;
+};
+
+/// Scoped exclusive lock over `sd::shared_mutex` (writer side).
+class SD_SCOPED_CAPABILITY writer_lock {
+public:
+    /// Acquires `m` exclusively for the guard's lifetime.
+    explicit writer_lock(shared_mutex& m) SD_ACQUIRE(m) : m_(m) { m_.lock(); }
+    ~writer_lock() SD_RELEASE() { m_.unlock(); }
+    writer_lock(const writer_lock&) = delete;
+    writer_lock& operator=(const writer_lock&) = delete;
+
+private:
+    shared_mutex& m_;
+};
+
+/// Scoped lock over `sd::mutex` that a condition variable can release and
+/// reacquire (`std::unique_lock` over the wrapped native mutex), with an
+/// explicit early `unlock()`. The deferred/adopt modes and re-`lock()` are
+/// deliberately not exposed: the capability only ever moves from held to
+/// released, keeping the analysis state trivially trackable.
+class SD_SCOPED_CAPABILITY unique_lock {
+public:
+    /// Acquires `m` for the lock's lifetime.
+    explicit unique_lock(mutex& m) SD_ACQUIRE(m) : lk_(m.native()) {}
+    ~unique_lock() SD_RELEASE() {}
+    unique_lock(const unique_lock&) = delete;
+    unique_lock& operator=(const unique_lock&) = delete;
+
+    /// Releases the mutex before the scope ends (for publish-then-work
+    /// patterns); after this the destructor is a no-op.
+    void unlock() SD_RELEASE() { lk_.unlock(); }
+
+    /// The wrapped standard lock, for `sd::condition_variable` only.
+    std::unique_lock<std::mutex>& native() { return lk_; }
+
+private:
+    std::unique_lock<std::mutex> lk_;
+};
+
+/// `std::condition_variable` over `sd::unique_lock`. `wait` deliberately
+/// carries no thread-safety attributes: the analysis treats the capability
+/// as held across the call, which matches the caller-visible contract
+/// (wait returns with the lock re-acquired). Callers therefore spell the
+/// predicate as an explicit loop — `while (!pred) cv.wait(lock);` — since
+/// a predicate lambda would be analyzed as a separate unlocked function.
+class condition_variable {
+public:
+    condition_variable() = default;
+    condition_variable(const condition_variable&) = delete;
+    condition_variable& operator=(const condition_variable&) = delete;
+
+    /// Atomically releases `lk`, blocks, and re-acquires it before
+    /// returning (possibly spuriously — loop on the predicate).
+    void wait(unique_lock& lk) { cv_.wait(lk.native()); }
+    /// Wakes one waiter.
+    void notify_one() { cv_.notify_one(); }
+    /// Wakes every waiter.
+    void notify_all() { cv_.notify_all(); }
+
+private:
+    std::condition_variable cv_;
+};
+
+}  // namespace sciduction::sd

@@ -5,7 +5,7 @@ namespace sciduction::substrate {
 clause_pool::clause_pool(sharing_config cfg) : cfg_(cfg) {}
 
 unsigned clause_pool::register_member() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sd::lock_guard lock(mutex_);
     // Cursor starts at 0: a member joining late still imports everything
     // already pooled (all of it is sound for any replica of the CNF).
     cursors_.push_back(0);
@@ -14,7 +14,7 @@ unsigned clause_pool::register_member() {
 }
 
 void clause_pool::ban_vars(const std::vector<sat::var>& vars) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sd::lock_guard lock(mutex_);
     for (sat::var v : vars) {
         auto idx = static_cast<std::size_t>(v);
         if (banned_.size() <= idx) banned_.resize(idx + 1, 0);
@@ -38,7 +38,7 @@ bool clause_pool::publish(unsigned member, const sat::clause_lits& lits, unsigne
         filtered_unlocked_.fetch_add(1, std::memory_order_relaxed);
         return false;
     }
-    std::lock_guard<std::mutex> lock(mutex_);
+    sd::lock_guard lock(mutex_);
     if (!passes_ban_filter(lits)) {
         ++stats_.filtered;
         return false;
@@ -50,7 +50,7 @@ bool clause_pool::publish(unsigned member, const sat::clause_lits& lits, unsigne
 }
 
 std::size_t clause_pool::fetch(unsigned member, std::vector<sat::clause_lits>& out) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sd::lock_guard lock(mutex_);
     std::size_t& cursor = cursors_[member];
     std::size_t appended = 0;
     const std::size_t cap = cfg_.max_import_per_checkpoint;
@@ -66,7 +66,7 @@ std::size_t clause_pool::fetch(unsigned member, std::vector<sat::clause_lits>& o
 }
 
 void clause_pool::seal_round() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sd::lock_guard lock(mutex_);
     // Merge in member order so the visible list — and hence every member's
     // next import — is independent of which thread published first.
     for (auto& box : outbox_) {
@@ -84,14 +84,14 @@ void clause_pool::attach(sat::solver& s, unsigned member) {
 }
 
 exchange_stats clause_pool::stats() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sd::lock_guard lock(mutex_);
     exchange_stats out = stats_;
     out.filtered += filtered_unlocked_.load(std::memory_order_relaxed);
     return out;
 }
 
 std::size_t clause_pool::visible() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sd::lock_guard lock(mutex_);
     return visible_.size();
 }
 

@@ -31,10 +31,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "sat/solver.hpp"
+#include "substrate/annotations.hpp"
 
 namespace sciduction::substrate {
 
@@ -158,15 +158,19 @@ private:
         unsigned producer;
     };
 
-    [[nodiscard]] bool passes_ban_filter(const sat::clause_lits& lits) const;
+    [[nodiscard]] bool passes_ban_filter(const sat::clause_lits& lits) const SD_REQUIRES(mutex_);
 
-    sharing_config cfg_;
-    mutable std::mutex mutex_;
-    std::vector<pooled_clause> visible_;            // what importers may fetch
-    std::vector<std::vector<pooled_clause>> outbox_;  // per-member, deterministic mode
-    std::vector<std::size_t> cursors_;              // per-member read position
-    std::vector<char> banned_;                      // var -> core-clean ban flag
-    exchange_stats stats_;                          // mutex-guarded counters
+    sharing_config cfg_;  // immutable after construction: readable lock-free
+    mutable sd::mutex mutex_;
+    // What importers may fetch.
+    std::vector<pooled_clause> visible_ SD_GUARDED_BY(mutex_);
+    // Per-member publish buffers, deterministic mode only.
+    std::vector<std::vector<pooled_clause>> outbox_ SD_GUARDED_BY(mutex_);
+    // Per-member read position into visible_.
+    std::vector<std::size_t> cursors_ SD_GUARDED_BY(mutex_);
+    // var -> core-clean ban flag.
+    std::vector<char> banned_ SD_GUARDED_BY(mutex_);
+    exchange_stats stats_ SD_GUARDED_BY(mutex_);
     // Size/LBD rejections are counted outside the mutex (see publish).
     std::atomic<std::uint64_t> filtered_unlocked_{0};
 };

@@ -27,8 +27,8 @@ struct query_state {
     std::atomic<std::uint64_t> live_conflicts{0};
     std::atomic<strategy_kind> live_strategy{strategy_kind::automatic};
     std::uint64_t query_id = 0;  // engine-wide submit ordinal (span "query" arg)
-    mutable std::mutex mutex;
-    request_stats stats;
+    mutable sd::mutex mutex;
+    request_stats stats SD_GUARDED_BY(mutex);
 };
 
 }  // namespace detail
@@ -87,7 +87,7 @@ request_stats query_handle::stats() const {
     request_stats s;
     if (state_ == nullptr) return s;
     {
-        std::lock_guard<std::mutex> lock(state_->mutex);
+        sd::lock_guard lock(state_->mutex);
         s = state_->stats;
     }
     if (coalesced_) s.coalesced = true;
@@ -112,7 +112,7 @@ void session_stats::count(solve_status s) {
 engine_session::~engine_session() { engine_.release_session_lane(lane_); }
 
 session_stats engine_session::stats() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sd::lock_guard lock(mutex_);
     return stats_;
 }
 
@@ -125,14 +125,14 @@ backend_result engine_session::solve(solve_request req) {
 }
 
 void engine_session::note_query(bool cache_hit, bool coalesced) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sd::lock_guard lock(mutex_);
     ++stats_.queries;
     if (cache_hit) ++stats_.cache_hits;
     if (coalesced) ++stats_.coalesced;
 }
 
 void engine_session::note_completed(const backend_result& result) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sd::lock_guard lock(mutex_);
     ++stats_.completed;
     stats_.conflicts += result.conflicts;
     stats_.count(result.status);
@@ -198,6 +198,7 @@ smt_engine::smt_engine(smt::term_manager& tm, engine_config cfg)
     // Misconfiguring an engine is a programming error (unlike a malformed
     // request, which submit reports through solve_status::malformed).
     if (std::string err = cfg_.validate(); !err.empty())
+        // lint: throw-ok(ctor misconfiguration, before any solve exists)
         throw std::invalid_argument("engine_config: " + err);
     if (cfg_.trace)
         trace_track_ = cfg_.trace->register_track(
@@ -207,7 +208,7 @@ smt_engine::smt_engine(smt::term_manager& tm, engine_config cfg)
 engine_stats smt_engine::stats() const {
     engine_stats s;
     {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        sd::lock_guard lock(stats_mutex_);
         s = stats_;
     }
     // The cache-side counters are mirrored here so one stats() snapshot
@@ -222,7 +223,7 @@ engine_stats smt_engine::stats() const {
 
 thread_pool& smt_engine::pool() {
     if (cfg_.shared_pool) return *cfg_.shared_pool;
-    std::lock_guard<std::mutex> lock(pool_mutex_);
+    sd::lock_guard lock(pool_mutex_);
     if (!pool_) pool_ = std::make_unique<thread_pool>(cfg_.threads);
     return *pool_;
 }
@@ -240,7 +241,7 @@ void smt_engine::release_session_lane(thread_pool::lane_id lane) {
         cfg_.shared_pool->release_lane(lane);
         return;
     }
-    std::lock_guard<std::mutex> lock(pool_mutex_);
+    sd::lock_guard lock(pool_mutex_);
     if (pool_) pool_->release_lane(lane);
 }
 
@@ -248,7 +249,7 @@ backend_result smt_engine::run_request(const smt_query& q, const struct strategy
                                        const query_key& key, detail::query_state& state) {
     resolved_strategy rs;
     {
-        std::lock_guard<std::mutex> lock(state.mutex);
+        sd::lock_guard lock(state.mutex);
         rs = state.stats.strategy;
     }
     obs::trace_collector* tr = cfg_.trace.get();
@@ -289,7 +290,7 @@ backend_result smt_engine::run_request(const smt_query& q, const struct strategy
         // spawn workers.
         f.threads = cfg_.threads == 0 ? default_concurrency() : cfg_.threads;
         {
-            std::lock_guard<std::mutex> lock(history_mutex_);
+            sd::lock_guard lock(history_mutex_);
             auto it = history_.find(key);
             if (it != history_.end()) {
                 f.has_history = true;
@@ -304,15 +305,15 @@ backend_result smt_engine::run_request(const smt_query& q, const struct strategy
             merged.members = auto_portfolio_members;
         rs = merged.resolve(defaults_);
         {
-            std::lock_guard<std::mutex> lock(state.mutex);
+            sd::lock_guard lock(state.mutex);
             state.stats.strategy = rs;
             state.stats.auto_selected = true;
         }
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        sd::lock_guard lock(stats_mutex_);
         stats_.auto_picks.count(rs.kind);
     }
     {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        sd::lock_guard lock(stats_mutex_);
         stats_.dispatched.count(rs.kind);
     }
     state.live_strategy.store(rs.kind, std::memory_order_relaxed);
@@ -331,7 +332,7 @@ backend_result smt_engine::run_request(const smt_query& q, const struct strategy
         case strategy_kind::automatic: break;  // unreachable: resolved above
         case strategy_kind::single: {
             {
-                std::lock_guard<std::mutex> lock(stats_mutex_);
+                sd::lock_guard lock(stats_mutex_);
                 ++stats_.solver_runs;
             }
             if (!proto) make_proto("smt");
@@ -340,13 +341,13 @@ backend_result smt_engine::run_request(const smt_query& q, const struct strategy
                 core.set_conflict_pause(core.stats().conflicts + rs.conflict_budget);
             }
             result = proto->check(&state.cancel);
-            std::lock_guard<std::mutex> lock(state.mutex);
+            sd::lock_guard lock(state.mutex);
             state.stats.winner_name = proto->name();
             break;
         }
         case strategy_kind::portfolio: {
             {
-                std::lock_guard<std::mutex> lock(stats_mutex_);
+                sd::lock_guard lock(stats_mutex_);
                 stats_.solver_runs += rs.members;
             }
             portfolio_config pcfg;
@@ -370,7 +371,7 @@ backend_result smt_engine::run_request(const smt_query& q, const struct strategy
             portfolio_outcome outcome = pcfg.sequential ? race(factory, pcfg, controls)
                                                         : race(factory, pcfg, pool(), controls);
             result = std::move(outcome.result);
-            std::lock_guard<std::mutex> lock(state.mutex);
+            sd::lock_guard lock(state.mutex);
             state.stats.winner = outcome.winner;
             state.stats.winner_name = std::move(outcome.winner_name);
             state.stats.rounds = outcome.rounds;
@@ -390,7 +391,7 @@ backend_result smt_engine::run_request(const smt_query& q, const struct strategy
             shard_outcome outcome = solve_cubes(
                 [&](std::size_t pair) {
                     {
-                        std::lock_guard<std::mutex> lock(stats_mutex_);
+                        sd::lock_guard lock(stats_mutex_);
                         ++stats_.solver_runs;
                     }
                     auto b = std::make_unique<smt_backend>(
@@ -403,7 +404,7 @@ backend_result smt_engine::run_request(const smt_query& q, const struct strategy
                 },
                 plan, pool(), rs.sharing, controls);
             result = std::move(outcome.result);
-            std::lock_guard<std::mutex> lock(state.mutex);
+            sd::lock_guard lock(state.mutex);
             state.stats.shard = outcome.stats;
             state.stats.rounds = outcome.stats.rounds;
             break;
@@ -417,7 +418,7 @@ backend_result smt_engine::run_request(const smt_query& q, const struct strategy
                             ? solve_status::cancelled
                             : (rs.conflict_budget != 0 ? solve_status::over_budget
                                                        : solve_status::internal);
-    std::lock_guard<std::mutex> lock(state.mutex);
+    sd::lock_guard lock(state.mutex);
     state.stats.conflicts = result.conflicts;
     return result;
 }
@@ -437,7 +438,7 @@ backend_result smt_engine::run_and_complete(const smt_query& q, const struct str
         result = run_request(q, requested, key, state);
         resolved_strategy ran;
         {
-            std::lock_guard<std::mutex> slock(state.mutex);
+            sd::lock_guard slock(state.mutex);
             ran = state.stats.strategy;
         }
         solve_span.arg("strategy", static_cast<std::uint64_t>(ran.kind));
@@ -447,7 +448,7 @@ backend_result smt_engine::run_and_complete(const smt_query& q, const struct str
             // Record the outcome for the classifier. Unknown results
             // (cancelled / budget-exhausted) say nothing about the query's
             // cost and are not recorded.
-            std::lock_guard<std::mutex> hlock(history_mutex_);
+            sd::lock_guard hlock(history_mutex_);
             if (history_.size() >= history_bound) history_.clear();
             history_[key] = solve_profile{result.conflicts, ran.kind};
         }
@@ -464,7 +465,7 @@ backend_result smt_engine::run_and_complete(const smt_query& q, const struct str
         result.status_detail = "unknown internal error";
     }
     {
-        std::lock_guard<std::mutex> slock(state.mutex);
+        sd::lock_guard slock(state.mutex);
         state.stats.status = result.status;
         state.stats.status_detail = result.status_detail;
     }
@@ -473,7 +474,7 @@ backend_result smt_engine::run_and_complete(const smt_query& q, const struct str
     // inserts into the cache *before* erasing the entry (do_submit's
     // locked re-check relies on that order).
     {
-        std::lock_guard<std::mutex> ilock(inflight_mutex_);
+        sd::lock_guard ilock(inflight_mutex_);
         inflight_.erase(key);
     }
     state.finished.store(true, std::memory_order_relaxed);
@@ -485,7 +486,7 @@ query_handle smt_engine::do_submit(solve_request req, bool inline_exec,
                                    std::shared_ptr<engine_session> session) {
     std::uint64_t qid = 0;
     {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        sd::lock_guard lock(stats_mutex_);
         qid = ++stats_.queries;
     }
     obs::trace_collector* tr = cfg_.trace.get();
@@ -520,7 +521,7 @@ query_handle smt_engine::do_submit(solve_request req, bool inline_exec,
 
     auto resolve_ready = [&](backend_result cached) {
         {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
+            sd::lock_guard lock(stats_mutex_);
             ++stats_.cache_hits;
         }
         if (session) {
@@ -559,10 +560,10 @@ query_handle smt_engine::do_submit(solve_request req, bool inline_exec,
     // execution (the solve() path) stays thread-free unless the strategy
     // itself needs workers.
     thread_pool* workers = inline_exec ? nullptr : &pool();
-    std::unique_lock<std::mutex> lock(inflight_mutex_);
+    sd::unique_lock lock(inflight_mutex_);
     if (auto it = inflight_.find(key); it != inflight_.end()) {
         {
-            std::lock_guard<std::mutex> slock(stats_mutex_);
+            sd::lock_guard slock(stats_mutex_);
             ++stats_.coalesced;
         }
         if (session) session->note_query(/*cache_hit=*/false, /*coalesced=*/true);

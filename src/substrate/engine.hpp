@@ -37,6 +37,7 @@
 #include <memory>
 
 #include "obs/trace.hpp"
+#include "substrate/annotations.hpp"
 #include "substrate/portfolio.hpp"
 #include "substrate/query_cache.hpp"
 #include "substrate/solve_request.hpp"
@@ -327,8 +328,8 @@ private:
     std::string name_;
     unsigned weight_;
     thread_pool::lane_id lane_;
-    mutable std::mutex mutex_;
-    session_stats stats_;
+    mutable sd::mutex mutex_;
+    session_stats stats_ SD_GUARDED_BY(mutex_);
 };
 
 /// The deductive-query facade: one engine per (term_manager, workload)
@@ -434,24 +435,26 @@ private:
     // config supplied a shared_cache, in which case that one is used and
     // kept alive by this reference.
     std::shared_ptr<query_cache> cache_;
-    std::mutex inflight_mutex_;
-    std::unordered_map<query_key, inflight_entry, query_key_hash> inflight_;
+    sd::mutex inflight_mutex_;
+    std::unordered_map<query_key, inflight_entry, query_key_hash> inflight_
+        SD_GUARDED_BY(inflight_mutex_);
     // Per-key outcome history feeding strategy::auto_select (survives cache
     // bypass and eviction; coarsely bounded, see engine.cpp).
     struct solve_profile {
         std::uint64_t conflicts = 0;
         strategy_kind kind = strategy_kind::single;
     };
-    std::mutex history_mutex_;
-    std::unordered_map<query_key, solve_profile, query_key_hash> history_;
-    mutable std::mutex stats_mutex_;
-    engine_stats stats_;
+    sd::mutex history_mutex_;
+    std::unordered_map<query_key, solve_profile, query_key_hash> history_
+        SD_GUARDED_BY(history_mutex_);
+    mutable sd::mutex stats_mutex_;
+    engine_stats stats_ SD_GUARDED_BY(stats_mutex_);
     // The pool is declared last on purpose: submitted tasks touch cache_,
     // inflight_, history_ and stats_, so ~smt_engine must drain the pool
     // (members are destroyed in reverse declaration order) before any of
     // those die.
-    std::mutex pool_mutex_;
-    std::unique_ptr<thread_pool> pool_;
+    sd::mutex pool_mutex_;
+    std::unique_ptr<thread_pool> pool_ SD_GUARDED_BY(pool_mutex_);
 };
 
 }  // namespace sciduction::substrate

@@ -1,11 +1,10 @@
 #include "substrate/portfolio.hpp"
 
 #include <algorithm>
-#include <mutex>
-#include <thread>
 #include <vector>
 
 #include "obs/trace.hpp"
+#include "substrate/annotations.hpp"
 #include "substrate/thread_pool.hpp"
 
 namespace sciduction::substrate {
@@ -72,9 +71,9 @@ portfolio_outcome race_free(const backend_factory& factory, unsigned members, th
     struct race_state {
         std::atomic<bool> local_cancel{false};
         std::atomic<bool>* cancel = nullptr;
-        std::mutex mutex;
-        portfolio_outcome outcome;
-        bool decided = false;
+        sd::mutex mutex;
+        portfolio_outcome outcome SD_GUARDED_BY(mutex);
+        bool decided SD_GUARDED_BY(mutex) = false;
     } state;
     state.cancel = controls.cancel != nullptr ? controls.cancel : &state.local_cancel;
 
@@ -103,7 +102,7 @@ portfolio_outcome race_free(const backend_factory& factory, unsigned members, th
         sat::solver_stats core_stats;
         if (sat::solver* core = backend->sat_core()) core_stats = core->stats();
         const bool definite = result.ans != answer::unknown;
-        std::lock_guard<std::mutex> lock(state.mutex);
+        sd::lock_guard lock(state.mutex);
         state.outcome.total_conflicts += conflicts;
         state.outcome.sharing.accumulate(core_stats);
         if (!definite && !state.decided)
@@ -117,6 +116,9 @@ portfolio_outcome race_free(const backend_factory& factory, unsigned members, th
         state.outcome.winner_name = backend->name();
         state.cancel->store(true, std::memory_order_relaxed);
     });
+    // parallel_for is a barrier, but the analysis cannot see that: read
+    // the outcome under the lock it is guarded by.
+    sd::lock_guard lock(state.mutex);
     return state.outcome;  // all-unknown leaves the default (answer::unknown)
 }
 

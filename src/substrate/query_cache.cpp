@@ -141,7 +141,7 @@ cnf_fingerprint cnf_fingerprint::of(const sat::solver& s) {
 query_cache::query_cache(smt::term_manager& tm, std::size_t capacity, std::string path)
     : tm_(&tm), capacity_(capacity), path_(std::move(path)) {
     if (!path_.empty()) {
-        std::lock_guard<std::mutex> lock(mutex_);
+        sd::lock_guard lock(mutex_);
         load_locked();
     }
 }
@@ -149,14 +149,14 @@ query_cache::query_cache(smt::term_manager& tm, std::size_t capacity, std::strin
 query_cache::query_cache(std::string path, std::size_t capacity)
     : tm_(nullptr), capacity_(capacity), path_(std::move(path)) {
     if (!path_.empty()) {
-        std::lock_guard<std::mutex> lock(mutex_);
+        sd::lock_guard lock(mutex_);
         load_locked();
     }
 }
 
 query_cache::~query_cache() {
     if (path_.empty()) return;
-    std::lock_guard<std::mutex> lock(mutex_);
+    sd::lock_guard lock(mutex_);
     save_locked();
 }
 
@@ -353,27 +353,27 @@ std::shared_ptr<const query_cache::prepared_query> query_cache::prepare_locked(
 std::shared_ptr<const query_cache::prepared_query> query_cache::prepare(
     smt::term_manager& tm, const std::vector<smt::term>& assertions,
     const std::vector<smt::term>& assumptions) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sd::lock_guard lock(mutex_);
     return prepare_locked(tm, assertions, assumptions);
 }
 
 std::uint64_t query_cache::structural_hash(smt::term t) {
     smt::term_manager& tm = default_manager();
-    std::lock_guard<std::mutex> lock(mutex_);
+    sd::lock_guard lock(mutex_);
     return prepare_locked(tm, {t}, {})->form.hash;
 }
 
 structural_form query_cache::form_of(smt::term_manager& tm,
                                      const std::vector<smt::term>& assertions,
                                      const std::vector<smt::term>& assumptions) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sd::lock_guard lock(mutex_);
     return prepare_locked(tm, assertions, assumptions)->form;
 }
 
 query_key query_cache::key_for(const std::vector<smt::term>& assertions,
                                const std::vector<smt::term>& assumptions) {
     smt::term_manager& tm = default_manager();
-    std::lock_guard<std::mutex> lock(mutex_);
+    sd::lock_guard lock(mutex_);
     return prepare_locked(tm, assertions, assumptions)->key;
 }
 
@@ -468,14 +468,14 @@ std::optional<backend_result> query_cache::lookup_locked(smt::term_manager& tm,
 
 std::optional<backend_result> query_cache::lookup_prepared(smt::term_manager& tm,
                                                            const prepared_query& prep) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sd::lock_guard lock(mutex_);
     return lookup_locked(tm, prep);
 }
 
 std::optional<backend_result> query_cache::lookup_in(smt::term_manager& tm,
                                                      const std::vector<smt::term>& assertions,
                                                      const std::vector<smt::term>& assumptions) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sd::lock_guard lock(mutex_);
     return lookup_locked(tm, *prepare_locked(tm, assertions, assumptions));
 }
 
@@ -535,7 +535,7 @@ void query_cache::insert_locked(const prepared_query& prep, const backend_result
 void query_cache::insert_prepared(smt::term_manager& tm, const prepared_query& prep,
                                   const backend_result& result) {
     (void)tm;  // symmetry with lookup_prepared; the prep already binds the manager
-    std::lock_guard<std::mutex> lock(mutex_);
+    sd::lock_guard lock(mutex_);
     insert_locked(prep, result);
 }
 
@@ -543,7 +543,7 @@ void query_cache::insert_in(smt::term_manager& tm, const std::vector<smt::term>&
                             const std::vector<smt::term>& assumptions,
                             const backend_result& result) {
     if (result.ans == answer::unknown) return;
-    std::lock_guard<std::mutex> lock(mutex_);
+    sd::lock_guard lock(mutex_);
     insert_locked(*prepare_locked(tm, assertions, assumptions), result);
 }
 
@@ -556,7 +556,7 @@ void query_cache::insert(const std::vector<smt::term>& assertions,
 // ---- CNF level --------------------------------------------------------------
 
 std::optional<backend_result> query_cache::lookup_cnf(const cnf_fingerprint& fp) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sd::lock_guard lock(mutex_);
     auto it = cnf_entries_.find(fp);
     if (it == cnf_entries_.end()) {
         ++stats_.misses;
@@ -573,7 +573,7 @@ std::optional<backend_result> query_cache::lookup_cnf(const cnf_fingerprint& fp)
 
 void query_cache::insert_cnf(const cnf_fingerprint& fp, const backend_result& result) {
     if (result.ans == answer::unknown) return;
-    std::lock_guard<std::mutex> lock(mutex_);
+    sd::lock_guard lock(mutex_);
     auto it = cnf_entries_.find(fp);
     if (it != cnf_entries_.end()) {
         // Refresh in place: the caller just solved this instance, so its
@@ -601,7 +601,7 @@ void query_cache::insert_cnf(const cnf_fingerprint& fp, const backend_result& re
 // ---- bookkeeping ------------------------------------------------------------
 
 void query_cache::clear() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sd::lock_guard lock(mutex_);
     entries_.clear();
     lru_.clear();
     cnf_entries_.clear();
@@ -611,29 +611,29 @@ void query_cache::clear() {
 }
 
 query_cache::cache_stats query_cache::stats() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sd::lock_guard lock(mutex_);
     return stats_;
 }
 
 std::size_t query_cache::size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sd::lock_guard lock(mutex_);
     return entries_.size();
 }
 
 std::size_t query_cache::cnf_size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sd::lock_guard lock(mutex_);
     return cnf_entries_.size();
 }
 
 // ---- persistence ------------------------------------------------------------
 
 bool query_cache::save() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sd::lock_guard lock(mutex_);
     return save_locked();
 }
 
 bool query_cache::load() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sd::lock_guard lock(mutex_);
     return load_locked();
 }
 

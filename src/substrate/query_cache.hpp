@@ -52,13 +52,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "substrate/annotations.hpp"
 #include "substrate/backend.hpp"
 
 namespace sciduction::substrate {
@@ -359,29 +359,37 @@ private:
 
     std::shared_ptr<const prepared_query> prepare_locked(
         smt::term_manager& tm, const std::vector<smt::term>& assertions,
-        const std::vector<smt::term>& assumptions);
-    std::optional<backend_result> lookup_locked(smt::term_manager& tm,
-                                                const prepared_query& prep);
-    void insert_locked(const prepared_query& prep, const backend_result& result);
-    manager_state& state_for(smt::term_manager& tm);
-    std::uint64_t shape_hash(manager_state& ms, smt::term_manager& tm, smt::term t);
-    void touch(entry& e);
-    void touch_cnf(cnf_entry& e);
-    bool load_locked();
-    bool save_locked() const;
+        const std::vector<smt::term>& assumptions) SD_REQUIRES(mutex_);
+    std::optional<backend_result> lookup_locked(smt::term_manager& tm, const prepared_query& prep)
+        SD_REQUIRES(mutex_);
+    void insert_locked(const prepared_query& prep, const backend_result& result)
+        SD_REQUIRES(mutex_);
+    manager_state& state_for(smt::term_manager& tm) SD_REQUIRES(mutex_);
+    std::uint64_t shape_hash(manager_state& ms, smt::term_manager& tm, smt::term t)
+        SD_REQUIRES(mutex_);
+    void touch(entry& e) SD_REQUIRES(mutex_);
+    void touch_cnf(cnf_entry& e) SD_REQUIRES(mutex_);
+    bool load_locked() SD_REQUIRES(mutex_);
+    bool save_locked() const SD_REQUIRES(mutex_);
     smt::term_manager& default_manager() const;
 
     smt::term_manager* tm_;  // default manager; null for CNF-only caches
     std::size_t capacity_;
     std::string path_;
-    mutable std::mutex mutex_;
-    std::unordered_map<structural_form, entry, structural_form_hash> entries_;
-    std::list<structural_form> lru_;  // most-recently-used first
-    std::unordered_map<cnf_fingerprint, cnf_entry, cnf_fingerprint_hash> cnf_entries_;
-    std::list<cnf_fingerprint> cnf_lru_;  // most-recently-used first
-    std::unordered_map<std::uint64_t, manager_state> managers_;  // keyed by manager uid
-    std::uint64_t manager_clock_ = 0;  // recency ticks for managers_ eviction
-    cache_stats stats_;
+    mutable sd::mutex mutex_;
+    std::unordered_map<structural_form, entry, structural_form_hash> entries_
+        SD_GUARDED_BY(mutex_);
+    // Most-recently-used first.
+    std::list<structural_form> lru_ SD_GUARDED_BY(mutex_);
+    std::unordered_map<cnf_fingerprint, cnf_entry, cnf_fingerprint_hash> cnf_entries_
+        SD_GUARDED_BY(mutex_);
+    // Most-recently-used first.
+    std::list<cnf_fingerprint> cnf_lru_ SD_GUARDED_BY(mutex_);
+    // Canonicalization scratch keyed by manager uid (see manager_state).
+    std::unordered_map<std::uint64_t, manager_state> managers_ SD_GUARDED_BY(mutex_);
+    // Recency ticks for managers_ eviction.
+    std::uint64_t manager_clock_ SD_GUARDED_BY(mutex_) = 0;
+    cache_stats stats_ SD_GUARDED_BY(mutex_);
 };
 
 }  // namespace sciduction::substrate

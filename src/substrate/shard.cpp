@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <numeric>
 
 #include "obs/trace.hpp"
+#include "substrate/annotations.hpp"
 
 namespace sciduction::substrate {
 
@@ -124,10 +124,10 @@ shard_outcome solve_cubes_free(const indexed_shard_factory& factory, const cube_
     struct race_state {
         std::atomic<bool> local_cancel{false};
         std::atomic<bool>* cancel = nullptr;
-        std::mutex mutex;
-        bool decided = false;
-        backend_result winner;
-        std::size_t winning_cube = shard_outcome::no_cube;
+        sd::mutex mutex;
+        bool decided SD_GUARDED_BY(mutex) = false;
+        backend_result winner SD_GUARDED_BY(mutex);
+        std::size_t winning_cube SD_GUARDED_BY(mutex) = shard_outcome::no_cube;
     } state;
     state.cancel = controls.cancel != nullptr ? controls.cancel : &state.local_cancel;
 
@@ -183,7 +183,7 @@ shard_outcome solve_cubes_free(const indexed_shard_factory& factory, const cube_
                 settle(i, cube_status::satisfied);
                 for (std::size_t j = i + 1; j < last; ++j) settle(j, cube_status::skipped);
                 if (sat::solver* core = backend->sat_core()) pair_stats[pair] = core->stats();
-                std::lock_guard<std::mutex> lock(state.mutex);
+                sd::lock_guard lock(state.mutex);
                 if (!state.decided) {
                     state.decided = true;
                     state.winner = std::move(r);
@@ -215,10 +215,15 @@ shard_outcome solve_cubes_free(const indexed_shard_factory& factory, const cube_
     for (std::uint64_t c : pair_conflicts) out.stats.conflicts += c;
     for (const sat::solver_stats& s : pair_stats) out.stats.sharing.accumulate(s);
 
-    if (state.decided) {
-        out.result = std::move(state.winner);
-        out.winning_cube = state.winning_cube;
-        return out;
+    {
+        // parallel_for is a barrier, but the analysis cannot see that:
+        // read the decision under the lock it is guarded by.
+        sd::lock_guard lock(state.mutex);
+        if (state.decided) {
+            out.result = std::move(state.winner);
+            out.winning_cube = state.winning_cube;
+            return out;
+        }
     }
     const bool all_refuted =
         out.stats.refuted + out.stats.pruned == plan.cubes.size();

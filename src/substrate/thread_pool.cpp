@@ -49,7 +49,7 @@ thread_pool::thread_pool(unsigned num_workers) {
 
 thread_pool::~thread_pool() {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        sd::lock_guard lock(mutex_);
         stopping_ = true;
     }
     wake_.notify_all();
@@ -57,7 +57,7 @@ thread_pool::~thread_pool() {
 }
 
 thread_pool::lane_id thread_pool::create_lane(unsigned weight) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sd::lock_guard lock(mutex_);
     lane_id id = next_lane_++;
     lane_state lane;
     lane.weight = std::max(1u, weight);
@@ -68,7 +68,7 @@ thread_pool::lane_id thread_pool::create_lane(unsigned weight) {
 
 void thread_pool::release_lane(lane_id id) {
     if (id == default_lane) return;
-    std::lock_guard<std::mutex> lock(mutex_);
+    sd::lock_guard lock(mutex_);
     auto it = lanes_.find(id);
     if (it == lanes_.end()) return;
     it->second.released = true;
@@ -81,19 +81,19 @@ void thread_pool::release_lane(lane_id id) {
 }
 
 std::size_t thread_pool::pending() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sd::lock_guard lock(mutex_);
     return pending_;
 }
 
 std::size_t thread_pool::pending_in(lane_id id) const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sd::lock_guard lock(mutex_);
     auto it = lanes_.find(id);
     return it == lanes_.end() ? 0 : it->second.queue.size();
 }
 
 void thread_pool::enqueue(lane_id lane, std::function<void()> thunk) {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        sd::lock_guard lock(mutex_);
         auto it = lanes_.find(lane);
         if (it == lanes_.end() || it->second.released) it = lanes_.find(default_lane);
         it->second.queue.push_back(queued_task{std::move(thunk), std::chrono::steady_clock::now()});
@@ -103,12 +103,12 @@ void thread_pool::enqueue(lane_id lane, std::function<void()> thunk) {
 }
 
 thread_pool::wait_stats thread_pool::lane_wait() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sd::lock_guard lock(mutex_);
     return waits_;
 }
 
 void thread_pool::set_wait_observer(std::function<void(std::uint64_t)> observer) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sd::lock_guard lock(mutex_);
     wait_observer_ = std::move(observer);
 }
 
@@ -172,8 +172,11 @@ void thread_pool::worker_loop() {
         std::function<void()> task;
         lane_id lane = default_lane;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            wake_.wait(lock, [this] { return stopping_ || pending_ > 0; });
+            sd::unique_lock lock(mutex_);
+            // Explicit predicate loop (not the lambda-predicate overload):
+            // the analysis would treat a predicate lambda as a separate
+            // unlocked function and flag its guarded reads.
+            while (!stopping_ && pending_ == 0) wake_.wait(lock);
             if (!pop_next(task, lane)) return;  // stopping_ and drained
         }
         lane_scope scope(this, lane);
@@ -185,7 +188,7 @@ bool thread_pool::run_one() {
     std::function<void()> task;
     lane_id lane = default_lane;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        sd::lock_guard lock(mutex_);
         if (!pop_next(task, lane)) return false;
     }
     lane_scope scope(this, lane);
@@ -203,8 +206,8 @@ void thread_pool::parallel_for(std::size_t n, const std::function<void(std::size
         std::size_t n;
         std::atomic<std::size_t> next{0};
         std::atomic<std::size_t> done{0};
-        std::mutex error_mutex;
-        std::exception_ptr first_error;
+        sd::mutex error_mutex;
+        std::exception_ptr first_error SD_GUARDED_BY(error_mutex);
         std::promise<void> all_done;
     };
     auto state = std::make_shared<for_state>();
@@ -219,7 +222,7 @@ void thread_pool::parallel_for(std::size_t n, const std::function<void(std::size
         try {
             state->fn(i);
         } catch (...) {
-            std::lock_guard<std::mutex> lock(state->error_mutex);
+            sd::lock_guard lock(state->error_mutex);
             if (!state->first_error) state->first_error = std::current_exception();
         }
         if (state->done.fetch_add(1) + 1 == state->n) state->all_done.set_value();
@@ -240,7 +243,7 @@ void thread_pool::parallel_for(std::size_t n, const std::function<void(std::size
             while (claim_one()) {
                 bool yield;
                 {
-                    std::lock_guard<std::mutex> lock(pool->mutex_);
+                    sd::lock_guard lock(pool->mutex_);
                     yield = pool->other_lanes_pending(lane);
                 }
                 if (yield) {

@@ -27,16 +27,16 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
+
+#include "substrate/annotations.hpp"
 
 namespace sciduction::substrate {
 
@@ -150,21 +150,21 @@ private:
     [[nodiscard]] lane_id inherited_lane() const;
     /// Weighted round-robin pop across the lanes; requires the lock.
     /// Retires drained released lanes along the way.
-    bool pop_next(std::function<void()>& task, lane_id& from);
+    bool pop_next(std::function<void()>& task, lane_id& from) SD_REQUIRES(mutex_);
     /// Whether any lane other than `lane` has queued tasks; requires the lock.
-    [[nodiscard]] bool other_lanes_pending(lane_id lane) const;
+    [[nodiscard]] bool other_lanes_pending(lane_id lane) const SD_REQUIRES(mutex_);
 
     std::vector<std::thread> workers_;
-    std::unordered_map<lane_id, lane_state> lanes_;
-    std::vector<lane_id> order_;  // cyclic service order over lanes_
-    std::size_t cursor_ = 0;      // current position in order_
-    std::size_t pending_ = 0;     // queued tasks across all lanes
-    lane_id next_lane_ = 1;
-    wait_stats waits_;  // guarded by mutex_
-    std::function<void(std::uint64_t)> wait_observer_;  // guarded by mutex_
-    mutable std::mutex mutex_;
-    std::condition_variable wake_;
-    bool stopping_ = false;
+    std::unordered_map<lane_id, lane_state> lanes_ SD_GUARDED_BY(mutex_);
+    std::vector<lane_id> order_ SD_GUARDED_BY(mutex_);  // cyclic service order over lanes_
+    std::size_t cursor_ SD_GUARDED_BY(mutex_) = 0;      // current position in order_
+    std::size_t pending_ SD_GUARDED_BY(mutex_) = 0;     // queued tasks across all lanes
+    lane_id next_lane_ SD_GUARDED_BY(mutex_) = 1;
+    wait_stats waits_ SD_GUARDED_BY(mutex_);
+    std::function<void(std::uint64_t)> wait_observer_ SD_GUARDED_BY(mutex_);
+    mutable sd::mutex mutex_;
+    sd::condition_variable wake_;
+    bool stopping_ SD_GUARDED_BY(mutex_) = false;
 };
 
 /// Maps fn over [0, n) with `threads` workers (0 = default_concurrency) and

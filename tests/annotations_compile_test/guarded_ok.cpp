@@ -1,0 +1,32 @@
+// Positive control for the negative-compile check: the same guarded field
+// as guarded_violation.cpp, accessed correctly under its lock. run.cmake
+// asserts this translation unit COMPILES under Clang -Werror=thread-safety,
+// proving a rejection of the violation TU really is the analysis firing and
+// not a broken include path or flag. Not part of any test binary.
+#include "substrate/annotations.hpp"
+
+namespace {
+
+class counter_box {
+public:
+    int read_locked() const {
+        sciduction::sd::lock_guard lock(mutex_);
+        return value_;
+    }
+    void write_locked(int v) {
+        sciduction::sd::lock_guard lock(mutex_);
+        value_ = v;
+    }
+
+private:
+    mutable sciduction::sd::mutex mutex_;
+    int value_ SD_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+    counter_box box;
+    box.write_locked(1);
+    return box.read_locked();
+}

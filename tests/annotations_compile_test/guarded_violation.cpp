@@ -1,0 +1,26 @@
+// Negative-compile seed: reads and writes an SD_GUARDED_BY field without
+// holding its mutex. run.cmake asserts that Clang -Werror=thread-safety
+// REJECTS this translation unit — if it ever compiles, the annotation
+// layer has rotted into no-ops. Not part of any test binary.
+#include "substrate/annotations.hpp"
+
+namespace {
+
+class counter_box {
+public:
+    // The seeded violations the harness expects the analysis to flag.
+    int read_unlocked() const { return value_; }
+    void write_unlocked(int v) { value_ = v; }
+
+private:
+    mutable sciduction::sd::mutex mutex_;
+    int value_ SD_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+    counter_box box;
+    box.write_unlocked(1);
+    return box.read_unlocked();
+}

@@ -1,0 +1,50 @@
+# Test-time harness for the annotation negative-compile check (registered
+# by the top-level CMakeLists under Clang): compiles the positive-control
+# TU (must succeed) and the seeded-violation TU (must FAIL with a
+# thread-safety diagnostic). `try_compile` is unavailable in `cmake -P`
+# script mode, so the harness drives the compiler directly; syntax-only
+# keeps it fast and link-free.
+#
+# Inputs: -DCXX=<clang++ path> -DSRC_DIR=<repo root>
+
+foreach(required CXX SRC_DIR)
+    if(NOT DEFINED ${required})
+        message(FATAL_ERROR "annotations_compile_test: missing -D${required}=")
+    endif()
+endforeach()
+
+set(case_dir ${SRC_DIR}/tests/annotations_compile_test)
+set(flags -std=c++20 -fsyntax-only -I${SRC_DIR}/src -Wthread-safety -Werror=thread-safety)
+
+execute_process(
+    COMMAND ${CXX} ${flags} ${case_dir}/guarded_ok.cpp
+    RESULT_VARIABLE ok_rc
+    OUTPUT_VARIABLE ok_out
+    ERROR_VARIABLE ok_err)
+if(NOT ok_rc EQUAL 0)
+    message(FATAL_ERROR
+        "positive control guarded_ok.cpp failed to compile — the harness "
+        "itself is broken (flags/include path), not the annotations:\n"
+        "${ok_out}${ok_err}")
+endif()
+
+execute_process(
+    COMMAND ${CXX} ${flags} ${case_dir}/guarded_violation.cpp
+    RESULT_VARIABLE bad_rc
+    OUTPUT_VARIABLE bad_out
+    ERROR_VARIABLE bad_err)
+if(bad_rc EQUAL 0)
+    message(FATAL_ERROR
+        "guarded_violation.cpp COMPILED: unlocked access to an "
+        "SD_GUARDED_BY field was not rejected — the annotation layer has "
+        "rotted into no-ops (check SD_THREAD_ANNOTATION_ and the sd:: "
+        "wrapper attributes in src/substrate/annotations.hpp)")
+endif()
+# The rejection must come from the analysis, not an unrelated error.
+if(NOT "${bad_out}${bad_err}" MATCHES "thread-safety|guarded_by|guarded by")
+    message(FATAL_ERROR
+        "guarded_violation.cpp failed for a reason other than the "
+        "thread-safety analysis:\n${bad_out}${bad_err}")
+endif()
+
+message(STATUS "annotations_compile_test: violation rejected, control accepted")

@@ -213,6 +213,49 @@ TEST(cross_manager, unverifiable_model_reads_as_miss) {
     EXPECT_EQ(cache.stats().structural_hits, 0u);
 }
 
+TEST(manager_memo, lru_eviction_survives_manager_churn) {
+    // Pins the per-manager memo bound's LRU eviction (state_for in
+    // query_cache.cpp, a lock-juggling hot spot whose lock contract is now
+    // explicit via SD_REQUIRES): churning through well over 32 transient
+    // managers evicts memo states one at a time, every transient manager
+    // still hits the structurally identical entry, and the long-lived
+    // manager keeps answering correctly after its memo is rebuilt.
+    query_cache cache{std::string{}};
+
+    auto build = [](smt::term_manager& tm) {
+        smt::term x = tm.mk_bv_var("x", 8);
+        return std::vector<smt::term>{
+            tm.mk_ult(x, tm.mk_bv_const(8, 50)),
+            tm.mk_ult(tm.mk_bv_const(8, 60), x),  // x > 60 && x < 50: unsat
+        };
+    };
+
+    smt::term_manager live;
+    std::vector<smt::term> live_q = build(live);
+    auto prep = cache.prepare(live, live_q, {});
+    backend_result unsat_res;
+    unsat_res.ans = answer::unsat;
+    cache.insert_prepared(live, *prep, unsat_res);
+
+    for (int i = 0; i < 40; ++i) {
+        smt::term_manager tm;
+        std::vector<smt::term> q = build(tm);
+        auto p = cache.prepare(tm, q, {});
+        auto hit = cache.lookup_prepared(tm, *p);
+        ASSERT_TRUE(hit.has_value()) << "churn iteration " << i;
+        EXPECT_EQ(hit->ans, answer::unsat) << "churn iteration " << i;
+    }
+
+    // The long-lived manager's memo state may or may not have been
+    // evicted along the way; either way a fresh prepare must rebuild the
+    // same key and keep hitting.
+    auto prep_again = cache.prepare(live, live_q, {});
+    EXPECT_EQ(prep_again->key, prep->key);
+    auto live_hit = cache.lookup_prepared(live, *prep_again);
+    ASSERT_TRUE(live_hit.has_value());
+    EXPECT_EQ(live_hit->ans, answer::unsat);
+}
+
 // ---- persistence ------------------------------------------------------------
 
 TEST(persistence, engine_warm_starts_from_saved_cache) {

@@ -5,7 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include "sat/pigeonhole.hpp"
 #include "substrate/clause_exchange.hpp"
@@ -245,6 +248,54 @@ TEST(clause_exchange, core_clean_export_filters_cube_variables) {
             EXPECT_NE(sat::var_of(l), split) << "core-clean filter must ban the split variable";
     // The filter actually rejected something (cube-adjacent clauses exist).
     EXPECT_GT(pool.stats().filtered, 0u);
+}
+
+TEST(clause_exchange, publish_filter_counters_merge_losslessly_under_concurrency) {
+    // Pins the publish fast path's split accounting (the -Wthread-safety
+    // contract made explicit in clause_exchange.hpp): size/LBD rejections
+    // are counted on an atomic OUTSIDE the pool mutex, ban rejections and
+    // acceptances under it, and stats() must merge the two streams without
+    // losing a count even when publishers race.
+    sharing_config cfg;
+    cfg.enabled = true;
+    cfg.max_clause_size = 3;
+    cfg.max_lbd = 2;
+    cfg.max_import_per_checkpoint = 0;  // drain in one fetch below
+    clause_pool pool(cfg);
+    pool.ban_vars({7});
+
+    constexpr unsigned publishers = 4;
+    constexpr std::uint64_t rounds = 500;
+    std::vector<unsigned> members(publishers);
+    for (unsigned m = 0; m < publishers; ++m) members[m] = pool.register_member();
+
+    std::vector<std::uint64_t> accepted(publishers, 0);
+    std::vector<std::thread> threads;
+    threads.reserve(publishers);
+    for (unsigned m = 0; m < publishers; ++m) {
+        threads.emplace_back([&, m] {
+            for (std::uint64_t i = 0; i < rounds; ++i) {
+                if (pool.publish(members[m], lits({1, 2}), 1)) ++accepted[m];
+                pool.publish(members[m], lits({1, 2, 3, 4}), 1);  // size-rejected (atomic)
+                pool.publish(members[m], lits({1, 2}), 3);        // LBD-rejected (atomic)
+                pool.publish(members[m], lits({1, -8}), 1);       // ban-rejected (locked)
+            }
+        });
+    }
+    for (std::thread& t : threads) t.join();
+
+    std::uint64_t total_accepted = 0;
+    for (std::uint64_t a : accepted) total_accepted += a;
+    EXPECT_EQ(total_accepted, publishers * rounds);
+    exchange_stats stats = pool.stats();
+    EXPECT_EQ(stats.published, publishers * rounds);
+    EXPECT_EQ(stats.filtered, 3 * publishers * rounds);
+    EXPECT_EQ(pool.visible(), publishers * rounds);
+
+    // Every member sees exactly the other members' accepted clauses.
+    std::vector<sat::clause_lits> got;
+    EXPECT_EQ(pool.fetch(members[0], got), (publishers - 1) * rounds);
+    EXPECT_EQ(pool.stats().fetched, (publishers - 1) * rounds);
 }
 
 // ---- portfolio integration --------------------------------------------------

@@ -1,0 +1,67 @@
+// The [[deprecated]] compat shims (substrate/compat.hpp): the legacy
+// check/check_batch/check_async/check_sharded entry points must keep
+// behaving like their submit/solve implementations. This is deliberately
+// the ONLY in-tree code that calls them — tools/sciduction_lint.py
+// enforces that compat.hpp is included from tests alone.
+#include <gtest/gtest.h>
+
+#include "substrate/compat.hpp"
+
+// The whole point of this file is to call deprecated functions.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+namespace sciduction::substrate {
+namespace {
+
+smt_query ult_query(smt::term_manager& tm, std::uint64_t bound) {
+    smt::term x = tm.mk_bv_var("x", 8);
+    return {{tm.mk_ult(x, tm.mk_bv_const(8, bound))}, {}};
+}
+
+TEST(compat, check_matches_solve) {
+    smt::term_manager tm;
+    smt_engine engine(tm);
+    smt_query q = ult_query(tm, 10);
+    backend_result r = compat::check(engine, q);
+    EXPECT_EQ(r.ans, answer::sat);
+    // The assertions+assumptions overload reaches the same entry.
+    EXPECT_EQ(compat::check(engine, q.assertions).ans, answer::sat);
+    EXPECT_GE(engine.stats().cache_hits, 1u);
+}
+
+TEST(compat, check_batch_results_in_query_order) {
+    smt::term_manager tm;
+    smt_engine engine(tm);
+    smt::term x = tm.mk_bv_var("x", 8);
+    smt::term sat_t = tm.mk_ult(x, tm.mk_bv_const(8, 10));
+    smt::term unsat_t = tm.mk_and(sat_t, tm.mk_ult(tm.mk_bv_const(8, 20), x));
+    std::vector<smt_query> queries = {{{sat_t}, {}}, {{unsat_t}, {}}};
+    std::vector<backend_result> results = compat::check_batch(engine, queries);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].ans, answer::sat);
+    EXPECT_EQ(results[1].ans, answer::unsat);
+}
+
+TEST(compat, check_async_future_resolves) {
+    smt::term_manager tm;
+    smt_engine engine(tm, {.threads = 2});
+    smt_query q = ult_query(tm, 5);
+    std::shared_future<backend_result> fut = compat::check_async(engine, q);
+    EXPECT_EQ(fut.get().ans, answer::sat);
+}
+
+TEST(compat, check_sharded_fills_stats_out_param) {
+    smt::term_manager tm;
+    engine_config cfg;
+    cfg.shard_depth = 2;
+    cfg.threads = 2;
+    smt_engine engine(tm, cfg);
+    smt_query q = ult_query(tm, 1);  // x < 1: sat (x = 0)
+    shard_stats stats;
+    backend_result r = compat::check_sharded(engine, q, &stats);
+    EXPECT_EQ(r.ans, answer::sat);
+    EXPECT_GT(stats.cubes, 0u);
+}
+
+}  // namespace
+}  // namespace sciduction::substrate

@@ -7,12 +7,12 @@
 #   sh tools/check_headers.sh [header...]
 #
 # With no arguments, checks every src/substrate/*.hpp, src/service/*.hpp,
-# and src/obs/*.hpp.
+# src/obs/*.hpp, and src/frontend/*.hpp.
 set -eu
 cxx="${CXX:-c++}"
 status=0
 headers="$*"
-[ -n "$headers" ] || headers=$(ls src/substrate/*.hpp src/service/*.hpp src/obs/*.hpp)
+[ -n "$headers" ] || headers=$(ls src/substrate/*.hpp src/service/*.hpp src/obs/*.hpp src/frontend/*.hpp)
 tu=$(mktemp -t check_headers_XXXXXX.cpp)
 trap 'rm -f "$tu"' EXIT
 for header in $headers; do
