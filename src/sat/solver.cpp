@@ -32,6 +32,8 @@ var solver::new_var() {
     activity_.push_back(0.0);
     seen_.push_back(0);
     heap_pos_.push_back(-1);
+    eliminated_.push_back(0);
+    elim_index_.push_back(-1);
     watches_.emplace_back();
     watches_.emplace_back();
     heap_insert(v);
@@ -42,10 +44,14 @@ var solver::new_var() {
 
 cref solver::alloc_clause(const clause_lits& lits, bool learnt, bool imported) {
     cref c = static_cast<cref>(arena_.size());
-    std::uint32_t has_extra = learnt ? 1U : 0U;
-    arena_.push_back((static_cast<std::uint32_t>(lits.size()) << 3) |
-                     ((imported ? 1U : 0U) << 2) | (has_extra << 1) | (learnt ? 1U : 0U));
-    if (learnt) arena_.push_back(0);  // activity slot
+    arena_.push_back((static_cast<std::uint32_t>(lits.size()) << 4) |
+                     (imported ? hdr_imported : 0U) | (learnt ? hdr_extra | hdr_learnt : 0U));
+    if (learnt) {
+        arena_.push_back(0);  // activity slot
+        // LBD slot; callers with a real glue value overwrite it, imports
+        // keep the pessimistic size bound.
+        arena_.push_back(static_cast<std::uint32_t>(lits.size()));
+    }
     for (lit l : lits) arena_.push_back(static_cast<std::uint32_t>(l.x));
     return c;
 }
@@ -65,7 +71,8 @@ void solver::set_clause_activity(cref c, float a) {
 
 void solver::shrink_clause(cref c, std::uint32_t new_size) {
     std::uint32_t hdr = arena_[c];
-    arena_[c] = (new_size << 3) | (hdr & 7U);
+    wasted_ += (hdr >> 4) - new_size;  // tail words become garbage
+    arena_[c] = (new_size << 4) | (hdr & 15U);
 }
 
 // ---- watches ----------------------------------------------------------------
@@ -109,6 +116,13 @@ bool solver::add_clause(clause_lits lits) {
 
     if (!ok_) return false;
     if (decision_level() != 0) throw std::logic_error("add_clause: only at decision level 0");
+
+    // A new problem clause over an eliminated variable invalidates the
+    // elimination: bring the variable's original clauses back first.
+    if (!elim_stack_.empty())
+        for (lit l : lits)
+            if (var_eliminated(var_of(l))) restore_var(var_of(l));
+    if (!ok_) return false;
 
     std::sort(lits.begin(), lits.end());
     clause_lits out;
@@ -261,6 +275,22 @@ unsigned solver::compute_lbd(const clause_lits& lits) {
     return lbd;
 }
 
+unsigned solver::compute_lbd_clause(cref c) {
+    ++lbd_stamp_;
+    if (lbd_seen_.size() < trail_lim_.size() + 2) lbd_seen_.resize(trail_lim_.size() + 2, 0);
+    unsigned lbd = 0;
+    const std::uint32_t sz = clause_size(c);
+    for (std::uint32_t k = 0; k < sz; ++k) {
+        auto lvl = static_cast<std::size_t>(level_of(var_of(clause_lit(c, k))));
+        if (lbd_seen_.size() <= lvl) lbd_seen_.resize(lvl + 1, 0);
+        if (lbd_seen_[lvl] != lbd_stamp_) {
+            lbd_seen_[lvl] = lbd_stamp_;
+            ++lbd;
+        }
+    }
+    return lbd;
+}
+
 void solver::export_learnt(const clause_lits& lits, unsigned lbd) {
     if (!export_fn_) return;
     if (export_fn_(lits, lbd)) ++stats_.exported_clauses;
@@ -270,6 +300,14 @@ bool solver::integrate_import(const clause_lits& lits) {
     // Same top-level simplification as add_clause, but the survivor joins
     // the learnt database flagged as imported (so reduce_db may drop it
     // again and the useful-import counter can recognize it).
+    //
+    // A foreign clause touching a variable this solver eliminated is still
+    // sound to keep (it is a consequence of the shared CNF), but it would
+    // be the only clause over that variable — dead weight the next
+    // inprocessing pass would sweep anyway, so drop it here.
+    if (!elim_stack_.empty())
+        for (lit l : lits)
+            if (var_eliminated(var_of(l))) return false;
     clause_lits sorted = lits;
     std::sort(sorted.begin(), sorted.end());
     clause_lits out;
@@ -335,7 +373,18 @@ void solver::analyze(cref confl, clause_lits& out_learnt, int& out_btlevel) {
 
     do {
         cref c = confl;
-        if (clause_learnt(c)) cla_bump_activity(c);
+        if (clause_learnt(c)) {
+            cla_bump_activity(c);
+            // Dynamic LBD (Glucose): a clause re-used in conflict analysis
+            // refreshes its glue downward, protecting it from reduction.
+            // Clauses already at the keep threshold can't be demoted by
+            // reduction, so skip the O(size) recomputation for them — they
+            // are exactly the hottest clauses in analysis.
+            if (opts_.reduce_learnts && clause_lbd(c) > opts_.reduce_keep_lbd) {
+                unsigned glue = compute_lbd_clause(c);
+                if (glue < clause_lbd(c)) set_clause_lbd(c, glue);
+            }
+        }
         if (clause_imported(c)) ++stats_.useful_imports;
         std::uint32_t start = (p == lit_undef) ? 0U : 1U;
         std::uint32_t sz = clause_size(c);
@@ -568,6 +617,38 @@ void solver::reduce_db() {
                          (i < learnts_.size() / 2 || clause_activity(c) < extra_lim);
         if (removable) {
             detach_clause(c);
+            free_clause(c);
+            ++stats_.deleted_clauses;
+        } else {
+            learnts_[keep++] = c;
+        }
+    }
+    learnts_.resize(keep);
+}
+
+void solver::reduce_glucose() {
+    ++stats_.reduces;
+    std::sort(learnts_.begin(), learnts_.end(), [this](cref a, cref b) {
+        // Ascending keep-worthiness: worst glue first, activity as the
+        // tie-break, cref as the deterministic final tie-break.
+        std::uint32_t la = clause_lbd(a);
+        std::uint32_t lb = clause_lbd(b);
+        if (la != lb) return la > lb;
+        float aa = clause_activity(a);
+        float ab = clause_activity(b);
+        if (aa != ab) return aa < ab;
+        return a > b;
+    });
+    const std::size_t target = learnts_.size() / 2;
+    std::size_t keep = 0;
+    std::size_t dropped = 0;
+    for (cref c : learnts_) {
+        const bool keeper = clause_size(c) == 2 || clause_lbd(c) <= opts_.reduce_keep_lbd ||
+                            clause_locked(c);
+        if (!keeper && dropped < target) {
+            detach_clause(c);
+            free_clause(c);
+            ++dropped;
             ++stats_.deleted_clauses;
         } else {
             learnts_[keep++] = c;
@@ -585,6 +666,7 @@ void solver::remove_satisfied(std::vector<cref>& clauses) {
             satisfied = value(clause_lit(c, k)) == lbool::l_true;
         if (satisfied) {
             detach_clause(c);
+            free_clause(c);
         } else {
             clauses[keep++] = c;
         }
@@ -598,6 +680,528 @@ void solver::simplify() {
     remove_satisfied(learnts_);
     remove_satisfied(clauses_);
     simplify_assigns_ = trail_.size();
+}
+
+// ---- inprocessing ---------------------------------------------------------------
+
+void solver::clear_level0_reasons() {
+    // Every trail literal at level 0 is a fact; its reason clause is never
+    // consulted again (analysis skips level-0 literals), so dropping the
+    // crefs here lets deletion and arena GC move clauses freely without
+    // leaving dangling reasons behind.
+    for (lit l : trail_) reason_[static_cast<std::size_t>(var_of(l))] = cref_undef;
+}
+
+void solver::inprocess() {
+    if (decision_level() != 0 || !ok_) return;
+    ++stats_.inprocessings;
+    clear_level0_reasons();
+    remove_satisfied(learnts_);
+    remove_satisfied(clauses_);
+    simplify_assigns_ = trail_.size();
+    if (ok_) subsume_pass();
+    if (ok_ && opts_.inprocess_elim) eliminate_vars();
+    if (ok_ && opts_.inprocess_vivify) vivify_pass();
+    next_inprocess_ = stats_.conflicts + opts_.inprocess_interval;
+    maybe_collect_garbage();
+}
+
+void solver::subsume_pass() {
+    // Occurrence index and 64-bit signatures over the problem clauses,
+    // both keyed by position in clauses_ so stale entries are cheap to
+    // skip. Backward subsumption: each clause checks the occurrence list
+    // of its least-occurring literal, the only place a superset can hide.
+    const std::size_t nlits = 2 * assigns_.size();
+    std::vector<std::vector<std::uint32_t>> occs(nlits);
+    std::vector<std::uint64_t> sig(clauses_.size(), 0);
+    std::vector<char> dead(clauses_.size(), 0);
+
+    auto clause_sig = [this](cref c) {
+        std::uint64_t s = 0;
+        const std::uint32_t sz = clause_size(c);
+        for (std::uint32_t k = 0; k < sz; ++k)
+            s |= 1ULL << (static_cast<std::uint32_t>(var_of(clause_lit(c, k))) & 63U);
+        return s;
+    };
+    for (std::uint32_t i = 0; i < clauses_.size(); ++i) {
+        sig[i] = clause_sig(clauses_[i]);
+        const std::uint32_t sz = clause_size(clauses_[i]);
+        for (std::uint32_t k = 0; k < sz; ++k)
+            occs[lit_index(clause_lit(clauses_[i], k))].push_back(i);
+    }
+
+    // 0 = unrelated, 1 = c subsumes d, 2 = self-subsuming resolution: all
+    // of c is in d except `out`, whose negation is in d (so resolving on
+    // var(out) strengthens d by removing ~out).
+    auto relate = [this](cref c, cref d, lit& out) {
+        const std::uint32_t cs = clause_size(c);
+        const std::uint32_t ds = clause_size(d);
+        lit flipped = lit_undef;
+        for (std::uint32_t k = 0; k < cs; ++k) {
+            const lit lk = clause_lit(c, k);
+            bool found = false;
+            for (std::uint32_t m = 0; m < ds && !found; ++m) {
+                const lit lm = clause_lit(d, m);
+                if (lm == lk) {
+                    found = true;
+                } else if (flipped == lit_undef && lm == ~lk) {
+                    flipped = lk;
+                    found = true;
+                }
+            }
+            if (!found) return 0;
+        }
+        if (flipped == lit_undef) return 1;
+        out = flipped;
+        return 2;
+    };
+
+    std::vector<std::uint32_t> queue(clauses_.size());
+    for (std::uint32_t i = 0; i < queue.size(); ++i) queue[i] = i;
+
+    // Removes `q` from clauses_[j], rebuilding the clause filtered against
+    // the level-0 assignment (a reattached clause must never watch a
+    // top-level-false literal). The slot keeps its index, so the
+    // occurrence lists need no repair; the shorter clause is requeued.
+    auto strengthen = [&](std::uint32_t j, lit q) {
+        const cref d = clauses_[j];
+        ++stats_.strengthened_literals;
+        detach_clause(d);
+        free_clause(d);
+        clause_lits rest;
+        const std::uint32_t sz = clause_size(d);
+        bool satisfied = false;
+        for (std::uint32_t m = 0; m < sz && !satisfied; ++m) {
+            const lit lm = clause_lit(d, m);
+            if (lm == q) continue;
+            if (value(lm) == lbool::l_true) satisfied = true;
+            if (value(lm) == lbool::l_undef) rest.push_back(lm);
+        }
+        if (satisfied) {
+            dead[j] = 1;
+            return;
+        }
+        if (rest.empty()) {
+            dead[j] = 1;
+            ok_ = false;
+            return;
+        }
+        if (rest.size() == 1) {
+            dead[j] = 1;
+            enqueue(rest[0], cref_undef);
+            ok_ = propagate() == cref_undef;
+            return;
+        }
+        const cref nd = alloc_clause(rest, /*learnt=*/false);
+        attach_clause(nd);
+        clauses_[j] = nd;
+        sig[j] = clause_sig(nd);
+        queue.push_back(j);
+    };
+
+    for (std::size_t qi = 0; qi < queue.size() && ok_; ++qi) {
+        const std::uint32_t i = queue[qi];
+        if (dead[i] != 0) continue;
+        const cref c = clauses_[i];
+        const std::uint32_t sz = clause_size(c);
+        std::uint32_t best = lit_index(clause_lit(c, 0));
+        for (std::uint32_t k = 1; k < sz; ++k) {
+            const std::uint32_t idx = static_cast<std::uint32_t>(lit_index(clause_lit(c, k)));
+            if (occs[idx].size() < occs[best].size()) best = idx;
+        }
+        // Candidates may be stale (strengthened clauses keep their old occ
+        // entries); the exact literal-by-literal check below is immune.
+        for (const std::uint32_t j : occs[best]) {
+            if (dead[i] != 0 || !ok_) break;
+            if (j == i || dead[j] != 0) continue;
+            const cref d = clauses_[j];
+            if (clause_size(d) < clause_size(c)) continue;
+            if ((sig[i] & ~sig[j]) != 0) continue;
+            lit flip = lit_undef;
+            const int rel = relate(c, d, flip);
+            if (rel == 1) {
+                detach_clause(d);
+                free_clause(d);
+                dead[j] = 1;
+                ++stats_.subsumed_clauses;
+            } else if (rel == 2) {
+                strengthen(j, ~flip);
+            }
+        }
+    }
+
+    std::size_t keep = 0;
+    for (std::uint32_t i = 0; i < clauses_.size(); ++i)
+        if (dead[i] == 0) clauses_[keep++] = clauses_[i];
+    clauses_.resize(keep);
+}
+
+void solver::eliminate_vars() {
+    const std::size_t nvars = assigns_.size();
+    std::vector<std::vector<std::uint32_t>> occs(2 * nvars);
+    std::vector<char> dead(clauses_.size(), 0);
+    for (std::uint32_t i = 0; i < clauses_.size(); ++i) {
+        const std::uint32_t sz = clause_size(clauses_[i]);
+        for (std::uint32_t k = 0; k < sz; ++k)
+            occs[lit_index(clause_lit(clauses_[i], k))].push_back(i);
+    }
+    // Assumption variables are frozen for this solve: eliminating one and
+    // then assuming it would answer from the wrong formula.
+    std::vector<char> frozen(nvars, 0);
+    for (lit a : assumptions_) frozen[static_cast<std::size_t>(var_of(a))] = 1;
+
+    // Resolvent of clauses_[pi] (contains v) and clauses_[ni] (contains
+    // ~v); false when tautological.
+    auto resolve = [this](cref cp, cref cn, var v, clause_lits& out) {
+        out.clear();
+        for (cref c : {cp, cn}) {
+            const std::uint32_t sz = clause_size(c);
+            for (std::uint32_t k = 0; k < sz; ++k) {
+                const lit lk = clause_lit(c, k);
+                if (var_of(lk) != v) out.push_back(lk);
+            }
+        }
+        std::sort(out.begin(), out.end());
+        std::size_t w = 0;
+        for (std::size_t k = 0; k < out.size(); ++k) {
+            if (w > 0 && out[k] == out[w - 1]) continue;
+            if (w > 0 && out[k] == ~out[w - 1]) return false;
+            out[w++] = out[k];
+        }
+        out.resize(w);
+        return true;
+    };
+
+    // Keeps only live occurrences that still contain the literal.
+    auto compact = [&](std::vector<std::uint32_t>& list, lit must) {
+        std::size_t w = 0;
+        for (const std::uint32_t idx : list) {
+            if (dead[idx] != 0) continue;
+            const cref c = clauses_[idx];
+            const std::uint32_t sz = clause_size(c);
+            bool has = false;
+            for (std::uint32_t k = 0; k < sz && !has; ++k) has = clause_lit(c, k) == must;
+            if (has) list[w++] = idx;
+        }
+        list.resize(w);
+    };
+
+    bool any_elim = false;
+    clause_lits scratch;
+    for (var v = 0; v < static_cast<var>(nvars) && ok_; ++v) {
+        const auto vi = static_cast<std::size_t>(v);
+        if (eliminated_[vi] != 0 || frozen[vi] != 0 || value(v) != lbool::l_undef) continue;
+        const lit pv = mk_lit(v);
+        auto& pos = occs[lit_index(pv)];
+        auto& neg = occs[lit_index(~pv)];
+        compact(pos, pv);
+        compact(neg, ~pv);
+        if (pos.size() > opts_.elim_occ_limit || neg.size() > opts_.elim_occ_limit) continue;
+
+        std::vector<clause_lits> resolvents;
+        const std::size_t allowed = pos.size() + neg.size() + opts_.elim_grow_limit;
+        bool blocked = false;
+        for (const std::uint32_t pi : pos) {
+            for (const std::uint32_t ni : neg) {
+                if (!resolve(clauses_[pi], clauses_[ni], v, scratch)) continue;
+                if (scratch.size() > opts_.elim_clause_limit || resolvents.size() >= allowed) {
+                    blocked = true;
+                    break;
+                }
+                resolvents.push_back(scratch);
+            }
+            if (blocked) break;
+        }
+        if (blocked) continue;
+
+        // Commit: record the original clauses (v's literal first — the
+        // reconstruction witness), remove them, add the resolvents.
+        any_elim = true;
+        eliminated_[vi] = 1;
+        ++stats_.eliminated_vars;
+        elim_record rec;
+        rec.v = v;
+        for (const auto* side : {&pos, &neg}) {
+            for (const std::uint32_t idx : *side) {
+                const cref c = clauses_[idx];
+                const std::uint32_t sz = clause_size(c);
+                clause_lits cl;
+                cl.reserve(sz);
+                for (std::uint32_t k = 0; k < sz; ++k) {
+                    const lit lk = clause_lit(c, k);
+                    if (var_of(lk) == v) {
+                        cl.insert(cl.begin(), lk);
+                    } else {
+                        cl.push_back(lk);
+                    }
+                }
+                rec.clauses.push_back(std::move(cl));
+                detach_clause(c);
+                free_clause(c);
+                dead[idx] = 1;
+            }
+        }
+        elim_index_[vi] = static_cast<std::int32_t>(elim_stack_.size());
+        elim_stack_.push_back(std::move(rec));
+
+        for (const clause_lits& r : resolvents) {
+            clause_lits out;
+            bool satisfied = false;
+            for (const lit l : r) {
+                if (value(l) == lbool::l_true) {
+                    satisfied = true;
+                    break;
+                }
+                if (value(l) == lbool::l_undef) out.push_back(l);
+            }
+            if (satisfied) continue;
+            if (out.empty()) {
+                ok_ = false;
+                break;
+            }
+            if (out.size() == 1) {
+                enqueue(out[0], cref_undef);
+                ok_ = propagate() == cref_undef;
+                if (!ok_) break;
+                continue;
+            }
+            const cref c = alloc_clause(out, /*learnt=*/false);
+            attach_clause(c);
+            const auto idx = static_cast<std::uint32_t>(clauses_.size());
+            clauses_.push_back(c);
+            dead.push_back(0);
+            for (const lit l : out) occs[lit_index(l)].push_back(idx);
+        }
+    }
+
+    std::size_t keep = 0;
+    for (std::uint32_t i = 0; i < clauses_.size(); ++i)
+        if (dead[i] == 0) clauses_[keep++] = clauses_[i];
+    clauses_.resize(keep);
+
+    if (any_elim) {
+        // Learnt clauses over an eliminated variable would keep it alive in
+        // the search for no benefit; they are consequences, dropping them
+        // is always sound.
+        std::size_t lkeep = 0;
+        for (const cref c : learnts_) {
+            const std::uint32_t sz = clause_size(c);
+            bool touches = false;
+            for (std::uint32_t k = 0; k < sz && !touches; ++k)
+                touches = eliminated_[static_cast<std::size_t>(var_of(clause_lit(c, k)))] != 0;
+            if (touches) {
+                detach_clause(c);
+                free_clause(c);
+            } else {
+                learnts_[lkeep++] = c;
+            }
+        }
+        learnts_.resize(lkeep);
+    }
+}
+
+void solver::vivify_pass() {
+    std::uint64_t budget = opts_.vivify_budget;
+    clause_lits lits;
+    clause_lits kept;
+    for (std::size_t ci = 0; ci < clauses_.size() && budget > 0 && ok_; ++ci) {
+        const cref c = clauses_[ci];
+        const std::uint32_t sz = clause_size(c);
+        if (sz < 3) continue;  // binaries: nothing to shorten against
+        lits.clear();
+        bool satisfied = false;
+        for (std::uint32_t k = 0; k < sz; ++k) {
+            const lit lk = clause_lit(c, k);
+            if (value(lk) == lbool::l_true) satisfied = true;
+            lits.push_back(lk);
+        }
+        if (satisfied) continue;  // level-0 satisfied: remove_satisfied's job
+
+        // Assume the negation of a prefix; a conflict or an implied
+        // literal proves a shorter clause that subsumes this one.
+        detach_clause(c);
+        new_decision_level();
+        kept.clear();
+        bool aborted = false;  // budget ran out: the unexamined tail must stay
+        std::size_t k = 0;
+        for (; k < lits.size(); ++k) {
+            const lit l = lits[k];
+            const lbool vl = value(l);
+            if (vl == lbool::l_true) {
+                kept.push_back(l);  // prefix negations imply l: prefix + l suffices
+                break;
+            }
+            if (vl == lbool::l_false) continue;  // prefix negations imply ~l: drop l
+            kept.push_back(l);
+            if (k + 1 == lits.size()) break;  // last literal: nothing left to probe
+            const std::size_t before = trail_.size();
+            enqueue(~l, cref_undef);
+            if (propagate() != cref_undef) break;  // the prefix alone is contradictory
+            budget -= std::min<std::uint64_t>(budget, trail_.size() - before);
+            if (budget == 0) {
+                aborted = true;
+                break;
+            }
+        }
+        backtrack_to(0);
+        if (aborted)
+            for (std::size_t m = k + 1; m < lits.size(); ++m) kept.push_back(lits[m]);
+        if (kept.empty() || kept.size() >= lits.size()) {
+            attach_clause(c);
+            continue;
+        }
+        stats_.vivified_literals += lits.size() - kept.size();
+        free_clause(c);
+        // Re-filter against the level-0 assignment (an aborted scan can
+        // leave top-level-false tail literals in `kept`, and a reattached
+        // clause must never watch one).
+        clause_lits repl;
+        bool sat0 = false;
+        for (const lit l : kept) {
+            if (value(l) == lbool::l_true) sat0 = true;
+            if (value(l) == lbool::l_undef) repl.push_back(l);
+        }
+        if (sat0) {
+            clauses_[ci] = cref_undef;  // satisfied at level 0: drop outright
+        } else if (repl.empty()) {
+            clauses_[ci] = cref_undef;
+            ok_ = false;
+        } else if (repl.size() == 1) {
+            clauses_[ci] = cref_undef;
+            enqueue(repl[0], cref_undef);
+            ok_ = propagate() == cref_undef;
+        } else {
+            const cref nc = alloc_clause(repl, /*learnt=*/false);
+            attach_clause(nc);
+            clauses_[ci] = nc;
+        }
+    }
+    std::size_t keep = 0;
+    for (const cref c : clauses_)
+        if (c != cref_undef) clauses_[keep++] = c;
+    clauses_.resize(keep);
+}
+
+void solver::restore_var(var v0) {
+    if (!var_eliminated(v0)) return;
+    std::vector<var> work{v0};
+    while (!work.empty()) {
+        const var v = work.back();
+        work.pop_back();
+        const auto vi = static_cast<std::size_t>(v);
+        if (eliminated_[vi] == 0) continue;
+        eliminated_[vi] = 0;
+        --stats_.eliminated_vars;
+        elim_record& rec = elim_stack_[static_cast<std::size_t>(elim_index_[vi])];
+        rec.live = false;
+        elim_index_[vi] = -1;
+        for (const clause_lits& cl : rec.clauses) {
+            // Restored clauses can mention further eliminated variables
+            // (eliminated earlier, when this clause was already parked in
+            // the record): cascade the restore.
+            for (const lit l : cl)
+                if (var_eliminated(var_of(l))) work.push_back(var_of(l));
+            // Re-add with add_clause's level-0 simplification, but without
+            // touching the input digest: these are not new input clauses.
+            clause_lits out;
+            bool satisfied = false;
+            lit prev = lit_undef;
+            clause_lits sorted = cl;
+            std::sort(sorted.begin(), sorted.end());
+            for (const lit l : sorted) {
+                if (value(l) == lbool::l_true || l == ~prev) {
+                    satisfied = true;
+                    break;
+                }
+                if (value(l) == lbool::l_false || l == prev) continue;
+                out.push_back(l);
+                prev = l;
+            }
+            if (satisfied) continue;
+            if (out.empty()) {
+                ok_ = false;
+                return;
+            }
+            if (out.size() == 1) {
+                enqueue(out[0], cref_undef);
+                ok_ = propagate() == cref_undef;
+                if (!ok_) return;
+                continue;
+            }
+            const cref c = alloc_clause(out, /*learnt=*/false);
+            attach_clause(c);
+            clauses_.push_back(c);
+        }
+        rec.clauses.clear();
+        rec.clauses.shrink_to_fit();
+    }
+}
+
+void solver::restore_eliminated(const std::vector<lit>& lits) {
+    for (const lit l : lits) restore_var(var_of(l));
+}
+
+void solver::extend_model() {
+    auto model_sat = [this](lit l) {
+        const lbool v = model_[static_cast<std::size_t>(var_of(l))];
+        return sign_of(l) ? v == lbool::l_false : v == lbool::l_true;
+    };
+    // Reverse elimination order: each record sees the model already fixed
+    // for every later-eliminated variable, which is exactly the state its
+    // resolvent-satisfaction argument needs. If some original clause of v
+    // is unsatisfied, the opposite value of v satisfies them all (any
+    // still-unsatisfied pair of opposite-polarity clauses would falsify a
+    // resolvent the model is known to satisfy).
+    for (auto it = elim_stack_.rbegin(); it != elim_stack_.rend(); ++it) {
+        if (!it->live) continue;
+        bool all_sat = true;
+        for (const clause_lits& cl : it->clauses) {
+            bool sat = false;
+            for (const lit l : cl) {
+                if (model_sat(l)) {
+                    sat = true;
+                    break;
+                }
+            }
+            if (!sat) {
+                all_sat = false;
+                break;
+            }
+        }
+        if (!all_sat) {
+            lbool& mv = model_[static_cast<std::size_t>(it->v)];
+            mv = mv == lbool::l_true ? lbool::l_false : lbool::l_true;
+        }
+    }
+}
+
+void solver::maybe_collect_garbage() {
+    // Gated on the modern features: legacy-mode clients must keep their
+    // historical crefs so the bitwise regression pins stay exact.
+    if (!opts_.reduce_learnts && !opts_.inprocess) return;
+    if (decision_level() != 0) return;
+    if (wasted_ == 0 || wasted_ * 5 < arena_.size()) return;
+    clear_level0_reasons();
+    std::vector<std::uint32_t> to;
+    to.reserve(arena_.size() - std::min<std::uint64_t>(wasted_, arena_.size()));
+    for (cref& c : clauses_) c = relocate(c, to);
+    for (cref& c : learnts_) c = relocate(c, to);
+    // Watch lists are updated in place, preserving both order and blocker
+    // literals: propagation behaviour is untouched by a collection.
+    for (auto& ws : watches_)
+        for (auto& w : ws) w.clause = arena_[w.clause + 1];
+    arena_ = std::move(to);
+    wasted_ = 0;
+}
+
+cref solver::relocate(cref c, std::vector<std::uint32_t>& to) {
+    if (clause_reloced(c)) return arena_[c + 1];
+    const cref nc = static_cast<cref>(to.size());
+    const std::uint32_t n = clause_words(c);
+    for (std::uint32_t i = 0; i < n; ++i) to.push_back(arena_[c + i]);
+    arena_[c] |= hdr_reloced;
+    arena_[c + 1] = nc;
+    return nc;
 }
 
 // ---- search ---------------------------------------------------------------------
@@ -643,6 +1247,7 @@ lbool solver::search(std::uint64_t conflicts_before_restart) {
                 enqueue(learnt[0], cref_undef);
             } else {
                 cref c = alloc_clause(learnt, /*learnt=*/true);
+                if (lbd_active()) set_clause_lbd(c, lbd);
                 learnts_.push_back(c);
                 attach_clause(c);
                 cla_bump_activity(c);
@@ -664,7 +1269,18 @@ lbool solver::search(std::uint64_t conflicts_before_restart) {
                 return lbool::l_undef;
             }
             if (decision_level() == 0) simplify();
-            if (static_cast<double>(learnts_.size()) >= max_learnts_ + trail_.size()) {
+            if (opts_.reduce_learnts) {
+                // Glucose discipline: reduce on a conflict-count schedule
+                // whose interval stretches with every reduction. Conflict
+                // counts are scheduling-independent, so the trigger is
+                // deterministic across thread counts and pause slices.
+                if (next_reduce_ == 0) next_reduce_ = opts_.reduce_first;
+                if (stats_.conflicts >= next_reduce_) {
+                    reduce_glucose();
+                    next_reduce_ = stats_.conflicts + opts_.reduce_first +
+                                   static_cast<std::uint64_t>(opts_.reduce_inc) * stats_.reduces;
+                }
+            } else if (static_cast<double>(learnts_.size()) >= max_learnts_ + trail_.size()) {
                 reduce_db();
                 max_learnts_ *= learntsize_inc_;
             }
@@ -720,6 +1336,16 @@ solve_result solver::solve(const std::vector<lit>& assumptions) {
     if (progress_fn_) progress_fn_(stats_);
     if (!ok_) return solve_result::unsat;
 
+    // Assumptions over eliminated variables force their original clauses
+    // back first: the eliminated formula alone would answer wrongly there
+    // (F = {~v} eliminates v entirely, yet assuming v must yield unsat).
+    if (!elim_stack_.empty()) restore_eliminated(assumptions_);
+    // The first inprocessing pass fires before search (preprocessing);
+    // later passes re-arm on a conflict-count threshold.
+    if (opts_.inprocess && ok_ && decision_level() == 0 && stats_.conflicts >= next_inprocess_)
+        inprocess();
+    if (!ok_) return solve_result::unsat;
+
     max_learnts_ = std::max(static_cast<double>(clauses_.size()) * learntsize_factor_, 1000.0);
 
     lbool status = lbool::l_undef;
@@ -738,9 +1364,15 @@ solve_result solver::solve(const std::vector<lit>& assumptions) {
         }
         if (status == lbool::l_undef) {
             // Restart boundary: the one point where importing foreign
-            // clauses is safe (decision level 0) and cheap.
+            // clauses is safe (decision level 0) and cheap. Inprocessing
+            // fires here too, on its deterministic conflict threshold.
             pull_imports();
             if (!ok_) return solve_result::unsat;
+            if (opts_.inprocess && stats_.conflicts >= next_inprocess_) {
+                inprocess();
+                if (!ok_) return solve_result::unsat;
+            }
+            maybe_collect_garbage();
         }
     }
 
@@ -749,6 +1381,9 @@ solve_result solver::solve(const std::vector<lit>& assumptions) {
         // Unassigned vars (eliminated from the heap race) default to false.
         for (auto& v : model_)
             if (v == lbool::l_undef) v = lbool::l_false;
+        // Rebuild values for BVE-eliminated variables so every caller's
+        // model-verification path keeps passing on the original formula.
+        if (!elim_stack_.empty()) extend_model();
     }
     backtrack_to(0);
     return status == lbool::l_true ? solve_result::sat : solve_result::unsat;

@@ -46,6 +46,20 @@ struct solver_stats {
     /// average. Accumulated only when LBD tracking is active (see
     /// solver_options::track_lbd and set_clause_export).
     std::uint64_t lbd_sum = 0;
+    /// Glucose-discipline learnt-DB reductions performed (see
+    /// solver_options::reduce_learnts); deleted_clauses counts the drops.
+    std::uint64_t reduces = 0;
+    /// Inprocessing passes run at restart boundaries.
+    std::uint64_t inprocessings = 0;
+    /// Problem clauses removed by backward subsumption.
+    std::uint64_t subsumed_clauses = 0;
+    /// Literals removed by self-subsuming resolution (strengthening).
+    std::uint64_t strengthened_literals = 0;
+    /// Variables removed by bounded variable elimination (net of later
+    /// un-eliminations forced by assumptions or new clauses).
+    std::uint64_t eliminated_vars = 0;
+    /// Literals removed by clause vivification.
+    std::uint64_t vivified_literals = 0;
 
     bool operator==(const solver_stats&) const = default;
 };
@@ -88,7 +102,71 @@ struct solver_options {
     /// when a clause-export hook is installed (the hook receives the LBD);
     /// off by default so the plain solver pays nothing.
     bool track_lbd = false;
+
+    // ---- learnt-DB reduction (Glucose discipline) -------------------------
+    // Every knob below defaults to the feature being OFF: the historical
+    // search must stay bit-for-bit reproducible (the fuzz harness pins it).
+
+    /// Periodically reduce the learnt database keeping low-LBD ("glue")
+    /// clauses, with clause activity as the tie-break. Implies LBD
+    /// tracking. Replaces the legacy size-triggered activity-only
+    /// reduction when set.
+    bool reduce_learnts = false;
+    /// Conflicts before the first Glucose-discipline reduction.
+    std::uint32_t reduce_first = 2000;
+    /// Extra conflicts added to the interval after each reduction.
+    std::uint32_t reduce_inc = 300;
+    /// Learnt clauses with LBD at or below this are never dropped.
+    std::uint32_t reduce_keep_lbd = 2;
+
+    // ---- inprocessing ------------------------------------------------------
+
+    /// Run inprocessing (subsumption + self-subsuming resolution, bounded
+    /// variable elimination, clause vivification) at restart boundaries.
+    /// Fires on deterministic conflict-count thresholds, so answers and
+    /// stats stay bit-identical across thread counts. Models for
+    /// eliminated variables are reconstructed before solve() returns.
+    bool inprocess = false;
+    /// Conflicts between inprocessing passes (the first pass runs before
+    /// search starts, i.e. acts as preprocessing).
+    std::uint32_t inprocess_interval = 4000;
+    /// Sub-switch: bounded variable elimination.
+    bool inprocess_elim = true;
+    /// Sub-switch: clause vivification. Off by default: on the corpus
+    /// shapes (random 3-SAT, pigeonhole, redundancy-heavy) the probing
+    /// propagations cost more than the shortened clauses save — see
+    /// docs/TUNING.md for the measurements. Worth enabling on instances
+    /// with long clauses that actually shorten.
+    bool inprocess_vivify = false;
+    /// Skip eliminating a variable occurring more often than this in
+    /// either polarity (keeps the resolvent count quadratic-bounded).
+    std::uint32_t elim_occ_limit = 10;
+    /// Skip eliminating when it would add clauses: at most this many
+    /// resolvents beyond the clauses removed.
+    std::uint32_t elim_grow_limit = 0;
+    /// Resolvents longer than this block the elimination.
+    std::uint32_t elim_clause_limit = 20;
+    /// Propagation budget (trail assignments) per vivification pass.
+    std::uint32_t vivify_budget = 20000;
 };
+
+/// Opt-in toggles for the modern-CDCL extensions, carried through the
+/// substrate (strategy -> resolved_strategy -> backend construction) as one
+/// unit so a request can flip them without spelling every knob. Overlaid
+/// onto possibly-diversified options via apply_features.
+struct solver_features {
+    bool reduce = false;     ///< Glucose-style learnt-DB reduction
+    bool inprocess = false;  ///< restart-boundary inprocessing
+    bool operator==(const solver_features&) const = default;
+};
+
+/// Overlays feature toggles onto an options struct (OR semantics: a knob
+/// already enabled by the options stays enabled).
+[[nodiscard]] inline solver_options apply_features(solver_options opts, solver_features f) {
+    opts.reduce_learnts = opts.reduce_learnts || f.reduce;
+    opts.inprocess = opts.inprocess || f.inprocess;
+    return opts;
+}
 
 class solver {
 public:
@@ -229,34 +307,60 @@ public:
     /// Cleared per solve.
     [[nodiscard]] bool budget_exhausted() const { return budget_exhausted_; }
 
+    /// Whether bounded variable elimination removed `v` (and no later
+    /// restore brought it back). Exposed for the BVE reconstruction tests.
+    [[nodiscard]] bool var_eliminated(var v) const {
+        return eliminated_[static_cast<std::size_t>(v)] != 0;
+    }
+
 private:
     // ---- clause arena ----------------------------------------------------
-    // Layout per clause: [header][act (learnt only)][lit0][lit1]...
-    // header = (size << 3) | (imported << 2) | (has_extra << 1) | learnt
-    struct clause_ref {
-        cref offset;
-    };
+    // Layout per clause: [header][act][lbd] (learnt only) [lit0][lit1]...
+    // header = (size << 4) | (reloced << 3) | (imported << 2)
+    //        | (has_extra << 1) | learnt
+    // `reloced` marks a clause forwarded by arena garbage collection: the
+    // word after the header then holds the new cref instead of activity.
+    static constexpr std::uint32_t hdr_learnt = 1U;
+    static constexpr std::uint32_t hdr_extra = 2U;
+    static constexpr std::uint32_t hdr_imported = 4U;
+    static constexpr std::uint32_t hdr_reloced = 8U;
 
-    [[nodiscard]] std::uint32_t clause_size(cref c) const { return arena_[c] >> 3; }
-    [[nodiscard]] bool clause_learnt(cref c) const { return (arena_[c] & 1U) != 0; }
-    [[nodiscard]] bool clause_imported(cref c) const { return ((arena_[c] >> 2) & 1U) != 0; }
+    [[nodiscard]] std::uint32_t clause_size(cref c) const { return arena_[c] >> 4; }
+    [[nodiscard]] bool clause_learnt(cref c) const { return (arena_[c] & hdr_learnt) != 0; }
+    [[nodiscard]] bool clause_imported(cref c) const { return (arena_[c] & hdr_imported) != 0; }
+    [[nodiscard]] bool clause_reloced(cref c) const { return (arena_[c] & hdr_reloced) != 0; }
     [[nodiscard]] lit clause_lit(cref c, std::uint32_t i) const {
         return lit{static_cast<std::int32_t>(arena_[c + lit_offset(c) + i])};
     }
     void set_clause_lit(cref c, std::uint32_t i, lit l) {
         arena_[c + lit_offset(c) + i] = static_cast<std::uint32_t>(l.x);
     }
-    [[nodiscard]] std::uint32_t lit_offset(cref c) const { return 1U + ((arena_[c] >> 1) & 1U); }
+    [[nodiscard]] std::uint32_t lit_offset(cref c) const {
+        return 1U + 2U * ((arena_[c] >> 1) & 1U);
+    }
+    /// Total arena words occupied by the clause (header + extras + lits).
+    [[nodiscard]] std::uint32_t clause_words(cref c) const {
+        return lit_offset(c) + clause_size(c);
+    }
     [[nodiscard]] float clause_activity(cref c) const;
     void set_clause_activity(cref c, float a);
+    [[nodiscard]] std::uint32_t clause_lbd(cref c) const { return arena_[c + 2]; }
+    void set_clause_lbd(cref c, std::uint32_t lbd) { arena_[c + 2] = lbd; }
     void shrink_clause(cref c, std::uint32_t new_size);
 
     cref alloc_clause(const clause_lits& lits, bool learnt, bool imported = false);
+    /// Bookkeeping for a clause leaving the database: its words stay in the
+    /// arena until garbage collection relocates the survivors.
+    void free_clause(cref c) { wasted_ += clause_words(c); }
 
     // ---- clause sharing ---------------------------------------------------
-    [[nodiscard]] bool lbd_active() const { return opts_.track_lbd || export_fn_ != nullptr; }
+    [[nodiscard]] bool lbd_active() const {
+        return opts_.track_lbd || opts_.reduce_learnts || export_fn_ != nullptr;
+    }
     /// Literal-block distance: distinct decision levels among the literals.
     [[nodiscard]] unsigned compute_lbd(const clause_lits& lits);
+    /// Same, over a clause in the arena (for the dynamic-LBD update).
+    [[nodiscard]] unsigned compute_lbd_clause(cref c);
     /// Fires the export hook for a freshly learnt clause (if installed).
     void export_learnt(const clause_lits& lits, unsigned lbd);
     /// Polls the import hook and integrates what it returns (level 0 only).
@@ -316,8 +420,41 @@ private:
     // ---- top-level simplification & learnt DB management ------------------
     void remove_satisfied(std::vector<cref>& clauses);
     void reduce_db();
+    /// Glucose-discipline reduction: drop half the learnts, worst glue
+    /// first, activity as tie-break; glue/binary/locked clauses survive.
+    void reduce_glucose();
     [[nodiscard]] bool clause_locked(cref c) const;
     void simplify();
+
+    // ---- inprocessing ------------------------------------------------------
+    /// Runs one inprocessing pass at decision level 0 and re-arms the
+    /// conflict-count trigger.
+    void inprocess();
+    /// Backward subsumption + self-subsuming resolution over an occurrence
+    /// index of the problem clauses.
+    void subsume_pass();
+    /// Bounded variable elimination with solution-reconstruction records.
+    void eliminate_vars();
+    /// Clause vivification under a propagation budget.
+    void vivify_pass();
+    /// Zeroes the reasons of all (level-0) trail literals: they are facts,
+    /// never re-derived, and stale crefs must not survive deletion/GC.
+    void clear_level0_reasons();
+    /// Re-adds the original clauses of any eliminated variable appearing in
+    /// `lits` (cascading: restored clauses can mention further eliminated
+    /// variables). Required before solving under assumptions that touch an
+    /// eliminated variable — answering from the eliminated formula alone
+    /// would be unsound there.
+    void restore_eliminated(const std::vector<lit>& lits);
+    void restore_var(var v0);
+    /// Rebuilds model values for eliminated variables from the
+    /// reconstruction stack (reverse elimination order).
+    void extend_model();
+    /// Arena relocation GC: compacts live clauses, fixes watch lists in
+    /// place (order preserved). Requires decision level 0 with level-0
+    /// reasons cleared.
+    void maybe_collect_garbage();
+    cref relocate(cref c, std::vector<std::uint32_t>& to);
 
     // ---- search -----------------------------------------------------------
     lbool search(std::uint64_t conflicts_before_restart);
@@ -363,6 +500,28 @@ private:
     std::uint64_t resume_restarts_ = 0;   // Luby index to resume at after a pause
     std::uint64_t resume_interval_conflicts_ = 0;  // progress within the paused interval
     std::uint64_t simplify_assigns_ = 0;  // #top-level assigns at last simplify
+
+    // Reduction / inprocessing triggers run on stats_.conflicts thresholds:
+    // conflict counts are scheduling-independent, which is what keeps the
+    // deterministic portfolio/shard disciplines bit-identical across
+    // thread counts with the features on.
+    std::uint64_t next_reduce_ = 0;     // 0 = not yet armed
+    std::uint64_t next_inprocess_ = 0;  // first pass acts as preprocessing
+    std::uint64_t wasted_ = 0;          // arena words freed but not collected
+
+    /// One bounded-variable-elimination step: the eliminated variable and
+    /// its original clauses, verbatim. Doubles as the solution-
+    /// reconstruction stack (processed in reverse to extend models) and as
+    /// the restore source when an assumption or a new clause brings the
+    /// variable back.
+    struct elim_record {
+        var v = var_undef;
+        bool live = true;  // false once restored (un-eliminated)
+        std::vector<clause_lits> clauses;
+    };
+    std::vector<elim_record> elim_stack_;
+    std::vector<char> eliminated_;          // per-var flag
+    std::vector<std::int32_t> elim_index_;  // var -> elim_stack_ index, -1 = none
 
     solver_options opts_;
     util::rng random_;

@@ -229,6 +229,7 @@ constexpr std::uint8_t has_depth = 1u << 2;
 constexpr std::uint8_t has_probes = 1u << 3;
 constexpr std::uint8_t has_sharing = 1u << 4;
 constexpr std::uint8_t has_use_cache = 1u << 5;
+constexpr std::uint8_t has_features = 1u << 6;
 
 void encode_strategy(const substrate::strategy& s, wire_writer& w) {
     w.u8(static_cast<std::uint8_t>(s.kind));
@@ -239,6 +240,7 @@ void encode_strategy(const substrate::strategy& s, wire_writer& w) {
     if (s.probe_candidates) mask |= has_probes;
     if (s.sharing) mask |= has_sharing;
     if (s.use_cache) mask |= has_use_cache;
+    if (s.features) mask |= has_features;
     w.u8(mask);
     if (s.members) w.u32(*s.members);
     if (s.sequential) w.u8(*s.sequential ? 1 : 0);
@@ -253,6 +255,13 @@ void encode_strategy(const substrate::strategy& s, wire_writer& w) {
         w.u64(s.sharing->max_import_per_checkpoint);
     }
     if (s.use_cache) w.u8(*s.use_cache ? 1 : 0);
+    if (s.features) {
+        // One flag byte: bit 0 = reduce, bit 1 = inprocess (room to grow).
+        std::uint8_t flags = 0;
+        if (s.features->reduce) flags |= 1u;
+        if (s.features->inprocess) flags |= 2u;
+        w.u8(flags);
+    }
     w.u64(s.conflict_budget);
     w.u64(s.time_budget_ms);
 }
@@ -279,6 +288,13 @@ substrate::strategy decode_strategy(wire_reader& r) {
         s.sharing = sh;
     }
     if ((mask & has_use_cache) != 0) s.use_cache = r.u8() != 0;
+    if ((mask & has_features) != 0) {
+        const std::uint8_t flags = r.u8();
+        sat::solver_features f;
+        f.reduce = (flags & 1u) != 0;
+        f.inprocess = (flags & 2u) != 0;
+        s.features = f;
+    }
     s.conflict_budget = r.u64();
     s.time_budget_ms = r.u64();
     return s;

@@ -75,9 +75,14 @@ backend_result sat_backend::check_cube(const std::vector<sat::lit>& cube,
     solver_.set_interrupt(cancel);
     backend_result result;
     const std::uint64_t conflicts_before = solver_.stats().conflicts;
+    const std::uint64_t reduces_before = solver_.stats().reduces;
+    const std::uint64_t inproc_before = solver_.stats().inprocessings;
     result.ans = from_sat(solver_.solve(assumed));
     solver_.set_interrupt(nullptr);
     result.conflicts = solver_.stats().conflicts - conflicts_before;
+    result.reduces = solver_.stats().reduces - reduces_before;
+    result.inprocessings = solver_.stats().inprocessings - inproc_before;
+    result.eliminated_vars = solver_.stats().eliminated_vars;
     if (result.ans == answer::unknown) result.status = classify_unknown(solver_);
     if (result.ans == answer::sat) {
         result.sat_model.reserve(static_cast<std::size_t>(solver_.num_vars()));
@@ -120,9 +125,14 @@ backend_result smt_backend::check_cube(const std::vector<sat::lit>& cube,
     solver_.set_interrupt(cancel);
     backend_result result;
     const std::uint64_t conflicts_before = solver_.sat_core().stats().conflicts;
+    const std::uint64_t reduces_before = solver_.sat_core().stats().reduces;
+    const std::uint64_t inproc_before = solver_.sat_core().stats().inprocessings;
     result.ans = from_smt(solver_.check_under(assumed));
     solver_.set_interrupt(nullptr);
     result.conflicts = solver_.sat_core().stats().conflicts - conflicts_before;
+    result.reduces = solver_.sat_core().stats().reduces - reduces_before;
+    result.inprocessings = solver_.sat_core().stats().inprocessings - inproc_before;
+    result.eliminated_vars = solver_.sat_core().stats().eliminated_vars;
     if (result.ans == answer::unknown) result.status = classify_unknown(solver_.sat_core());
     if (result.ans == answer::sat) result.model = solver_.model_env();
     else if (result.ans == answer::unsat) result.core = failed_assumptions(solver_.conflict_core());

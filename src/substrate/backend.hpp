@@ -114,6 +114,17 @@ struct backend_result {
     /// Solver conflicts this check spent — the scheduling-independent cost
     /// metric the shard benches and stats aggregate.
     std::uint64_t conflicts = 0;
+    /// Clause-DB reductions the instance ran during this check (Glucose
+    /// discipline; zero unless solver_options::reduce_learnts is on).
+    std::uint64_t reduces = 0;
+    /// Inprocessing passes (subsumption / elimination / vivification) the
+    /// instance ran during this check; zero unless solver_options::inprocess
+    /// is on.
+    std::uint64_t inprocessings = 0;
+    /// Variables currently eliminated by bounded variable elimination on the
+    /// instance after this check (models are already reconstructed — this is
+    /// accounting only).
+    std::uint64_t eliminated_vars = 0;
     /// Why the query ended this way: `ok` for decided answers; unknown
     /// answers carry cancelled / timeout / over_budget / malformed /
     /// internal. Backends classify from the solver's own abort flags;

@@ -174,6 +174,7 @@ resolved_strategy defaults_from(const engine_config& cfg) {
     d.depth = cfg.shard_depth;
     d.probe_candidates = cfg.shard_probe_candidates;
     d.sharing = cfg.sharing;
+    d.features = cfg.solver_features;
     d.use_cache = cfg.use_cache;
     return d;
 }
@@ -271,7 +272,7 @@ backend_result smt_engine::run_request(const smt_query& q, const struct strategy
     std::unique_ptr<smt_backend> proto;
     auto make_proto = [&](const char* name) {
         proto = std::make_unique<smt_backend>(tm_, q.assertions, q.assumptions,
-                                              sat::solver_options{}, name);
+                                              sat::apply_features({}, rs.features), name);
         proto->prepare();
         instrument(*proto);
     };
@@ -357,12 +358,13 @@ backend_result smt_engine::run_request(const smt_query& q, const struct strategy
             // Member 0's options are the baseline, so a prototype built for
             // the classifier is recycled as member 0 instead of re-blasting.
             auto recycled = std::make_shared<std::unique_ptr<smt_backend>>(std::move(proto));
-            auto factory = [this, &q, recycled,
-                            &instrument](unsigned member) -> std::unique_ptr<solver_backend> {
+            auto factory = [this, &q, recycled, &instrument,
+                            &rs](unsigned member) -> std::unique_ptr<solver_backend> {
                 if (member == 0 && *recycled) return std::move(*recycled);
-                auto b = std::make_unique<smt_backend>(tm_, q.assertions, q.assumptions,
-                                                       diversified_options(member),
-                                                       "smt#" + std::to_string(member));
+                auto b = std::make_unique<smt_backend>(
+                    tm_, q.assertions, q.assumptions,
+                    sat::apply_features(diversified_options(member), rs.features),
+                    "smt#" + std::to_string(member));
                 instrument(*b);
                 return b;
             };
@@ -396,8 +398,10 @@ backend_result smt_engine::run_request(const smt_query& q, const struct strategy
                     }
                     auto b = std::make_unique<smt_backend>(
                         tm_, q.assertions, q.assumptions,
-                        diversify ? diversified_options(static_cast<unsigned>(pair))
-                                  : sat::solver_options{},
+                        sat::apply_features(diversify
+                                                ? diversified_options(static_cast<unsigned>(pair))
+                                                : sat::solver_options{},
+                                            rs.features),
                         "shard#" + std::to_string(pair));
                     instrument(*b);
                     return b;

@@ -74,6 +74,12 @@ struct engine_config {
     /// byte-identical); sharing.deterministic makes shared runs
     /// reproducible across thread counts. See docs/TUNING.md.
     sharing_config sharing{};
+    /// Default CDCL feature toggles (Glucose clause-DB reduction and
+    /// restart-boundary inprocessing) applied to every solver instance the
+    /// engine constructs — including diversified portfolio members and
+    /// shard replicas. Off by default (legacy behaviour, bit-identical);
+    /// per-request `strategy::features` overrides. See docs/TUNING.md.
+    sat::solver_features solver_features{};
     /// Default for the budgeted sequential portfolio: time-slice the
     /// diversified members (slice length sharing.slice_conflicts) instead
     /// of racing them on the pool — the single-core way to exploit member

@@ -95,6 +95,7 @@ strategy strategy::overriding(strategy pick) const {
     if (depth) pick.depth = depth;
     if (probe_candidates) pick.probe_candidates = probe_candidates;
     if (sharing) pick.sharing = sharing;
+    if (features) pick.features = features;
     if (use_cache) pick.use_cache = use_cache;
     pick.conflict_budget = conflict_budget;
     pick.time_budget_ms = time_budget_ms;
@@ -109,6 +110,7 @@ resolved_strategy strategy::resolve(const resolved_strategy& defaults) const {
     if (depth) r.depth = *depth;
     if (probe_candidates) r.probe_candidates = *probe_candidates;
     if (sharing) r.sharing = *sharing;
+    if (features) r.features = *features;
     if (use_cache) r.use_cache = *use_cache;
     r.conflict_budget = conflict_budget;
     r.time_budget_ms = time_budget_ms;
@@ -169,7 +171,7 @@ cnf_outcome solve_cnf(const cnf_builder& build, const strategy& strat, unsigned 
     // solves it, and the shard paths run the cube lookahead on it.
     std::unique_ptr<sat_backend> proto;
     auto make_proto = [&] {
-        proto = std::make_unique<sat_backend>(sat::solver_options{}, "cnf#0");
+        proto = std::make_unique<sat_backend>(sat::apply_features({}, rs.features), "cnf#0");
         build(0, proto->solver());
     };
 
@@ -269,8 +271,9 @@ cnf_outcome solve_cnf(const cnf_builder& build, const strategy& strat, unsigned 
         // classifier is recycled instead of re-running the builder.
         auto factory = [&](unsigned member) -> std::unique_ptr<solver_backend> {
             if (member == 0 && proto) return std::move(proto);
-            auto backend = std::make_unique<sat_backend>(diversified_options(member),
-                                                         "cnf#" + std::to_string(member));
+            auto backend = std::make_unique<sat_backend>(
+                sat::apply_features(diversified_options(member), rs.features),
+                "cnf#" + std::to_string(member));
             build(member, backend->solver());
             return backend;
         };
@@ -294,8 +297,9 @@ cnf_outcome solve_cnf(const cnf_builder& build, const strategy& strat, unsigned 
     shard_outcome shard_out = solve_cubes(
         [&](std::size_t pair) {
             auto backend = std::make_unique<sat_backend>(
-                diversify ? diversified_options(static_cast<unsigned>(pair))
-                          : sat::solver_options{},
+                sat::apply_features(diversify ? diversified_options(static_cast<unsigned>(pair))
+                                              : sat::solver_options{},
+                                    rs.features),
                 "cnf-shard#" + std::to_string(pair));
             build(0, backend->solver());
             return backend;

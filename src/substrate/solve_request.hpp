@@ -50,6 +50,7 @@ struct resolved_strategy {
     unsigned depth = 0;              ///< cube split depth (shard kinds)
     unsigned probe_candidates = 16;  ///< lookahead probes per cube generation
     sharing_config sharing{};        ///< learnt-clause exchange knobs
+    sat::solver_features features{}; ///< CDCL feature toggles (reduction/inprocessing)
     bool use_cache = true;           ///< consult/populate the query cache
     std::uint64_t conflict_budget = 0;  ///< per-instance conflict cap (0 = unlimited)
     std::uint64_t time_budget_ms = 0;   ///< await-side wall-clock cap (0 = unlimited)
@@ -87,6 +88,13 @@ struct strategy {
     /// Learnt-clause exchange knobs, incl. `sharing_config::deterministic`
     /// (unset = engine default).
     std::optional<sharing_config> sharing;
+    /// CDCL feature toggles — Glucose clause-DB reduction and restart-
+    /// boundary inprocessing (`sat::solver_features`). Applied on top of
+    /// every instance's options (including diversified portfolio members),
+    /// so the whole strategy runs with one feature set; triggers are
+    /// conflict-count based, keeping the deterministic disciplines
+    /// bit-identical across thread counts (unset = engine default).
+    std::optional<sat::solver_features> features;
     /// Consult/populate the query cache for this request (unset = engine
     /// default). Coalescing of in-flight duplicates is independent of this.
     std::optional<bool> use_cache;

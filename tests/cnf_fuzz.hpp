@@ -1,0 +1,121 @@
+/// \file
+/// Seeded random-CNF generator behind the differential fuzz harness
+/// (fuzz_test.cpp): four instance families that stress different solver
+/// paths — 3-SAT near the sat/unsat threshold (deep search), mixed clause
+/// widths (watch-list shapes), unit-heavy streams (level-0 simplification
+/// and BVE fodder), and pigeonhole-plus-noise (guaranteed-unsat cores with
+/// removable slack). Everything is a pure function of the seed, so a
+/// failing round reproduces from its seed alone.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/pigeonhole.hpp"
+#include "sat/solver.hpp"
+#include "util/rng.hpp"
+
+namespace sciduction::test {
+
+/// One generated instance: the clause list is kept so models can be
+/// evaluated against the ORIGINAL formula (not the solver's simplified
+/// clause database — the whole point of the differential harness).
+struct fuzz_cnf {
+    int num_vars = 0;
+    std::vector<sat::clause_lits> clauses;
+
+    /// Replays the instance into a solver (identical order every call —
+    /// the replica contract the strategy layer needs).
+    void load_into(sat::solver& s) const {
+        for (int i = 0; i < num_vars; ++i) s.new_var();
+        for (const sat::clause_lits& c : clauses) s.add_clause(c);
+    }
+
+    /// True when the solver's current model satisfies every original
+    /// clause — evaluated on this struct's clauses, so eliminated
+    /// variables must have been reconstructed for it to pass.
+    [[nodiscard]] bool satisfied_by(const sat::solver& s) const {
+        for (const sat::clause_lits& c : clauses) {
+            bool sat = false;
+            for (sat::lit l : c) sat = sat || s.model_lit(l);
+            if (!sat) return false;
+        }
+        return true;
+    }
+};
+
+namespace detail {
+
+/// One random clause of exactly `width` distinct variables.
+inline sat::clause_lits random_clause(util::rng& r, int num_vars, int width) {
+    sat::clause_lits c;
+    while (static_cast<int>(c.size()) < width) {
+        auto v = static_cast<sat::var>(r.next_below(static_cast<std::uint64_t>(num_vars)));
+        bool dup = false;
+        for (sat::lit l : c) dup = dup || sat::var_of(l) == v;
+        if (!dup) c.push_back(sat::mk_lit(v, r.next_below(2) == 1));
+    }
+    return c;
+}
+
+}  // namespace detail
+
+/// Generates the seed'th instance. The low bits of the seed pick the
+/// family, the rest parameterize it; all sizes are kept small enough that
+/// a full differential round (9 feature x strategy combinations) stays
+/// well under a second.
+inline fuzz_cnf generate_cnf(std::uint64_t seed) {
+    util::rng r;
+    r.reseed(seed * 0x9e3779b97f4a7c15ULL + 1);
+    fuzz_cnf out;
+    switch (seed % 4) {
+        case 0: {  // 3-SAT near the threshold ratio (~4.26): deep search
+            out.num_vars = 30 + static_cast<int>(r.next_below(31));
+            const int clauses = static_cast<int>(4.26 * out.num_vars);
+            for (int i = 0; i < clauses; ++i)
+                out.clauses.push_back(detail::random_clause(r, out.num_vars, 3));
+            break;
+        }
+        case 1: {  // mixed widths 2..6: exercises watch/blocker shapes
+            out.num_vars = 25 + static_cast<int>(r.next_below(26));
+            const int clauses = 3 * out.num_vars;
+            for (int i = 0; i < clauses; ++i) {
+                const int width = 2 + static_cast<int>(r.next_below(5));
+                out.clauses.push_back(detail::random_clause(r, out.num_vars, width));
+            }
+            break;
+        }
+        case 2: {  // unit-heavy: level-0 simplification + elimination fodder
+            out.num_vars = 30 + static_cast<int>(r.next_below(21));
+            const int clauses = 3 * out.num_vars;
+            for (int i = 0; i < clauses; ++i) {
+                const std::uint64_t roll = r.next_below(10);
+                const int width = roll < 2 ? 1 : (roll < 5 ? 2 : 3);
+                out.clauses.push_back(detail::random_clause(r, out.num_vars, width));
+            }
+            break;
+        }
+        default: {  // pigeonhole-like: a PHP core plus random slack clauses
+            const int holes = 4 + static_cast<int>(r.next_below(2));  // 4 or 5
+            out.num_vars = (holes + 1) * holes;
+            for (int p = 0; p <= holes; ++p) {
+                sat::clause_lits c;
+                for (int h = 0; h < holes; ++h)
+                    c.push_back(sat::mk_lit(static_cast<sat::var>(p * holes + h)));
+                out.clauses.push_back(c);
+            }
+            for (int h = 0; h < holes; ++h)
+                for (int p = 0; p <= holes; ++p)
+                    for (int q = p + 1; q <= holes; ++q)
+                        out.clauses.push_back({~sat::mk_lit(static_cast<sat::var>(p * holes + h)),
+                                               ~sat::mk_lit(static_cast<sat::var>(q * holes + h))});
+            const int noise = static_cast<int>(r.next_below(20));
+            for (int i = 0; i < noise; ++i)
+                out.clauses.push_back(detail::random_clause(r, out.num_vars, 3));
+            break;
+        }
+    }
+    return out;
+}
+
+}  // namespace sciduction::test

@@ -16,9 +16,16 @@ sciduction_run driver and enforces three contracts:
 
 Usage:
   tools/run_corpus.py [--driver build/sciduction_run] [--corpus corpus]
-                      [--strategies single,portfolio,shard]
+                      [--strategies single,portfolio,shard,single+inprocess]
                       [--cache PATH] [--require-warm]
                       [--json OUT.json] [--regen]
+
+A strategy spec may carry solver-feature suffixes joined with '+':
+`single+inprocess` runs the single strategy with --inprocess, and
+`portfolio+reduce+inprocess` runs the portfolio with both features on.
+Feature runs participate in the differential pass like any other spec —
+the verdict must match the canonical run (the core guarantee the
+inprocessing PR makes: simplification never changes the answer).
 
 --regen rewrites every .expected from the current single-strategy output
 (use after adding a scenario; commit the result). --cache routes all runs
@@ -43,9 +50,25 @@ def stable_lines(stdout: str) -> list[str]:
     return [ln for ln in stdout.splitlines() if ln.startswith("s ")]
 
 
-def run_driver(driver: Path, scenario: Path, strategy: str, cache: str | None,
+FEATURE_FLAGS = {"reduce": "--reduce", "inprocess": "--inprocess"}
+
+
+def parse_spec(spec: str) -> tuple[str, list[str]]:
+    """Splits a strategy spec like `single+inprocess` into the base
+    strategy name and the driver feature flags it requests."""
+    base, *features = spec.split("+")
+    unknown = [f for f in features if f not in FEATURE_FLAGS]
+    if unknown:
+        raise SystemExit(f"error: unknown feature(s) {unknown} in spec '{spec}' "
+                         f"(known: {sorted(FEATURE_FLAGS)})")
+    return base, [FEATURE_FLAGS[f] for f in features]
+
+
+def run_driver(driver: Path, scenario: Path, spec: str, cache: str | None,
                extra: list[str]) -> tuple[list[str], str, float]:
-    cmd = [str(driver), str(scenario), "--strategy", strategy, "--no-model"] + extra
+    strategy, feature_flags = parse_spec(spec)
+    cmd = [str(driver), str(scenario), "--strategy", strategy, "--no-model"] \
+        + feature_flags + extra
     if cache:
         cmd += ["--cache", cache]
     start = time.monotonic()

@@ -6,7 +6,7 @@
 //                                   shard_over_portfolio]
 //                  [--members N] [--depth N] [--threads N]
 //                  [--cache PATH] [--conflict-budget N] [--time-budget MS]
-//                  [--no-model]
+//                  [--no-model] [--reduce] [--inprocess]
 //
 // Output contract (what tools/run_corpus.py diffs against the goldens):
 //   * `s <VERDICT>` lines are the stable part: SATISFIABLE / UNSATISFIABLE /
@@ -61,13 +61,16 @@ struct options {
     std::uint64_t conflict_budget = 0;
     std::uint64_t time_budget_ms = 0;
     bool print_model = true;
+    bool reduce = false;     // Glucose clause-DB reduction
+    bool inprocess = false;  // restart-boundary inprocessing
 };
 
 int usage(const char* argv0) {
     std::cerr << "usage: " << argv0
               << " FILE.{cnf,smt2} [--strategy auto|single|portfolio|shard|"
                  "shard_over_portfolio] [--members N] [--depth N] [--threads N]"
-                 " [--cache PATH] [--conflict-budget N] [--time-budget MS] [--no-model]\n";
+                 " [--cache PATH] [--conflict-budget N] [--time-budget MS] [--no-model]"
+                 " [--reduce] [--inprocess]\n";
     return exit_malformed;
 }
 
@@ -87,6 +90,12 @@ bool parse_strategy(const options& opt, substrate::strategy& strat) {
         return false;
     if (opt.members > 0) strat.members = opt.members;
     if (opt.depth > 0) strat.depth = opt.depth;
+    if (opt.reduce || opt.inprocess) {
+        sat::solver_features f;
+        f.reduce = opt.reduce;
+        f.inprocess = opt.inprocess;
+        strat.features = f;
+    }
     strat.conflict_budget = opt.conflict_budget;
     strat.time_budget_ms = opt.time_budget_ms;
     return true;
@@ -183,6 +192,10 @@ int run_dimacs(const options& opt, const substrate::strategy& strat) {
     std::cout << "c strategy=" << substrate::to_string(out.executed)
               << " conflicts=" << out.total_conflicts << " cache_hit=" << (out.cache_hit ? 1 : 0)
               << "\n";
+    if (out.result.reduces > 0 || out.result.inprocessings > 0)
+        std::cout << "c reduces=" << out.result.reduces
+                  << " inprocessings=" << out.result.inprocessings
+                  << " eliminated_vars=" << out.result.eliminated_vars << "\n";
     if (cache) {
         const auto cs = cache->stats();
         std::cout << "c cache hits=" << cs.hits << " insertions=" << cs.insertions
@@ -351,6 +364,10 @@ int main(int argc, char** argv) {
             opt.time_budget_ms = std::strtoull(value(), nullptr, 10);
         else if (arg == "--no-model")
             opt.print_model = false;
+        else if (arg == "--reduce")
+            opt.reduce = true;
+        else if (arg == "--inprocess")
+            opt.inprocess = true;
         else if (arg == "--help" || arg == "-h")
             return usage(argv[0]);
         else if (!arg.empty() && arg[0] == '-')
